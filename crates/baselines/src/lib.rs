@@ -1,0 +1,35 @@
+//! # baselines — the schedulers and frameworks the paper compares against
+//!
+//! The evaluation of the paper (§4, §4.3, §5) compares the daisy
+//! auto-scheduler against:
+//!
+//! * **clang / icc** `-O3` ([`compiler`]) — no loop restructuring; clang
+//!   vectorizes unit-stride innermost loops, icc additionally
+//!   auto-parallelizes trivially parallel outer loops,
+//! * **Polly** ([`polly`]) — a Pluto-style polyhedral scheduler: tiling of
+//!   permutable bands, outer parallelization and strip-mine vectorization,
+//!   applied to the loop structure *as written* (its ILP objective does not
+//!   minimize strides, which is the sensitivity the paper exploits),
+//! * **the Tiramisu auto-scheduler** ([`tiramisu`]) — a search over
+//!   transformation sequences guided by an approximate cost model, restricted
+//!   to perfectly nested parallel loops by the paper's adapter (the `X` marks
+//!   in Fig. 6),
+//! * **NumPy / Numba / DaCe** ([`python`]) — Python-framework execution
+//!   models for the NPBench variants of the benchmarks (Fig. 9).
+//!
+//! All baselines return a scheduled [`loop_ir::Program`] (or a framework
+//! runtime estimate) so they can be costed on the same machine model as
+//! daisy.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compiler;
+pub mod polly;
+pub mod python;
+pub mod tiramisu;
+
+pub use compiler::{clang_schedule, icc_schedule};
+pub use polly::polly_schedule;
+pub use python::{dace_time, numba_time, numpy_time, python_framework_times, PythonFrameworkTimes};
+pub use tiramisu::{tiramisu_schedule, TiramisuError};

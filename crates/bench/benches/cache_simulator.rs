@@ -1,0 +1,25 @@
+//! Criterion micro-benchmark: trace-driven cache simulation (Table 1
+//! machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::{simulate_cache, MachineConfig};
+use polybench::cloudsc::{erosion_single_level, CloudscSizes};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_simulator");
+    group.sample_size(10);
+    let machine = MachineConfig::xeon_e5_2680v3();
+    let sizes = CloudscSizes::paper();
+    let original = erosion_single_level(sizes, false);
+    let optimized = erosion_single_level(sizes, true);
+    group.bench_function("erosion_original_single_level", |b| {
+        b.iter(|| simulate_cache(&original, &machine).unwrap())
+    });
+    group.bench_function("erosion_optimized_single_level", |b| {
+        b.iter(|| simulate_cache(&optimized, &machine).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

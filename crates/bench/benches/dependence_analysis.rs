@@ -1,0 +1,21 @@
+//! Criterion micro-benchmark: dependence-graph construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dependence::analyze;
+use polybench::cloudsc::{full_model, CloudscSizes, CloudscVariant};
+use polybench::{benchmark, Dataset};
+
+fn bench_dependence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependence_analysis");
+    group.sample_size(10);
+    let gemm = (benchmark("gemm").unwrap().a)(Dataset::Large);
+    let correlation = (benchmark("correlation").unwrap().a)(Dataset::Large);
+    let cloudsc = full_model(CloudscVariant::Fortran, CloudscSizes::mini());
+    group.bench_function("gemm_a_large", |b| b.iter(|| analyze(&gemm)));
+    group.bench_function("correlation_a_large", |b| b.iter(|| analyze(&correlation)));
+    group.bench_function("cloudsc_fortran_mini", |b| b.iter(|| analyze(&cloudsc)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dependence);
+criterion_main!(benches);

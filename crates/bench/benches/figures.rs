@@ -1,0 +1,25 @@
+//! Criterion micro-benchmark: end-to-end cost of producing one figure row
+//! (schedule + cost-model evaluation), to bound the total harness runtime.
+
+use baselines::{clang_schedule, polly_schedule};
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::{CostModel, MachineConfig};
+use polybench::{benchmark, Dataset};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_rows");
+    group.sample_size(10);
+    let model = CostModel::new(MachineConfig::xeon_e5_2680v3(), 12);
+    let gemm = (benchmark("gemm").unwrap().a)(Dataset::Large);
+    let heat = (benchmark("heat-3d").unwrap().b)(Dataset::Large);
+    group.bench_function("fig6_row_gemm_polly", |b| {
+        b.iter(|| model.estimate(&polly_schedule(&gemm)).seconds)
+    });
+    group.bench_function("fig7_row_heat3d_clang", |b| {
+        b.iter(|| model.estimate(&clang_schedule(&heat)).seconds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

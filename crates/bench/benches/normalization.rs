@@ -1,0 +1,29 @@
+//! Criterion micro-benchmark: throughput of the normalization pipeline
+//! (maximal fission + stride minimization) on representative kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use normalize::Normalizer;
+use polybench::cloudsc::{full_model, CloudscSizes, CloudscVariant};
+use polybench::{benchmark, Dataset};
+
+fn bench_normalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalization");
+    group.sample_size(10);
+    let gemm = (benchmark("gemm").unwrap().a)(Dataset::Medium);
+    let fdtd = (benchmark("fdtd-2d").unwrap().b)(Dataset::Medium);
+    let cloudsc = full_model(CloudscVariant::Dace, CloudscSizes::mini());
+    let normalizer = Normalizer::new();
+    group.bench_function("gemm_a_medium", |b| {
+        b.iter(|| normalizer.run(&gemm).unwrap())
+    });
+    group.bench_function("fdtd2d_b_medium", |b| {
+        b.iter(|| normalizer.run(&fdtd).unwrap())
+    });
+    group.bench_function("cloudsc_dace_mini", |b| {
+        b.iter(|| normalizer.run(&cloudsc).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalization);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark: the daisy scheduling pipeline (idiom detection,
+//! database query, recipe application) and the evolutionary search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daisy::search::EvolutionarySearch;
+use daisy::{DaisyConfig, DaisyScheduler, SearchConfig};
+use machine::CostModel;
+use polybench::{benchmark, Dataset};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_search");
+    group.sample_size(10);
+    let gemm = (benchmark("gemm").unwrap().a)(Dataset::Medium);
+    let mut seeded = DaisyScheduler::new(DaisyConfig::default());
+    seeded.seed_from_programs(std::slice::from_ref(&gemm));
+    group.bench_function("daisy_schedule_gemm_medium", |b| {
+        b.iter(|| seeded.schedule(&gemm))
+    });
+    let model = CostModel::sequential();
+    let search = EvolutionarySearch::new(SearchConfig {
+        epochs: 1,
+        iterations_per_epoch: 1,
+        population: 6,
+        seed: 1,
+    });
+    group.bench_function("evolutionary_search_one_epoch", |b| {
+        b.iter(|| search.search(&gemm, 0, &model, &[]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

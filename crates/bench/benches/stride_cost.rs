@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark / ablation: the two stride cost functions of the
+//! normalization pass (sum of strides vs out-of-order access count) evaluated
+//! over all permutations of a GEMM nest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loop_ir::expr::Var;
+use normalize::{out_of_order_cost, sum_of_strides};
+use polybench::{benchmark, Dataset};
+
+fn bench_stride(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stride_cost");
+    group.sample_size(20);
+    let gemm = (benchmark("gemm").unwrap().a)(Dataset::Large);
+    let nest = gemm.loop_nests()[0].clone();
+    let orders: Vec<Vec<Var>> = [
+        ["i", "j", "k"],
+        ["i", "k", "j"],
+        ["j", "i", "k"],
+        ["j", "k", "i"],
+        ["k", "i", "j"],
+        ["k", "j", "i"],
+    ]
+    .iter()
+    .map(|o| o.iter().map(|s| Var::new(*s)).collect())
+    .collect();
+    group.bench_function("sum_of_strides_all_orders", |b| {
+        b.iter(|| {
+            orders
+                .iter()
+                .map(|o| sum_of_strides(&gemm, &nest, o))
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+    group.bench_function("out_of_order_cost_all_orders", |b| {
+        b.iter(|| {
+            orders
+                .iter()
+                .map(|o| out_of_order_cost(&nest, o))
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stride);
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! The transfer-tuning database: embeddings mapped to optimization recipes.
+
+use loop_ir::expr::Var;
+use transforms::{Recipe, Transform};
+
+use crate::embedding::PerformanceEmbedding;
+
+/// One database entry: the embedding of a (normalized) loop nest, the
+/// transformation recipe found for it, and the perfect-chain iterators the
+/// recipe refers to (so it can be re-targeted to a structurally equal nest
+/// with different iterator names).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatabaseEntry {
+    /// Embedding of the source loop nest.
+    pub embedding: PerformanceEmbedding,
+    /// The optimization recipe.
+    pub recipe: Recipe,
+    /// Perfect-chain iterators of the source nest, outermost first.
+    pub chain: Vec<Var>,
+    /// Name of the benchmark / nest the entry was derived from.
+    pub source: String,
+}
+
+/// The database queried by the daisy scheduler: pairs of performance
+/// embeddings and transformation sequences (§4, "Seeding a Scheduling
+/// Database").
+#[derive(Debug, Clone, Default)]
+pub struct TuningDatabase {
+    entries: Vec<DatabaseEntry>,
+}
+
+impl TuningDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        TuningDatabase::default()
+    }
+
+    /// Adds an entry.
+    pub fn insert(&mut self, entry: DatabaseEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the database has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[DatabaseEntry] {
+        &self.entries
+    }
+
+    /// The `k` entries whose embeddings are closest (Euclidean distance) to
+    /// the query, closest first.
+    pub fn nearest(&self, query: &PerformanceEmbedding, k: usize) -> Vec<&DatabaseEntry> {
+        let mut scored: Vec<(f64, &DatabaseEntry)> = self
+            .entries
+            .iter()
+            .map(|e| (e.embedding.distance(query), e))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(k).map(|(_, e)| e).collect()
+    }
+
+    /// Re-targets an entry's recipe to a nest whose perfect chain is
+    /// `target_chain`, by positional renaming of loop iterators (including
+    /// the `<iter>_t` tile-loop names a tiling step introduces).
+    ///
+    /// Returns `None` when the chains have different lengths — the situation
+    /// the paper describes as "if a B loop nest is not reduced to an A loop
+    /// nest, the transformation sequence cannot be applied".
+    pub fn retarget(entry: &DatabaseEntry, target_chain: &[Var]) -> Option<Recipe> {
+        if entry.chain.len() != target_chain.len() {
+            return None;
+        }
+        let rename = |v: &Var| -> Var {
+            if let Some(pos) = entry.chain.iter().position(|c| c == v) {
+                return target_chain[pos].clone();
+            }
+            // Tile loops introduced by a Tile step are named "<iter>_t".
+            if let Some(stripped) = v.as_str().strip_suffix("_t") {
+                if let Some(pos) = entry.chain.iter().position(|c| c.as_str() == stripped) {
+                    return Var::new(format!("{}_t", target_chain[pos]));
+                }
+            }
+            v.clone()
+        };
+        let steps = entry
+            .recipe
+            .steps
+            .iter()
+            .map(|step| match step {
+                Transform::Interchange { order } => Transform::Interchange {
+                    order: order.iter().map(&rename).collect(),
+                },
+                Transform::Tile { tiles } => Transform::Tile {
+                    tiles: tiles.iter().map(|(v, s)| (rename(v), *s)).collect(),
+                },
+                Transform::Parallelize { iter } => Transform::Parallelize { iter: rename(iter) },
+                Transform::Vectorize { iter } => Transform::Vectorize { iter: rename(iter) },
+                Transform::Unroll { iter, factor } => Transform::Unroll {
+                    iter: rename(iter),
+                    factor: *factor,
+                },
+                Transform::Fission => Transform::Fission,
+            })
+            .collect();
+        Some(Recipe {
+            steps,
+            blas: entry.recipe.blas,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::parser::parse_program;
+
+    fn gemm(n: i64, order: &str) -> loop_ir::Program {
+        let l: Vec<char> = order.chars().collect();
+        parse_program(&format!(
+            "program gemm {{ param N = {n};
+               array A[N][N]; array B[N][N]; array C[N][N];
+               for {} in 0..N {{ for {} in 0..N {{ for {} in 0..N {{
+                 C[i][j] += A[i][k] * B[k][j];
+               }} }} }} }}",
+            l[0], l[1], l[2]
+        ))
+        .unwrap()
+    }
+
+    fn entry(source: &str, n: i64) -> DatabaseEntry {
+        let p = gemm(n, "ikj");
+        let nest = p.loop_nests()[0];
+        DatabaseEntry {
+            embedding: PerformanceEmbedding::of_nest(&p, nest),
+            recipe: Recipe::new(vec![
+                Transform::Tile {
+                    tiles: vec![(Var::new("i"), 32), (Var::new("k"), 32), (Var::new("j"), 32)],
+                },
+                Transform::Parallelize {
+                    iter: Var::new("i_t"),
+                },
+                Transform::Vectorize {
+                    iter: Var::new("j"),
+                },
+            ]),
+            chain: vec![Var::new("i"), Var::new("k"), Var::new("j")],
+            source: source.to_string(),
+        }
+    }
+
+    #[test]
+    fn nearest_returns_closest_first() {
+        let mut db = TuningDatabase::new();
+        db.insert(entry("gemm-small", 32));
+        db.insert(entry("gemm-large", 1024));
+        assert_eq!(db.len(), 2);
+        let q = gemm(900, "ikj");
+        let q_emb = PerformanceEmbedding::of_nest(&q, q.loop_nests()[0]);
+        let nearest = db.nearest(&q_emb, 2);
+        assert_eq!(nearest[0].source, "gemm-large");
+        assert_eq!(nearest.len(), 2);
+        assert_eq!(db.nearest(&q_emb, 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_database_returns_nothing() {
+        let db = TuningDatabase::new();
+        assert!(db.is_empty());
+        let q = gemm(64, "ikj");
+        let q_emb = PerformanceEmbedding::of_nest(&q, q.loop_nests()[0]);
+        assert!(db.nearest(&q_emb, 3).is_empty());
+    }
+
+    #[test]
+    fn retarget_renames_iterators_positionally() {
+        let e = entry("gemm", 64);
+        let target = vec![Var::new("a"), Var::new("b"), Var::new("c")];
+        let recipe = TuningDatabase::retarget(&e, &target).unwrap();
+        let text = recipe.to_string();
+        assert!(text.contains("tile(a:32, b:32, c:32)"));
+        assert!(text.contains("parallelize(a_t)"));
+        assert!(text.contains("vectorize(c)"));
+    }
+
+    #[test]
+    fn retarget_rejects_mismatched_depth() {
+        let e = entry("gemm", 64);
+        assert!(TuningDatabase::retarget(&e, &[Var::new("a"), Var::new("b")]).is_none());
+    }
+
+    #[test]
+    fn retargeted_recipe_applies_to_renamed_nest() {
+        let e = entry("gemm", 64);
+        // The same canonical GEMM but with loops named x, y, z.
+        let p = parse_program(
+            "program gemm2 { param N = 64;
+               array A[N][N]; array B[N][N]; array C[N][N];
+               for x in 0..N { for y in 0..N { for z in 0..N {
+                 C[x][z] += A[x][y] * B[y][z];
+               } } } }",
+        )
+        .unwrap();
+        let nest = p.loop_nests()[0];
+        let chain: Vec<Var> = nest.nested_iterators();
+        let recipe = TuningDatabase::retarget(&e, &chain).unwrap();
+        let out = recipe.apply_to_nest(nest).unwrap();
+        assert_eq!(out.len(), 1);
+        let tiled = out[0].as_loop().unwrap();
+        assert!(tiled.schedule.parallel);
+        assert_eq!(tiled.iter, Var::new("x_t"));
+    }
+}

@@ -1,0 +1,393 @@
+//! Evolutionary search for optimization recipes.
+//!
+//! The paper seeds the scheduling database with recipes found by an
+//! evolutionary search: the first epoch's population is seeded by the
+//! Tiramisu auto-scheduler's proposals and refined through mutation and
+//! selection with the measured runtime as fitness; later epochs re-seed from
+//! the best recipes of the most similar loop nests (§4). Here the fitness is
+//! the analytical cost model and the initial proposals come from a
+//! structural proposal generator playing the role of the Tiramisu seed.
+
+use loop_ir::expr::Var;
+use loop_ir::nest::{Loop, Node};
+use loop_ir::program::Program;
+use machine::CostModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use transforms::{perfect_chain, Recipe, Transform};
+
+/// Configuration of the evolutionary search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Number of epochs (the paper uses three).
+    pub epochs: usize,
+    /// Refinement iterations per epoch (the paper uses three).
+    pub iterations_per_epoch: usize,
+    /// Population size.
+    pub population: usize,
+    /// RNG seed, fixed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            epochs: 3,
+            iterations_per_epoch: 3,
+            population: 12,
+            seed: 0xDA15F,
+        }
+    }
+}
+
+/// The evolutionary recipe search.
+#[derive(Debug, Clone)]
+pub struct EvolutionarySearch {
+    config: SearchConfig,
+    tile_sizes: Vec<i64>,
+}
+
+impl Default for EvolutionarySearch {
+    fn default() -> Self {
+        EvolutionarySearch::new(SearchConfig::default())
+    }
+}
+
+impl EvolutionarySearch {
+    /// Creates a search with the given configuration.
+    pub fn new(config: SearchConfig) -> Self {
+        EvolutionarySearch {
+            config,
+            tile_sizes: vec![16, 32, 64, 128],
+        }
+    }
+
+    /// Searches for the best recipe for `nest_index`-th top-level nest of the
+    /// program, seeding the population with `seeds` (recipes of similar loop
+    /// nests in later epochs, or the proposal generator's candidates) and
+    /// evaluating fitness with `model`.
+    ///
+    /// Returns the best recipe found together with its estimated runtime.
+    pub fn search(
+        &self,
+        program: &Program,
+        nest_index: usize,
+        model: &CostModel,
+        seeds: &[Recipe],
+    ) -> (Recipe, f64) {
+        let Some(Node::Loop(nest)) = program.body.get(nest_index) else {
+            return (Recipe::identity(), f64::INFINITY);
+        };
+        let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let mut population: Vec<Recipe> = Vec::new();
+        population.push(Recipe::identity());
+        population.extend(self.proposals(nest));
+        population.extend(seeds.iter().cloned());
+        population.truncate(self.config.population.max(4));
+
+        let fitness = |recipe: &Recipe| -> f64 {
+            evaluate_recipe(program, nest_index, recipe, model).unwrap_or(f64::INFINITY)
+        };
+
+        let mut scored: Vec<(f64, Recipe)> = population
+            .into_iter()
+            .map(|r| (fitness(&r), r))
+            .collect();
+        sort_by_fitness(&mut scored);
+
+        for _epoch in 0..self.config.epochs.max(1) {
+            for _iter in 0..self.config.iterations_per_epoch.max(1) {
+                // Keep the better half, refill with mutations of survivors.
+                let keep = (scored.len() / 2).max(2);
+                scored.truncate(keep);
+                let survivors: Vec<Recipe> = scored.iter().map(|(_, r)| r.clone()).collect();
+                while scored.len() < self.config.population.max(4) {
+                    let parent = survivors
+                        .choose(&mut rng)
+                        .cloned()
+                        .unwrap_or_else(Recipe::identity);
+                    let child = self.mutate(&parent, &chain, &mut rng);
+                    let f = fitness(&child);
+                    scored.push((f, child));
+                }
+                sort_by_fitness(&mut scored);
+            }
+            // Re-seed the next epoch with fresh mutations of the incumbent,
+            // mirroring the paper's re-seeding from the most similar nests.
+            let best = scored[0].1.clone();
+            let reseed = self.mutate(&best, &chain, &mut rng);
+            let f = fitness(&reseed);
+            scored.push((f, reseed));
+            sort_by_fitness(&mut scored);
+        }
+        let (best_time, best) = (scored[0].0, scored[0].1.clone());
+        (best, best_time)
+    }
+
+    /// Structural proposals playing the role of the Tiramisu-seeded initial
+    /// population: combinations of outer-loop parallelization, innermost
+    /// vectorization and square tiling.
+    pub fn proposals(&self, nest: &Loop) -> Vec<Recipe> {
+        let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
+        let mut out = Vec::new();
+        if chain.is_empty() {
+            return out;
+        }
+        let outer = chain[0].clone();
+        let inner = chain[chain.len() - 1].clone();
+        out.push(Recipe::new(vec![Transform::Parallelize {
+            iter: outer.clone(),
+        }]));
+        out.push(Recipe::new(vec![Transform::Vectorize {
+            iter: inner.clone(),
+        }]));
+        out.push(Recipe::new(vec![
+            Transform::Parallelize { iter: outer.clone() },
+            Transform::Vectorize { iter: inner.clone() },
+        ]));
+        if chain.len() >= 2 {
+            for &tile in &[32i64, 64] {
+                let tiles: Vec<(Var, i64)> = chain.iter().cloned().map(|v| (v, tile)).collect();
+                out.push(Recipe::new(vec![
+                    Transform::Tile { tiles },
+                    Transform::Parallelize {
+                        iter: Var::new(format!("{outer}_t")),
+                    },
+                    Transform::Vectorize { iter: inner.clone() },
+                ]));
+            }
+        }
+        out
+    }
+
+    fn mutate(&self, parent: &Recipe, chain: &[Var], rng: &mut StdRng) -> Recipe {
+        let mut steps = parent.steps.clone();
+        if chain.is_empty() {
+            return parent.clone();
+        }
+        let choice = rng.gen_range(0..4);
+        match choice {
+            // Toggle parallelization of the outermost loop (or its tile loop).
+            0 => {
+                let has_par = steps
+                    .iter()
+                    .any(|s| matches!(s, Transform::Parallelize { .. }));
+                if has_par {
+                    steps.retain(|s| !matches!(s, Transform::Parallelize { .. }));
+                } else {
+                    let target = if steps.iter().any(|s| matches!(s, Transform::Tile { .. })) {
+                        Var::new(format!("{}_t", chain[0]))
+                    } else {
+                        chain[0].clone()
+                    };
+                    steps.push(Transform::Parallelize { iter: target });
+                }
+            }
+            // Toggle vectorization of the innermost loop.
+            1 => {
+                let has_vec = steps
+                    .iter()
+                    .any(|s| matches!(s, Transform::Vectorize { .. }));
+                if has_vec {
+                    steps.retain(|s| !matches!(s, Transform::Vectorize { .. }));
+                } else {
+                    steps.push(Transform::Vectorize {
+                        iter: chain[chain.len() - 1].clone(),
+                    });
+                }
+            }
+            // Add / resize tiling.
+            2 => {
+                let size = *self.tile_sizes.choose(rng).unwrap_or(&32);
+                steps.retain(|s| !matches!(s, Transform::Tile { .. }));
+                if chain.len() >= 2 && rng.gen_bool(0.8) {
+                    let tiles: Vec<(Var, i64)> =
+                        chain.iter().cloned().map(|v| (v, size)).collect();
+                    // Tiling must run before annotations that reference tile
+                    // loops; put it first and re-point parallelization.
+                    steps.insert(0, Transform::Tile { tiles });
+                    for s in steps.iter_mut() {
+                        if let Transform::Parallelize { iter } = s {
+                            if !iter.as_str().ends_with("_t") && chain.contains(iter) {
+                                *iter = Var::new(format!("{iter}_t"));
+                            }
+                        }
+                    }
+                } else {
+                    // Tiling removed: re-point parallelization back to the
+                    // original loops.
+                    for s in steps.iter_mut() {
+                        if let Transform::Parallelize { iter } = s {
+                            if let Some(stripped) = iter.as_str().strip_suffix("_t") {
+                                *iter = Var::new(stripped);
+                            }
+                        }
+                    }
+                }
+            }
+            // Add an unroll of the innermost loop.
+            _ => {
+                steps.retain(|s| !matches!(s, Transform::Unroll { .. }));
+                if rng.gen_bool(0.5) {
+                    steps.push(Transform::Unroll {
+                        iter: chain[chain.len() - 1].clone(),
+                        factor: *[2u32, 4, 8].choose(rng).unwrap_or(&4),
+                    });
+                }
+            }
+        }
+        Recipe { steps, blas: parent.blas }
+    }
+}
+
+fn sort_by_fitness(scored: &mut [(f64, Recipe)]) {
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+/// Applies a recipe to the `nest_index`-th top-level node of a program and
+/// returns the estimated runtime of the *whole* program, or `None` if the
+/// recipe cannot be applied.
+pub fn evaluate_recipe(
+    program: &Program,
+    nest_index: usize,
+    recipe: &Recipe,
+    model: &CostModel,
+) -> Option<f64> {
+    let candidate = apply_recipe_to_program(program, nest_index, recipe)?;
+    Some(model.estimate(&candidate).seconds)
+}
+
+/// Builds a copy of the program with the recipe applied to one top-level
+/// nest. Returns `None` when the recipe does not apply.
+pub fn apply_recipe_to_program(
+    program: &Program,
+    nest_index: usize,
+    recipe: &Recipe,
+) -> Option<Program> {
+    let Node::Loop(nest) = program.body.get(nest_index)? else {
+        return None;
+    };
+    let replacement = recipe.apply_to_nest(nest).ok()?;
+    let mut out = program.clone();
+    out.body.splice(nest_index..=nest_index, replacement);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::parser::parse_program;
+    use machine::MachineConfig;
+
+    fn gemm(n: i64) -> Program {
+        parse_program(&format!(
+            "program gemm {{ param N = {n};
+               array A[N][N]; array B[N][N]; array C[N][N];
+               for i in 0..N {{ for k in 0..N {{ for j in 0..N {{
+                 C[i][j] += A[i][k] * B[k][j];
+               }} }} }} }}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn proposals_cover_parallel_vector_tile() {
+        let p = gemm(256);
+        let search = EvolutionarySearch::default();
+        let proposals = search.proposals(p.loop_nests()[0]);
+        assert!(proposals.len() >= 4);
+        assert!(proposals
+            .iter()
+            .any(|r| r.steps.iter().any(|s| matches!(s, Transform::Tile { .. }))));
+        assert!(proposals
+            .iter()
+            .any(|r| r.steps.iter().any(|s| matches!(s, Transform::Parallelize { .. }))));
+    }
+
+    #[test]
+    fn search_beats_the_identity_schedule() {
+        let p = gemm(512);
+        let model = CostModel::new(MachineConfig::xeon_e5_2680v3(), 12);
+        let baseline = model.estimate(&p).seconds;
+        let search = EvolutionarySearch::new(SearchConfig {
+            epochs: 2,
+            iterations_per_epoch: 2,
+            population: 8,
+            seed: 7,
+        });
+        let (best, time) = search.search(&p, 0, &model, &[]);
+        assert!(time < baseline, "search ({time}) should beat identity ({baseline})");
+        assert!(!best.is_identity());
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_fixed_seed() {
+        let p = gemm(128);
+        let model = CostModel::sequential();
+        let search = EvolutionarySearch::default();
+        let (a, ta) = search.search(&p, 0, &model, &[]);
+        let (b, tb) = search.search(&p, 0, &model, &[]);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn seeds_participate_in_the_population() {
+        let p = gemm(256);
+        let model = CostModel::new(MachineConfig::xeon_e5_2680v3(), 8);
+        let seed_recipe = Recipe::new(vec![
+            Transform::Tile {
+                tiles: vec![
+                    (Var::new("i"), 64),
+                    (Var::new("k"), 64),
+                    (Var::new("j"), 64),
+                ],
+            },
+            Transform::Parallelize {
+                iter: Var::new("i_t"),
+            },
+            Transform::Vectorize {
+                iter: Var::new("j"),
+            },
+        ]);
+        let search = EvolutionarySearch::new(SearchConfig {
+            epochs: 1,
+            iterations_per_epoch: 1,
+            population: 6,
+            seed: 3,
+        });
+        let (_, with_seed) = search.search(&p, 0, &model, &[seed_recipe.clone()]);
+        let seed_time = evaluate_recipe(&p, 0, &seed_recipe, &model).unwrap();
+        assert!(with_seed <= seed_time + 1e-12);
+    }
+
+    #[test]
+    fn invalid_recipe_evaluates_to_none() {
+        let p = gemm(64);
+        let model = CostModel::sequential();
+        let bad = Recipe::new(vec![Transform::Parallelize {
+            iter: Var::new("does_not_exist"),
+        }]);
+        assert!(evaluate_recipe(&p, 0, &bad, &model).is_none());
+        assert!(apply_recipe_to_program(&p, 5, &Recipe::identity()).is_none());
+    }
+
+    #[test]
+    fn apply_recipe_replaces_only_the_target_nest() {
+        let p = parse_program(
+            "program two { param N = 32; array A[N]; array B[N];
+               for i in 0..N { A[i] = 1.0; }
+               for j in 0..N { B[j] = 2.0; } }",
+        )
+        .unwrap();
+        let recipe = Recipe::new(vec![Transform::Vectorize {
+            iter: Var::new("j"),
+        }]);
+        let out = apply_recipe_to_program(&p, 1, &recipe).unwrap();
+        assert!(!out.loop_nests()[0].schedule.vectorize);
+        assert!(out.loop_nests()[1].schedule.vectorize);
+    }
+}

@@ -1,0 +1,539 @@
+//! Building the dependence graph of a program.
+
+use std::collections::BTreeMap;
+
+use loop_ir::array::{Access, AccessKind};
+use loop_ir::expr::Var;
+use loop_ir::nest::CompId;
+use loop_ir::program::Program;
+use loop_ir::visit::CompContext;
+
+use crate::tester::{may_depend, AccessContext, LoopBound};
+use crate::types::{DepKind, Dependence, Direction};
+
+/// Fallback extent used for loops whose bounds cannot be evaluated under the
+/// program's parameter bindings. Making it large keeps the analysis
+/// conservative (more dependences, never fewer).
+const UNKNOWN_EXTENT: i64 = 1 << 20;
+
+/// The data-dependence graph of a program.
+///
+/// Nodes are the program's computations (identified by [`CompId`]); edges are
+/// [`Dependence`] records annotated with direction vectors over the common
+/// loops of the two endpoints.
+#[derive(Clone, Debug, Default)]
+pub struct DependenceGraph {
+    deps: Vec<Dependence>,
+    order: Vec<CompId>,
+}
+
+impl DependenceGraph {
+    /// All dependences.
+    pub fn all(&self) -> &[Dependence] {
+        &self.deps
+    }
+
+    /// The computations of the analyzed program in execution order.
+    pub fn computation_order(&self) -> &[CompId] {
+        &self.order
+    }
+
+    /// Dependences from `src` to `dst`.
+    pub fn between(&self, src: CompId, dst: CompId) -> Vec<&Dependence> {
+        self.deps
+            .iter()
+            .filter(|d| d.src == src && d.dst == dst)
+            .collect()
+    }
+
+    /// Dependences that involve the given computation (as source or sink).
+    pub fn involving(&self, id: CompId) -> Vec<&Dependence> {
+        self.deps
+            .iter()
+            .filter(|d| d.src == id || d.dst == id)
+            .collect()
+    }
+
+    /// Dependences that may be carried by the loop with the given iterator.
+    pub fn carried_by(&self, iter: &Var) -> Vec<&Dependence> {
+        self.deps
+            .iter()
+            .filter(|d| d.may_be_carried_by(iter))
+            .collect()
+    }
+
+    /// True if there is any dependence (in either direction) between the two
+    /// computations.
+    pub fn connected(&self, a: CompId, b: CompId) -> bool {
+        self.deps
+            .iter()
+            .any(|d| (d.src == a && d.dst == b) || (d.src == b && d.dst == a))
+    }
+
+    /// Number of dependence edges.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// True if the program has no dependences at all.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+}
+
+/// Analyzes a program and returns its dependence graph.
+///
+/// Loop bounds are evaluated under the program's concrete parameter bindings;
+/// bounds that cannot be evaluated are replaced by a very large extent, which
+/// keeps the result conservative.
+pub fn analyze(program: &Program) -> DependenceGraph {
+    let contexts = program.computation_contexts();
+    let mut graph = DependenceGraph {
+        deps: Vec::new(),
+        order: contexts.iter().map(|c| c.computation.id).collect(),
+    };
+
+    // Pre-compute numeric loop bounds per computation.
+    let loop_bounds: Vec<Vec<LoopBound>> = contexts
+        .iter()
+        .map(|ctx| {
+            ctx.loops
+                .iter()
+                .map(|l| {
+                    let lower = l.lower.eval(&program.params).unwrap_or(0);
+                    let upper = l
+                        .upper
+                        .eval(&program.params)
+                        .unwrap_or(lower + UNKNOWN_EXTENT);
+                    LoopBound::new(l.iter.clone(), lower, upper)
+                })
+                .collect()
+        })
+        .collect();
+
+    for (i, src_ctx) in contexts.iter().enumerate() {
+        for (j, dst_ctx) in contexts.iter().enumerate().skip(i) {
+            analyze_pair(
+                program,
+                src_ctx,
+                &loop_bounds[i],
+                dst_ctx,
+                &loop_bounds[j],
+                i == j,
+                &mut graph.deps,
+            );
+        }
+    }
+    graph
+}
+
+/// Common loops of two computations: the iterators shared by both loop
+/// stacks, in the source's (outermost-first) order.
+fn common_loops(a: &CompContext<'_>, b: &CompContext<'_>) -> Vec<Var> {
+    let b_iters: Vec<Var> = b.iterators();
+    a.iterators()
+        .into_iter()
+        .filter(|v| b_iters.contains(v))
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_pair(
+    program: &Program,
+    src_ctx: &CompContext<'_>,
+    src_bounds: &[LoopBound],
+    dst_ctx: &CompContext<'_>,
+    dst_bounds: &[LoopBound],
+    is_self: bool,
+    out: &mut Vec<Dependence>,
+) {
+    let common = common_loops(src_ctx, dst_ctx);
+    let src_accesses = src_ctx.computation.accesses();
+    let dst_accesses = dst_ctx.computation.accesses();
+
+    for sa in &src_accesses {
+        for da in &dst_accesses {
+            if sa.array_ref.array != da.array_ref.array {
+                continue;
+            }
+            if !sa.is_write() && !da.is_write() {
+                continue;
+            }
+            for directions in direction_vectors(common.len()) {
+                // Skip the degenerate self pair in the same iteration: it is
+                // the statement's own read-modify-write, not an ordering
+                // constraint.
+                if is_self && directions.iter().all(|d| *d == Direction::Eq) {
+                    continue;
+                }
+                let lexi = lexicographic_sign(&directions);
+                if lexi == Sign::Negative && is_self {
+                    // For a self pair the reversed vector is enumerated
+                    // anyway; skip duplicates.
+                    continue;
+                }
+                let src_acc = AccessContext {
+                    array_ref: &sa.array_ref,
+                    loops: src_bounds,
+                };
+                let dst_acc = AccessContext {
+                    array_ref: &da.array_ref,
+                    loops: dst_bounds,
+                };
+                if !may_depend(&src_acc, &dst_acc, &common, &directions, &program.params) {
+                    continue;
+                }
+                match lexi {
+                    Sign::NonNegative => out.push(make_dep(
+                        src_ctx.computation.id,
+                        dst_ctx.computation.id,
+                        sa,
+                        da,
+                        &common,
+                        directions,
+                    )),
+                    Sign::Negative => {
+                        // The dependence actually flows from dst to src with
+                        // the reversed direction vector.
+                        let reversed: Vec<Direction> =
+                            directions.iter().map(|d| reverse(*d)).collect();
+                        out.push(make_dep(
+                            dst_ctx.computation.id,
+                            src_ctx.computation.id,
+                            da,
+                            sa,
+                            &common,
+                            reversed,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn make_dep(
+    src: CompId,
+    dst: CompId,
+    src_access: &Access,
+    dst_access: &Access,
+    common: &[Var],
+    directions: Vec<Direction>,
+) -> Dependence {
+    let kind = match (src_access.kind, dst_access.kind) {
+        (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
+        (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+        (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+        (AccessKind::Read, AccessKind::Read) => unreachable!("read-read pairs are filtered"),
+    };
+    Dependence {
+        src,
+        dst,
+        kind,
+        array: src_access.array_ref.array.clone(),
+        common_loops: common.to_vec(),
+        directions,
+    }
+}
+
+fn reverse(d: Direction) -> Direction {
+    match d {
+        Direction::Lt => Direction::Gt,
+        Direction::Gt => Direction::Lt,
+        Direction::Eq => Direction::Eq,
+        Direction::Any => Direction::Any,
+    }
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Sign {
+    NonNegative,
+    Negative,
+}
+
+/// The lexicographic sign of a direction vector: negative when the first
+/// non-`=` component is `>`, i.e. the "dependence" would point backwards in
+/// time and must be reported with source and destination swapped.
+fn lexicographic_sign(directions: &[Direction]) -> Sign {
+    for d in directions {
+        match d {
+            Direction::Eq => continue,
+            Direction::Lt | Direction::Any => return Sign::NonNegative,
+            Direction::Gt => return Sign::Negative,
+        }
+    }
+    Sign::NonNegative
+}
+
+/// Enumerates all direction vectors over `n` common loops.
+fn direction_vectors(n: usize) -> Vec<Vec<Direction>> {
+    let mut out = vec![Vec::new()];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(out.len() * 3);
+        for prefix in &out {
+            for d in [Direction::Eq, Direction::Lt, Direction::Gt] {
+                let mut v = prefix.clone();
+                v.push(d);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Evaluated loop bounds for every computation of a program, exposed for
+/// reuse by downstream crates (e.g. the cost model).
+pub fn evaluated_bounds(program: &Program) -> BTreeMap<CompId, Vec<LoopBound>> {
+    program
+        .computation_contexts()
+        .iter()
+        .map(|ctx| {
+            let bounds = ctx
+                .loops
+                .iter()
+                .map(|l| {
+                    let lower = l.lower.eval(&program.params).unwrap_or(0);
+                    let upper = l
+                        .upper
+                        .eval(&program.params)
+                        .unwrap_or(lower + UNKNOWN_EXTENT);
+                    LoopBound::new(l.iter.clone(), lower, upper)
+                })
+                .collect();
+            (ctx.computation.id, bounds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::prelude::*;
+
+    fn gemm() -> Program {
+        let init = Computation::assign(
+            "S0",
+            ArrayRef::new("C", vec![var("i"), var("j")]),
+            load("C", vec![var("i"), var("j")]) * param("beta"),
+        );
+        let update = Computation::reduction(
+            "S1",
+            ArrayRef::new("C", vec![var("i"), var("j")]),
+            BinOp::Add,
+            load("A", vec![var("i"), var("k")]) * load("B", vec![var("k"), var("j")]),
+        );
+        Program::builder("gemm")
+            .param("NI", 8)
+            .param("NJ", 8)
+            .param("NK", 8)
+            .scalar("beta", 1.2)
+            .array("A", &["NI", "NK"])
+            .array("B", &["NK", "NJ"])
+            .array("C", &["NI", "NJ"])
+            .node(for_loop(
+                "i",
+                cst(0),
+                var("NI"),
+                vec![for_loop(
+                    "j",
+                    cst(0),
+                    var("NJ"),
+                    vec![
+                        Node::Computation(init),
+                        for_loop("k", cst(0), var("NK"), vec![Node::Computation(update)]),
+                    ],
+                )],
+            ))
+            .build()
+            .unwrap()
+    }
+
+    fn stencil() -> Program {
+        // for t { for i in 1..N-1 { B[i] = A[i-1]+A[i+1]; } for i { A[i] = B[i]; } }
+        let s0 = Computation::assign(
+            "S0",
+            ArrayRef::new("B", vec![var("i")]),
+            load("A", vec![var("i") - cst(1)]) + load("A", vec![var("i") + cst(1)]),
+        );
+        let s1 = Computation::assign(
+            "S1",
+            ArrayRef::new("A", vec![var("i2")]),
+            load("B", vec![var("i2")]),
+        );
+        Program::builder("jacobi1d")
+            .param("T", 4)
+            .param("N", 16)
+            .array("A", &["N"])
+            .array("B", &["N"])
+            .node(for_loop(
+                "t",
+                cst(0),
+                var("T"),
+                vec![
+                    for_loop("i", cst(1), var("N") - cst(1), vec![Node::Computation(s0)]),
+                    for_loop("i2", cst(1), var("N") - cst(1), vec![Node::Computation(s1)]),
+                ],
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn gemm_reduction_carried_only_by_k() {
+        let p = gemm();
+        let g = analyze(&p);
+        assert!(!g.is_empty());
+        assert!(g.carried_by(&Var::new("i")).is_empty());
+        assert!(g.carried_by(&Var::new("j")).is_empty());
+        assert!(!g.carried_by(&Var::new("k")).is_empty());
+    }
+
+    #[test]
+    fn gemm_init_to_update_flow_dependence() {
+        let p = gemm();
+        let g = analyze(&p);
+        let comps = p.computations();
+        let (init, update) = (comps[0].id, comps[1].id);
+        let deps = g.between(init, update);
+        assert!(!deps.is_empty());
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.is_loop_independent()));
+        // No dependence can flow backwards from the update to the init in a
+        // later iteration of i or j (subscripts are identical).
+        assert!(g.between(update, init).is_empty());
+    }
+
+    #[test]
+    fn stencil_flow_and_anti_dependences() {
+        let p = stencil();
+        let g = analyze(&p);
+        let comps = p.computations();
+        let (s0, s1) = (comps[0].id, comps[1].id);
+        // B produced by S0 and consumed by S1 in the same t iteration.
+        assert!(g
+            .between(s0, s1)
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.array == Var::new("B")));
+        // A written by S1 and read by S0 in a *later* t iteration: flow from
+        // S1 to S0 carried by t.
+        assert!(g
+            .between(s1, s0)
+            .iter()
+            .any(|d| d.kind == DepKind::Flow
+                && d.array == Var::new("A")
+                && d.may_be_carried_by(&Var::new("t"))));
+        // The t loop therefore carries dependences, i is clean for S0.
+        assert!(!g.carried_by(&Var::new("t")).is_empty());
+        assert!(g.carried_by(&Var::new("i")).is_empty());
+    }
+
+    #[test]
+    fn independent_statements_have_no_edges() {
+        let s0 = Computation::assign(
+            "S0",
+            ArrayRef::new("B", vec![var("i")]),
+            load("A", vec![var("i")]),
+        );
+        let s1 = Computation::assign(
+            "S1",
+            ArrayRef::new("D", vec![var("i")]),
+            load("E", vec![var("i")]),
+        );
+        let p = Program::builder("indep")
+            .param("N", 8)
+            .array("A", &["N"])
+            .array("B", &["N"])
+            .array("D", &["N"])
+            .array("E", &["N"])
+            .node(for_loop(
+                "i",
+                cst(0),
+                var("N"),
+                vec![Node::Computation(s0), Node::Computation(s1)],
+            ))
+            .build()
+            .unwrap();
+        let g = analyze(&p);
+        let comps = p.computations();
+        assert!(!g.connected(comps[0].id, comps[1].id));
+        assert!(g.is_empty());
+        assert_eq!(g.computation_order().len(), 2);
+    }
+
+    #[test]
+    fn shared_read_does_not_create_dependence() {
+        let s0 = Computation::assign(
+            "S0",
+            ArrayRef::new("B", vec![var("i")]),
+            load("A", vec![var("i")]),
+        );
+        let s1 = Computation::assign(
+            "S1",
+            ArrayRef::new("D", vec![var("i")]),
+            load("A", vec![var("i")]),
+        );
+        let p = Program::builder("shared_read")
+            .param("N", 8)
+            .array("A", &["N"])
+            .array("B", &["N"])
+            .array("D", &["N"])
+            .node(for_loop(
+                "i",
+                cst(0),
+                var("N"),
+                vec![Node::Computation(s0), Node::Computation(s1)],
+            ))
+            .build()
+            .unwrap();
+        let g = analyze(&p);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn involving_lists_both_endpoints() {
+        let p = gemm();
+        let g = analyze(&p);
+        let comps = p.computations();
+        assert!(!g.involving(comps[0].id).is_empty());
+        assert!(!g.involving(comps[1].id).is_empty());
+        assert_eq!(g.len(), g.all().len());
+    }
+
+    #[test]
+    fn evaluated_bounds_match_params() {
+        let p = gemm();
+        let bounds = evaluated_bounds(&p);
+        let update_id = p.computations()[1].id;
+        let b = &bounds[&update_id];
+        assert_eq!(b.len(), 3);
+        assert!(b.iter().all(|lb| lb.lower == 0 && lb.upper == 8));
+    }
+
+    #[test]
+    fn cross_nest_dependences_have_no_common_loops() {
+        // for i { A[i] = ... }  for j { B[j] = A[j] } — flow dependence with
+        // an empty direction vector.
+        let s0 = Computation::assign("S0", ArrayRef::new("A", vec![var("i")]), fconst(1.0));
+        let s1 = Computation::assign(
+            "S1",
+            ArrayRef::new("B", vec![var("j")]),
+            load("A", vec![var("j")]),
+        );
+        let p = Program::builder("two_nests")
+            .param("N", 8)
+            .array("A", &["N"])
+            .array("B", &["N"])
+            .node(for_loop("i", cst(0), var("N"), vec![Node::Computation(s0)]))
+            .node(for_loop("j", cst(0), var("N"), vec![Node::Computation(s1)]))
+            .build()
+            .unwrap();
+        let g = analyze(&p);
+        let comps = p.computations();
+        let deps = g.between(comps[0].id, comps[1].id);
+        assert_eq!(deps.len(), 1);
+        assert!(deps[0].common_loops.is_empty());
+        assert!(deps[0].is_loop_independent());
+    }
+}

@@ -1,0 +1,425 @@
+//! Pairwise dependence testing between two affine accesses.
+//!
+//! The test is a combination of the GCD test and Banerjee-style bound
+//! checking, applied dimension by dimension under the constraints implied by
+//! a candidate direction vector over the common loops. It is conservative:
+//! it answers "no dependence" only when a dimension's equation provably has
+//! no solution inside the iteration box.
+
+use std::collections::BTreeMap;
+
+use loop_ir::array::ArrayRef;
+use loop_ir::expr::{AffineExpr, Var};
+
+use crate::types::Direction;
+
+/// The numeric iteration range of one loop, `[lower, upper)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LoopBound {
+    /// Loop iterator.
+    pub iter: Var,
+    /// Inclusive lower bound.
+    pub lower: i64,
+    /// Exclusive upper bound.
+    pub upper: i64,
+}
+
+impl LoopBound {
+    /// Creates a loop bound record.
+    pub fn new(iter: impl Into<Var>, lower: i64, upper: i64) -> Self {
+        LoopBound {
+            iter: iter.into(),
+            lower,
+            upper,
+        }
+    }
+
+    fn extent(&self) -> i64 {
+        (self.upper - self.lower).max(0)
+    }
+}
+
+/// An access together with the loops enclosing its computation (outermost
+/// first) with evaluated numeric bounds.
+#[derive(Clone, Debug)]
+pub struct AccessContext<'a> {
+    /// The accessed element.
+    pub array_ref: &'a ArrayRef,
+    /// All enclosing loops of the access, outermost first.
+    pub loops: &'a [LoopBound],
+}
+
+/// A symbolic variable of the dependence system with its inclusive range.
+#[derive(Clone, Debug)]
+struct BoxVar {
+    name: Var,
+    min: i64,
+    max: i64,
+}
+
+/// Tests whether a dependence from `src` to `dst` may exist under the given
+/// direction vector over `common` loops (outermost first).
+///
+/// `params` supplies values for symbolic parameters appearing in subscripts.
+/// Returns `true` (conservatively) if any subscript is not affine.
+pub fn may_depend(
+    src: &AccessContext<'_>,
+    dst: &AccessContext<'_>,
+    common: &[Var],
+    directions: &[Direction],
+    params: &BTreeMap<Var, i64>,
+) -> bool {
+    debug_assert_eq!(common.len(), directions.len());
+    if src.array_ref.array != dst.array_ref.array
+        || src.array_ref.rank() != dst.array_ref.rank()
+    {
+        return false;
+    }
+    let (Some(src_idx), Some(dst_idx)) = (
+        src.array_ref.affine_indices_with(params),
+        dst.array_ref.affine_indices_with(params),
+    ) else {
+        // Non-affine subscripts: assume the dependence exists.
+        return true;
+    };
+
+    // Build the variable space: source iterators `s$name`, destination
+    // iterators `d$name`, and per-direction distance variables `delta$name`.
+    let mut vars: Vec<BoxVar> = Vec::new();
+    // substitutions applied to source-side / destination-side subscripts.
+    let mut src_subst: BTreeMap<Var, AffineExpr> = BTreeMap::new();
+    let mut dst_subst: BTreeMap<Var, AffineExpr> = BTreeMap::new();
+
+    for bound in src.loops {
+        if !common.contains(&bound.iter) {
+            let name = Var::new(format!("s${}", bound.iter));
+            vars.push(BoxVar {
+                name: name.clone(),
+                min: bound.lower,
+                max: bound.upper - 1,
+            });
+            src_subst.insert(bound.iter.clone(), AffineExpr::var(name));
+        }
+    }
+    for bound in dst.loops {
+        if !common.contains(&bound.iter) {
+            let name = Var::new(format!("d${}", bound.iter));
+            vars.push(BoxVar {
+                name: name.clone(),
+                min: bound.lower,
+                max: bound.upper - 1,
+            });
+            dst_subst.insert(bound.iter.clone(), AffineExpr::var(name));
+        }
+    }
+
+    for (iter, dir) in common.iter().zip(directions) {
+        let src_bound = src.loops.iter().find(|b| &b.iter == iter);
+        let dst_bound = dst.loops.iter().find(|b| &b.iter == iter);
+        let (Some(sb), Some(db)) = (src_bound, dst_bound) else {
+            // A "common" loop not actually enclosing both sides: treat both
+            // sides as independent box variables.
+            continue;
+        };
+        let base = Var::new(format!("s${}", iter));
+        vars.push(BoxVar {
+            name: base.clone(),
+            min: sb.lower,
+            max: sb.upper - 1,
+        });
+        src_subst.insert(iter.clone(), AffineExpr::var(base.clone()));
+        match dir {
+            Direction::Eq => {
+                dst_subst.insert(iter.clone(), AffineExpr::var(base));
+            }
+            Direction::Lt => {
+                // dst iteration strictly later: d = s + delta, delta >= 1.
+                let extent = sb.extent().max(db.extent());
+                if extent <= 1 {
+                    return false;
+                }
+                let delta = Var::new(format!("delta${}", iter));
+                vars.push(BoxVar {
+                    name: delta.clone(),
+                    min: 1,
+                    max: extent - 1,
+                });
+                dst_subst.insert(
+                    iter.clone(),
+                    AffineExpr::var(base) + AffineExpr::var(delta),
+                );
+            }
+            Direction::Gt => {
+                // dst iteration strictly earlier: d = s - delta, delta >= 1.
+                let extent = sb.extent().max(db.extent());
+                if extent <= 1 {
+                    return false;
+                }
+                let delta = Var::new(format!("delta${}", iter));
+                vars.push(BoxVar {
+                    name: delta.clone(),
+                    min: 1,
+                    max: extent - 1,
+                });
+                dst_subst.insert(
+                    iter.clone(),
+                    AffineExpr::var(base) - AffineExpr::var(delta),
+                );
+            }
+            Direction::Any => {
+                let name = Var::new(format!("d${}", iter));
+                vars.push(BoxVar {
+                    name: name.clone(),
+                    min: db.lower,
+                    max: db.upper - 1,
+                });
+                dst_subst.insert(iter.clone(), AffineExpr::var(name));
+            }
+        }
+    }
+
+    // Per-dimension equation: rewrite(src subscript) - rewrite(dst subscript) = 0.
+    for (sdim, ddim) in src_idx.iter().zip(&dst_idx) {
+        let lhs = rewrite(sdim, &src_subst, params);
+        let rhs = rewrite(ddim, &dst_subst, params);
+        let diff = lhs - rhs;
+        if !equation_may_have_solution(&diff, &vars) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Rewrites an affine subscript: substitutes parameters with their numeric
+/// values and iterators with their renamed/shifted forms.
+fn rewrite(
+    subscript: &AffineExpr,
+    subst: &BTreeMap<Var, AffineExpr>,
+    params: &BTreeMap<Var, i64>,
+) -> AffineExpr {
+    let mut out = AffineExpr::constant(subscript.constant_part());
+    for (v, c) in subscript.terms() {
+        if let Some(replacement) = subst.get(v) {
+            out = out + replacement.scaled(c);
+        } else if let Some(value) = params.get(v) {
+            out = out + AffineExpr::constant(c * value);
+        } else {
+            // Unknown symbol: keep it as an unconstrained variable with a
+            // huge range, handled conservatively below.
+            out = out + AffineExpr::var(v.clone()).scaled(c);
+        }
+    }
+    out
+}
+
+/// GCD test plus interval (Banerjee) test: does `expr = 0` possibly have an
+/// integer solution with every variable inside its box?
+fn equation_may_have_solution(expr: &AffineExpr, vars: &[BoxVar]) -> bool {
+    let constant = expr.constant_part();
+    let coefficients: Vec<(Var, i64)> = expr.terms().map(|(v, c)| (v.clone(), c)).collect();
+    if coefficients.is_empty() {
+        return constant == 0;
+    }
+
+    // GCD test.
+    let gcd = coefficients
+        .iter()
+        .map(|(_, c)| c.unsigned_abs())
+        .fold(0u64, gcd_u64);
+    if gcd != 0 && constant.unsigned_abs() % gcd != 0 {
+        return false;
+    }
+
+    // Interval test: min/max of the expression over the box must straddle 0.
+    let mut min = constant as i128;
+    let mut max = constant as i128;
+    for (v, c) in &coefficients {
+        let (lo, hi) = vars
+            .iter()
+            .find(|b| &b.name == v)
+            .map(|b| (b.min as i128, b.max as i128))
+            // Unknown symbols (unbound parameters) are unbounded.
+            .unwrap_or((i64::MIN as i128 / 4, i64::MAX as i128 / 4));
+        if lo > hi {
+            return false;
+        }
+        let c = *c as i128;
+        if c >= 0 {
+            min += c * lo;
+            max += c * hi;
+        } else {
+            min += c * hi;
+            max += c * lo;
+        }
+    }
+    min <= 0 && 0 <= max
+}
+
+fn gcd_u64(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd_u64(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::expr::{cst, var};
+
+    fn params() -> BTreeMap<Var, i64> {
+        BTreeMap::new()
+    }
+
+    fn bounds(list: &[(&str, i64, i64)]) -> Vec<LoopBound> {
+        list.iter().map(|(n, lo, hi)| LoopBound::new(*n, *lo, *hi)).collect()
+    }
+
+    #[test]
+    fn identical_access_same_iteration_depends() {
+        let r = ArrayRef::new("A", vec![var("i")]);
+        let loops = bounds(&[("i", 0, 10)]);
+        let src = AccessContext { array_ref: &r, loops: &loops };
+        let dst = AccessContext { array_ref: &r, loops: &loops };
+        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Eq], &params()));
+    }
+
+    #[test]
+    fn same_subscript_cannot_depend_across_iterations() {
+        // A[i] written in iteration i is never touched by iteration i' != i.
+        let r = ArrayRef::new("A", vec![var("i")]);
+        let loops = bounds(&[("i", 0, 10)]);
+        let src = AccessContext { array_ref: &r, loops: &loops };
+        let dst = AccessContext { array_ref: &r, loops: &loops };
+        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Lt], &params()));
+        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Gt], &params()));
+    }
+
+    #[test]
+    fn shifted_subscript_depends_across_one_iteration() {
+        // S1 writes A[i]; S2 reads A[i-1]: flow carried with distance 1.
+        let w = ArrayRef::new("A", vec![var("i")]);
+        let r = ArrayRef::new("A", vec![var("i") - cst(1)]);
+        let loops = bounds(&[("i", 0, 10)]);
+        let src = AccessContext { array_ref: &w, loops: &loops };
+        let dst = AccessContext { array_ref: &r, loops: &loops };
+        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Lt], &params()));
+        // but not in the same iteration and not backwards at distance >= 1.
+        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Eq], &params()));
+        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Gt], &params()));
+    }
+
+    #[test]
+    fn gcd_test_rejects_parity_mismatch() {
+        // A[2*i] vs A[2*i + 1] can never alias.
+        let even = ArrayRef::new("A", vec![var("i") * cst(2)]);
+        let odd = ArrayRef::new("A", vec![var("i") * cst(2) + cst(1)]);
+        let loops = bounds(&[("i", 0, 100)]);
+        let src = AccessContext { array_ref: &even, loops: &loops };
+        let dst = AccessContext { array_ref: &odd, loops: &loops };
+        for dir in [Direction::Lt, Direction::Eq, Direction::Gt, Direction::Any] {
+            assert!(!may_depend(&src, &dst, &[Var::new("i")], &[dir], &params()));
+        }
+    }
+
+    #[test]
+    fn banerjee_rejects_disjoint_ranges() {
+        // A[i] vs A[i + 100] with i in [0, 50): ranges never overlap.
+        let a = ArrayRef::new("A", vec![var("i")]);
+        let b = ArrayRef::new("A", vec![var("i") + cst(100)]);
+        let loops = bounds(&[("i", 0, 50)]);
+        let src = AccessContext { array_ref: &a, loops: &loops };
+        let dst = AccessContext { array_ref: &b, loops: &loops };
+        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Any], &params()));
+    }
+
+    #[test]
+    fn two_dimensional_independent_dims() {
+        // A[i][j] and A[i][j+1]: dependence only with j carrying distance 1.
+        let w = ArrayRef::new("A", vec![var("i"), var("j")]);
+        let r = ArrayRef::new("A", vec![var("i"), var("j") + cst(1)]);
+        let loops = bounds(&[("i", 0, 10), ("j", 0, 10)]);
+        let src = AccessContext { array_ref: &w, loops: &loops };
+        let dst = AccessContext { array_ref: &r, loops: &loops };
+        let common = [Var::new("i"), Var::new("j")];
+        assert!(may_depend(&src, &dst, &common, &[Direction::Eq, Direction::Gt], &params()));
+        assert!(!may_depend(&src, &dst, &common, &[Direction::Eq, Direction::Eq], &params()));
+        assert!(!may_depend(&src, &dst, &common, &[Direction::Lt, Direction::Eq], &params()));
+    }
+
+    #[test]
+    fn reduction_target_depends_across_non_subscript_loop() {
+        // C[i] += ... inside loops i, k: the k loop relates identical C[i]
+        // elements across iterations.
+        let c = ArrayRef::new("C", vec![var("i")]);
+        let loops = bounds(&[("i", 0, 10), ("k", 0, 10)]);
+        let src = AccessContext { array_ref: &c, loops: &loops };
+        let dst = AccessContext { array_ref: &c, loops: &loops };
+        let common = [Var::new("i"), Var::new("k")];
+        assert!(may_depend(&src, &dst, &common, &[Direction::Eq, Direction::Lt], &params()));
+        assert!(!may_depend(&src, &dst, &common, &[Direction::Lt, Direction::Eq], &params()));
+    }
+
+    #[test]
+    fn different_arrays_never_depend() {
+        let a = ArrayRef::new("A", vec![var("i")]);
+        let b = ArrayRef::new("B", vec![var("i")]);
+        let loops = bounds(&[("i", 0, 10)]);
+        let src = AccessContext { array_ref: &a, loops: &loops };
+        let dst = AccessContext { array_ref: &b, loops: &loops };
+        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Any], &params()));
+    }
+
+    #[test]
+    fn uncommon_loops_are_existential() {
+        // src: A[k] inside loop k (0..10); dst: A[j] inside loop j (20..30).
+        // The ranges of the subscripts are disjoint, so no dependence.
+        let a = ArrayRef::new("A", vec![var("k")]);
+        let b = ArrayRef::new("A", vec![var("j")]);
+        let src_loops = bounds(&[("k", 0, 10)]);
+        let dst_loops = bounds(&[("j", 20, 30)]);
+        let src = AccessContext { array_ref: &a, loops: &src_loops };
+        let dst = AccessContext { array_ref: &b, loops: &dst_loops };
+        assert!(!may_depend(&src, &dst, &[], &[], &params()));
+        // Overlapping ranges do depend.
+        let dst_loops2 = bounds(&[("j", 5, 30)]);
+        let dst2 = AccessContext { array_ref: &b, loops: &dst_loops2 };
+        assert!(may_depend(&src, &dst2, &[], &[], &params()));
+    }
+
+    #[test]
+    fn parameters_are_substituted() {
+        // A[i + N] vs A[i] with N = 100 and i in [0, 50): disjoint.
+        let shifted = ArrayRef::new("A", vec![var("i") + var("N")]);
+        let plain = ArrayRef::new("A", vec![var("i")]);
+        let loops = bounds(&[("i", 0, 50)]);
+        let src = AccessContext { array_ref: &shifted, loops: &loops };
+        let dst = AccessContext { array_ref: &plain, loops: &loops };
+        let mut p = BTreeMap::new();
+        p.insert(Var::new("N"), 100);
+        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Any], &p));
+        // Without a binding the parameter is unbounded, so be conservative.
+        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Any], &params()));
+    }
+
+    #[test]
+    fn non_affine_subscript_is_conservative() {
+        let nonaffine = ArrayRef::new("A", vec![var("i") * var("i")]);
+        let plain = ArrayRef::new("A", vec![var("i")]);
+        let loops = bounds(&[("i", 0, 10)]);
+        let src = AccessContext { array_ref: &nonaffine, loops: &loops };
+        let dst = AccessContext { array_ref: &plain, loops: &loops };
+        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Lt], &params()));
+    }
+
+    #[test]
+    fn single_trip_loop_cannot_carry() {
+        let r = ArrayRef::new("A", vec![cst(0)]);
+        let loops = bounds(&[("i", 0, 1)]);
+        let src = AccessContext { array_ref: &r, loops: &loops };
+        let dst = AccessContext { array_ref: &r, loops: &loops };
+        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Lt], &params()));
+        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Eq], &params()));
+    }
+}

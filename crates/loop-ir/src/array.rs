@@ -1,0 +1,337 @@
+//! Array declarations and array references (memory accesses).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::expr::{AffineExpr, Expr, Var};
+
+/// A data container declaration: a multi-dimensional array of `f64` elements
+/// with symbolic extents, laid out in row-major order.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Array {
+    /// Name of the array.
+    pub name: Var,
+    /// Symbolic extent of every dimension, outermost first.
+    pub dims: Vec<Expr>,
+    /// Size of one element in bytes. Defaults to 8 (`f64`).
+    pub elem_size: usize,
+}
+
+impl Array {
+    /// Creates an array with `f64` elements.
+    pub fn new(name: impl Into<Var>, dims: Vec<Expr>) -> Self {
+        Array {
+            name: name.into(),
+            dims,
+            elem_size: 8,
+        }
+    }
+
+    /// Creates an array from named parameters as extents, the common case for
+    /// PolyBench-style kernels (`A[NI][NK]`).
+    pub fn with_param_dims(name: impl Into<Var>, dims: &[&str]) -> Self {
+        Array::new(
+            name,
+            dims.iter().map(|d| Expr::Var(Var::new(*d))).collect(),
+        )
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Concrete extents under the given parameter bindings.
+    ///
+    /// Returns `None` if any extent cannot be evaluated.
+    pub fn concrete_dims(&self, bindings: &BTreeMap<Var, i64>) -> Option<Vec<i64>> {
+        self.dims.iter().map(|d| d.eval(bindings)).collect()
+    }
+
+    /// Total number of elements under the given bindings.
+    pub fn len(&self, bindings: &BTreeMap<Var, i64>) -> Option<i64> {
+        self.concrete_dims(bindings)
+            .map(|dims| dims.iter().product())
+    }
+
+    /// Returns true if the array has zero elements under the given bindings.
+    pub fn is_empty(&self, bindings: &BTreeMap<Var, i64>) -> bool {
+        self.len(bindings).map(|n| n == 0).unwrap_or(true)
+    }
+
+    /// Row-major linear strides (in elements) for each dimension, under the
+    /// given parameter bindings. The innermost (last) dimension has stride 1.
+    pub fn strides(&self, bindings: &BTreeMap<Var, i64>) -> Option<Vec<i64>> {
+        let dims = self.concrete_dims(bindings)?;
+        let mut strides = vec![1i64; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
+        Some(strides)
+    }
+
+    /// Total size in bytes under the given bindings.
+    pub fn size_bytes(&self, bindings: &BTreeMap<Var, i64>) -> Option<i64> {
+        Some(self.len(bindings)? * self.elem_size as i64)
+    }
+}
+
+impl fmt::Display for Array {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for d in &self.dims {
+            write!(f, "[{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A reference to an array element: the array name plus one symbolic
+/// subscript expression per dimension.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ArrayRef {
+    /// Name of the accessed array.
+    pub array: Var,
+    /// Subscript expressions, outermost dimension first.
+    pub indices: Vec<Expr>,
+}
+
+impl ArrayRef {
+    /// Creates an array reference.
+    pub fn new(array: impl Into<Var>, indices: Vec<Expr>) -> Self {
+        ArrayRef {
+            array: array.into(),
+            indices,
+        }
+    }
+
+    /// Creates a rank-0 (scalar container) reference.
+    pub fn scalar(array: impl Into<Var>) -> Self {
+        ArrayRef {
+            array: array.into(),
+            indices: Vec::new(),
+        }
+    }
+
+    /// Number of subscripts.
+    pub fn rank(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Affine normal form of every subscript, or `None` if any subscript is
+    /// not affine.
+    pub fn affine_indices(&self) -> Option<Vec<AffineExpr>> {
+        self.indices.iter().map(|e| e.as_affine()).collect()
+    }
+
+    /// Affine normal form of every subscript after folding the given
+    /// parameter bindings into the expressions (so `A[b * KLEV + k]` with a
+    /// known `KLEV` is still affine in `b` and `k`).
+    pub fn affine_indices_with(
+        &self,
+        bindings: &BTreeMap<Var, i64>,
+    ) -> Option<Vec<AffineExpr>> {
+        self.indices
+            .iter()
+            .map(|e| e.fold_params(bindings).as_affine())
+            .collect()
+    }
+
+    /// The linearized (row-major) access offset as an affine expression over
+    /// iterators and parameters, given the array declaration and parameter
+    /// bindings used to resolve dimension extents.
+    ///
+    /// This is the quantity whose per-iterator coefficients are the access
+    /// strides minimized by the stride-minimization normalization pass.
+    pub fn linear_offset(
+        &self,
+        array: &Array,
+        bindings: &BTreeMap<Var, i64>,
+    ) -> Option<AffineExpr> {
+        let strides = array.strides(bindings)?;
+        if strides.len() != self.indices.len() {
+            return None;
+        }
+        let mut acc = AffineExpr::constant(0);
+        for (idx, stride) in self.indices.iter().zip(strides) {
+            acc = acc + idx.fold_params(bindings).as_affine()?.scaled(stride);
+        }
+        Some(acc)
+    }
+
+    /// Substitutes a variable in every subscript.
+    pub fn substitute(&self, v: &Var, replacement: &Expr) -> ArrayRef {
+        ArrayRef {
+            array: self.array.clone(),
+            indices: self
+                .indices
+                .iter()
+                .map(|e| e.substitute(v, replacement))
+                .collect(),
+        }
+    }
+
+    /// Returns true if any subscript references the variable.
+    pub fn uses_var(&self, v: &Var) -> bool {
+        self.indices.iter().any(|e| e.uses_var(v))
+    }
+}
+
+impl fmt::Display for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.array)?;
+        for idx in &self.indices {
+            write!(f, "[{idx}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The direction of a memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// The access reads the element.
+    Read,
+    /// The access writes the element.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A memory access: an [`ArrayRef`] together with its direction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// The referenced element.
+    pub array_ref: ArrayRef,
+    /// Whether the element is read or written.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Creates a read access.
+    pub fn read(array_ref: ArrayRef) -> Self {
+        Access {
+            array_ref,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Creates a write access.
+    pub fn write(array_ref: ArrayRef) -> Self {
+        Access {
+            array_ref,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// Returns true if the access is a write.
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.array_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{cst, var};
+
+    fn bindings() -> BTreeMap<Var, i64> {
+        [(Var::new("N"), 10), (Var::new("M"), 20)].into_iter().collect()
+    }
+
+    #[test]
+    fn concrete_dims_and_len() {
+        let a = Array::with_param_dims("A", &["N", "M"]);
+        assert_eq!(a.rank(), 2);
+        assert_eq!(a.concrete_dims(&bindings()), Some(vec![10, 20]));
+        assert_eq!(a.len(&bindings()), Some(200));
+        assert_eq!(a.size_bytes(&bindings()), Some(1600));
+        assert!(!a.is_empty(&bindings()));
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let a = Array::with_param_dims("A", &["N", "M"]);
+        assert_eq!(a.strides(&bindings()), Some(vec![20, 1]));
+        let b = Array::new("B", vec![cst(4), cst(5), cst(6)]);
+        assert_eq!(b.strides(&BTreeMap::new()), Some(vec![30, 6, 1]));
+    }
+
+    #[test]
+    fn missing_binding_gives_none() {
+        let a = Array::with_param_dims("A", &["K"]);
+        assert_eq!(a.concrete_dims(&bindings()), None);
+        assert!(a.is_empty(&bindings()));
+    }
+
+    #[test]
+    fn linear_offset_reflects_row_major_layout() {
+        let a = Array::with_param_dims("A", &["N", "M"]);
+        // A[i][j] -> 20*i + j under N=10, M=20.
+        let r = ArrayRef::new("A", vec![var("i"), var("j")]);
+        let off = r.linear_offset(&a, &bindings()).unwrap();
+        assert_eq!(off.coefficient(&Var::new("i")), 20);
+        assert_eq!(off.coefficient(&Var::new("j")), 1);
+    }
+
+    #[test]
+    fn linear_offset_transposed_access() {
+        let a = Array::with_param_dims("A", &["N", "M"]);
+        // A[j][i] -> 20*j + i: the stride along i is now 1.
+        let r = ArrayRef::new("A", vec![var("j"), var("i")]);
+        let off = r.linear_offset(&a, &bindings()).unwrap();
+        assert_eq!(off.coefficient(&Var::new("i")), 1);
+        assert_eq!(off.coefficient(&Var::new("j")), 20);
+    }
+
+    #[test]
+    fn linear_offset_rank_mismatch_is_none() {
+        let a = Array::with_param_dims("A", &["N", "M"]);
+        let r = ArrayRef::new("A", vec![var("i")]);
+        assert_eq!(r.linear_offset(&a, &bindings()), None);
+    }
+
+    #[test]
+    fn array_ref_substitution() {
+        let r = ArrayRef::new("A", vec![var("i") + cst(1), var("j")]);
+        let s = r.substitute(&Var::new("i"), &var("ii"));
+        assert!(s.uses_var(&Var::new("ii")));
+        assert!(!s.uses_var(&Var::new("i")));
+        assert!(s.uses_var(&Var::new("j")));
+    }
+
+    #[test]
+    fn scalar_reference_has_rank_zero() {
+        let r = ArrayRef::scalar("tmp");
+        assert_eq!(r.rank(), 0);
+        assert_eq!(format!("{r}"), "tmp");
+    }
+
+    #[test]
+    fn access_kinds() {
+        let r = ArrayRef::new("A", vec![var("i")]);
+        assert!(Access::write(r.clone()).is_write());
+        assert!(!Access::read(r).is_write());
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Array::with_param_dims("A", &["N", "M"]);
+        assert_eq!(format!("{a}"), "A[N][M]");
+        let r = ArrayRef::new("A", vec![var("i"), var("j") + cst(1)]);
+        assert_eq!(format!("{r}"), "A[i][(j + 1)]");
+    }
+}

@@ -1,0 +1,126 @@
+//! Error types shared across the IR crate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+/// Errors produced while constructing, parsing or validating IR programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A referenced array was never declared on the program.
+    UnknownArray(String),
+    /// A referenced symbolic parameter was never declared on the program.
+    UnknownParam(String),
+    /// A loop iterator or scalar variable was used outside any defining loop.
+    UnknownVariable(String),
+    /// An array was indexed with the wrong number of subscripts.
+    RankMismatch {
+        /// Name of the array being accessed.
+        array: String,
+        /// Declared rank of the array.
+        expected: usize,
+        /// Number of subscripts in the offending access.
+        found: usize,
+    },
+    /// Two loops in the same nest reuse the same iterator name.
+    DuplicateIterator(String),
+    /// An entity (array, parameter) was declared twice.
+    DuplicateDeclaration(String),
+    /// An expression that was required to be affine is not.
+    NotAffine(String),
+    /// A loop has a non-positive step, which the IR does not model.
+    InvalidStep {
+        /// Iterator of the loop with the invalid step.
+        iterator: String,
+        /// The offending step value.
+        step: i64,
+    },
+    /// Textual frontend error with line/column information.
+    Parse {
+        /// Human-readable description of the syntax error.
+        message: String,
+        /// 1-based line of the error.
+        line: usize,
+        /// 1-based column of the error.
+        column: usize,
+    },
+    /// Catch-all for invalid program structure.
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownArray(name) => write!(f, "unknown array `{name}`"),
+            IrError::UnknownParam(name) => write!(f, "unknown parameter `{name}`"),
+            IrError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            IrError::RankMismatch {
+                array,
+                expected,
+                found,
+            } => write!(
+                f,
+                "array `{array}` has rank {expected} but was indexed with {found} subscripts"
+            ),
+            IrError::DuplicateIterator(name) => {
+                write!(f, "iterator `{name}` is reused by a nested loop")
+            }
+            IrError::DuplicateDeclaration(name) => {
+                write!(f, "`{name}` is declared more than once")
+            }
+            IrError::NotAffine(expr) => write!(f, "expression `{expr}` is not affine"),
+            IrError::InvalidStep { iterator, step } => {
+                write!(f, "loop over `{iterator}` has invalid step {step}")
+            }
+            IrError::Parse {
+                message,
+                line,
+                column,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            IrError::Invalid(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = IrError::RankMismatch {
+            array: "A".into(),
+            expected: 2,
+            found: 3,
+        };
+        let text = err.to_string();
+        assert!(text.contains('A'));
+        assert!(text.contains('2'));
+        assert!(text.contains('3'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            IrError::UnknownArray("A".into()),
+            IrError::UnknownArray("A".into())
+        );
+        assert_ne!(
+            IrError::UnknownArray("A".into()),
+            IrError::UnknownArray("B".into())
+        );
+    }
+
+    #[test]
+    fn parse_error_reports_location() {
+        let err = IrError::Parse {
+            message: "expected `{`".into(),
+            line: 3,
+            column: 14,
+        };
+        assert!(err.to_string().contains("3:14"));
+    }
+}

@@ -1,0 +1,677 @@
+//! Symbolic integer expressions used for loop bounds and array subscripts.
+//!
+//! The paper's lifted representation keeps loop iterators, domains and data
+//! accesses as symbolic expressions (§3.1). [`Expr`] is that expression
+//! language: integer arithmetic over loop iterators and symbolic size
+//! parameters. [`AffineExpr`] is its affine normal form, which is what the
+//! dependence analysis and the stride computation operate on.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An interned-by-value variable name: a loop iterator or a symbolic
+/// parameter such as an array extent.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Var(String);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Var(name.into())
+    }
+
+    /// Returns the variable name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(value: &str) -> Self {
+        Var::new(value)
+    }
+}
+
+impl From<String> for Var {
+    fn from(value: String) -> Self {
+        Var(value)
+    }
+}
+
+impl From<&Var> for Var {
+    fn from(value: &Var) -> Self {
+        value.clone()
+    }
+}
+
+/// A symbolic integer expression.
+///
+/// Expressions appear as loop bounds and as array subscripts. They are
+/// deliberately small: the normalization passes only require affine
+/// subscripts, but `Div`/`Mod`/`Min`/`Max` are kept so that tiled loops and
+/// boundary conditions can be represented faithfully.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i64),
+    /// A loop iterator or symbolic parameter.
+    Var(Var),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two expressions.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Euclidean (floor) division.
+    Div(Box<Expr>, Box<Expr>),
+    /// Euclidean remainder.
+    Mod(Box<Expr>, Box<Expr>),
+    /// Minimum of two expressions.
+    Min(Box<Expr>, Box<Expr>),
+    /// Maximum of two expressions.
+    Max(Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+}
+
+/// Builds a variable reference expression.
+///
+/// ```
+/// use loop_ir::expr::{var, Expr, Var};
+/// assert_eq!(var("i"), Expr::Var(Var::new("i")));
+/// ```
+pub fn var(name: impl Into<Var>) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// Builds an integer constant expression.
+///
+/// ```
+/// use loop_ir::expr::{cst, Expr};
+/// assert_eq!(cst(4), Expr::Const(4));
+/// ```
+pub fn cst(value: i64) -> Expr {
+    Expr::Const(value)
+}
+
+impl Expr {
+    /// Evaluates the expression under the given variable bindings.
+    ///
+    /// Returns `None` if a variable is unbound or a division by zero occurs.
+    pub fn eval(&self, bindings: &BTreeMap<Var, i64>) -> Option<i64> {
+        match self {
+            Expr::Const(c) => Some(*c),
+            Expr::Var(v) => bindings.get(v).copied(),
+            Expr::Add(a, b) => Some(a.eval(bindings)? + b.eval(bindings)?),
+            Expr::Sub(a, b) => Some(a.eval(bindings)? - b.eval(bindings)?),
+            Expr::Mul(a, b) => Some(a.eval(bindings)? * b.eval(bindings)?),
+            Expr::Div(a, b) => {
+                let d = b.eval(bindings)?;
+                if d == 0 {
+                    None
+                } else {
+                    Some(a.eval(bindings)?.div_euclid(d))
+                }
+            }
+            Expr::Mod(a, b) => {
+                let d = b.eval(bindings)?;
+                if d == 0 {
+                    None
+                } else {
+                    Some(a.eval(bindings)?.rem_euclid(d))
+                }
+            }
+            Expr::Min(a, b) => Some(a.eval(bindings)?.min(b.eval(bindings)?)),
+            Expr::Max(a, b) => Some(a.eval(bindings)?.max(b.eval(bindings)?)),
+            Expr::Neg(a) => Some(-a.eval(bindings)?),
+        }
+    }
+
+    /// Collects all variables referenced by the expression.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Mod(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Neg(a) => a.collect_vars(out),
+        }
+    }
+
+    /// Returns true if the expression references the given variable.
+    pub fn uses_var(&self, v: &Var) -> bool {
+        match self {
+            Expr::Const(_) => false,
+            Expr::Var(w) => w == v,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Mod(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => a.uses_var(v) || b.uses_var(v),
+            Expr::Neg(a) => a.uses_var(v),
+        }
+    }
+
+    /// Substitutes every occurrence of `v` by `replacement`.
+    pub fn substitute(&self, v: &Var, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Const(_) => self.clone(),
+            Expr::Var(w) => {
+                if w == v {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(a.substitute(v, replacement)),
+                Box::new(b.substitute(v, replacement)),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(a.substitute(v, replacement)),
+                Box::new(b.substitute(v, replacement)),
+            ),
+            Expr::Mul(a, b) => Expr::Mul(
+                Box::new(a.substitute(v, replacement)),
+                Box::new(b.substitute(v, replacement)),
+            ),
+            Expr::Div(a, b) => Expr::Div(
+                Box::new(a.substitute(v, replacement)),
+                Box::new(b.substitute(v, replacement)),
+            ),
+            Expr::Mod(a, b) => Expr::Mod(
+                Box::new(a.substitute(v, replacement)),
+                Box::new(b.substitute(v, replacement)),
+            ),
+            Expr::Min(a, b) => Expr::Min(
+                Box::new(a.substitute(v, replacement)),
+                Box::new(b.substitute(v, replacement)),
+            ),
+            Expr::Max(a, b) => Expr::Max(
+                Box::new(a.substitute(v, replacement)),
+                Box::new(b.substitute(v, replacement)),
+            ),
+            Expr::Neg(a) => Expr::Neg(Box::new(a.substitute(v, replacement))),
+        }
+    }
+
+    /// Substitutes every variable that has a binding with its constant value
+    /// and simplifies the result. Used to fold symbolic size parameters away
+    /// before affine analysis.
+    pub fn fold_params(&self, bindings: &BTreeMap<Var, i64>) -> Expr {
+        let mut out = self.clone();
+        for v in self.vars() {
+            if let Some(value) = bindings.get(&v) {
+                out = out.substitute(&v, &Expr::Const(*value));
+            }
+        }
+        out.simplify()
+    }
+
+    /// Performs constant folding and identity simplifications.
+    pub fn simplify(&self) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => self.clone(),
+            Expr::Add(a, b) => match (a.simplify(), b.simplify()) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x + y),
+                (Expr::Const(0), rhs) => rhs,
+                (lhs, Expr::Const(0)) => lhs,
+                (lhs, rhs) => Expr::Add(Box::new(lhs), Box::new(rhs)),
+            },
+            Expr::Sub(a, b) => match (a.simplify(), b.simplify()) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x - y),
+                (lhs, Expr::Const(0)) => lhs,
+                (lhs, rhs) if lhs == rhs => Expr::Const(0),
+                (lhs, rhs) => Expr::Sub(Box::new(lhs), Box::new(rhs)),
+            },
+            Expr::Mul(a, b) => match (a.simplify(), b.simplify()) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x * y),
+                (Expr::Const(0), _) | (_, Expr::Const(0)) => Expr::Const(0),
+                (Expr::Const(1), rhs) => rhs,
+                (lhs, Expr::Const(1)) => lhs,
+                (lhs, rhs) => Expr::Mul(Box::new(lhs), Box::new(rhs)),
+            },
+            Expr::Div(a, b) => match (a.simplify(), b.simplify()) {
+                (Expr::Const(x), Expr::Const(y)) if y != 0 => Expr::Const(x.div_euclid(y)),
+                (lhs, Expr::Const(1)) => lhs,
+                (lhs, rhs) => Expr::Div(Box::new(lhs), Box::new(rhs)),
+            },
+            Expr::Mod(a, b) => match (a.simplify(), b.simplify()) {
+                (Expr::Const(x), Expr::Const(y)) if y != 0 => Expr::Const(x.rem_euclid(y)),
+                (lhs, rhs) => Expr::Mod(Box::new(lhs), Box::new(rhs)),
+            },
+            Expr::Min(a, b) => match (a.simplify(), b.simplify()) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.min(y)),
+                (lhs, rhs) if lhs == rhs => lhs,
+                (lhs, rhs) => Expr::Min(Box::new(lhs), Box::new(rhs)),
+            },
+            Expr::Max(a, b) => match (a.simplify(), b.simplify()) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.max(y)),
+                (lhs, rhs) if lhs == rhs => lhs,
+                (lhs, rhs) => Expr::Max(Box::new(lhs), Box::new(rhs)),
+            },
+            Expr::Neg(a) => match a.simplify() {
+                Expr::Const(x) => Expr::Const(-x),
+                Expr::Neg(inner) => *inner,
+                other => Expr::Neg(Box::new(other)),
+            },
+        }
+    }
+
+    /// Attempts to convert the expression into its affine normal form.
+    ///
+    /// Returns `None` for non-affine expressions such as `i * j` or `i / 2`.
+    pub fn as_affine(&self) -> Option<AffineExpr> {
+        match self {
+            Expr::Const(c) => Some(AffineExpr::constant(*c)),
+            Expr::Var(v) => Some(AffineExpr::var(v.clone())),
+            Expr::Add(a, b) => Some(a.as_affine()? + b.as_affine()?),
+            Expr::Sub(a, b) => Some(a.as_affine()? - b.as_affine()?),
+            Expr::Neg(a) => Some(-a.as_affine()?),
+            Expr::Mul(a, b) => {
+                let la = a.as_affine()?;
+                let lb = b.as_affine()?;
+                if let Some(c) = la.as_constant() {
+                    Some(lb.scaled(c))
+                } else {
+                    lb.as_constant().map(|c| la.scaled(c))
+                }
+            }
+            Expr::Div(_, _) | Expr::Mod(_, _) | Expr::Min(_, _) | Expr::Max(_, _) => None,
+        }
+    }
+
+    /// Returns `Some` constant value if the expression is a literal after
+    /// simplification.
+    pub fn as_const(&self) -> Option<i64> {
+        match self.simplify() {
+            Expr::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Mod(a, b) => write!(f, "({a} % {b})"),
+            Expr::Min(a, b) => write!(f, "min({a}, {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(value: i64) -> Self {
+        Expr::Const(value)
+    }
+}
+
+impl From<Var> for Expr {
+    fn from(value: Var) -> Self {
+        Expr::Var(value)
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+/// Affine normal form of an [`Expr`]: a sum of integer-scaled variables plus
+/// a constant, `c0 + c1*v1 + c2*v2 + …`.
+///
+/// The dependence tests and the stride cost of the normalization pass operate
+/// on this form because coefficients of loop iterators are exactly the access
+/// strides along those iterators.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct AffineExpr {
+    terms: BTreeMap<Var, i64>,
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The affine expression `c`.
+    pub fn constant(c: i64) -> Self {
+        AffineExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The affine expression `1 * v`.
+    pub fn var(v: Var) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, 1);
+        AffineExpr { terms, constant: 0 }
+    }
+
+    /// Builds an affine expression from explicit terms and a constant.
+    pub fn from_terms(terms: impl IntoIterator<Item = (Var, i64)>, constant: i64) -> Self {
+        let mut out = AffineExpr::constant(constant);
+        for (v, c) in terms {
+            out.add_term(v, c);
+        }
+        out
+    }
+
+    fn add_term(&mut self, v: Var, c: i64) {
+        let entry = self.terms.entry(v).or_insert(0);
+        *entry += c;
+        if *entry == 0 {
+            // Keep the map free of zero coefficients so equality is canonical.
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, coeff)| **coeff == 0)
+                .map(|(k, _)| k.clone());
+            if let Some(key) = key {
+                self.terms.remove(&key);
+            }
+        }
+    }
+
+    /// Returns the constant offset.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// Returns the coefficient of `v` (zero if absent).
+    pub fn coefficient(&self, v: &Var) -> i64 {
+        self.terms.get(v).copied().unwrap_or(0)
+    }
+
+    /// Iterates over the non-zero terms in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Var, i64)> {
+        self.terms.iter().map(|(v, c)| (v, *c))
+    }
+
+    /// Returns the set of variables with non-zero coefficients.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.terms.keys().cloned().collect()
+    }
+
+    /// Returns `Some(c)` if the expression is the constant `c`.
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// Multiplies every coefficient and the constant by `factor`.
+    pub fn scaled(&self, factor: i64) -> Self {
+        if factor == 0 {
+            return AffineExpr::constant(0);
+        }
+        AffineExpr {
+            terms: self.terms.iter().map(|(v, c)| (v.clone(), c * factor)).collect(),
+            constant: self.constant * factor,
+        }
+    }
+
+    /// Evaluates the affine expression under the given bindings.
+    pub fn eval(&self, bindings: &BTreeMap<Var, i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (v, c) in &self.terms {
+            acc += c * bindings.get(v).copied()?;
+        }
+        Some(acc)
+    }
+
+    /// Converts back into a general [`Expr`].
+    pub fn to_expr(&self) -> Expr {
+        let mut acc = Expr::Const(self.constant);
+        for (v, c) in &self.terms {
+            let term = if *c == 1 {
+                Expr::Var(v.clone())
+            } else {
+                Expr::Mul(Box::new(Expr::Const(*c)), Box::new(Expr::Var(v.clone())))
+            };
+            acc = Expr::Add(Box::new(acc), Box::new(term));
+        }
+        acc.simplify()
+    }
+}
+
+impl Add for AffineExpr {
+    type Output = AffineExpr;
+    fn add(self, rhs: AffineExpr) -> AffineExpr {
+        let mut out = self;
+        out.constant += rhs.constant;
+        for (v, c) in rhs.terms {
+            out.add_term(v, c);
+        }
+        out
+    }
+}
+
+impl Sub for AffineExpr {
+    type Output = AffineExpr;
+    fn sub(self, rhs: AffineExpr) -> AffineExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for AffineExpr {
+    type Output = AffineExpr;
+    fn neg(self) -> AffineExpr {
+        self.scaled(-1)
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                if *c == 1 {
+                    write!(f, "{v}")?;
+                } else {
+                    write!(f, "{c}*{v}")?;
+                }
+                first = false;
+            } else if *c >= 0 {
+                write!(f, " + {c}*{v}")?;
+            } else {
+                write!(f, " - {}*{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(pairs: &[(&str, i64)]) -> BTreeMap<Var, i64> {
+        pairs.iter().map(|(k, v)| (Var::new(*k), *v)).collect()
+    }
+
+    #[test]
+    fn eval_basic_arithmetic() {
+        let e = (var("i") + cst(3)) * cst(2) - var("j");
+        assert_eq!(e.eval(&bind(&[("i", 5), ("j", 4)])), Some(12));
+    }
+
+    #[test]
+    fn eval_unbound_variable_is_none() {
+        assert_eq!(var("i").eval(&BTreeMap::new()), None);
+    }
+
+    #[test]
+    fn eval_division_by_zero_is_none() {
+        let e = Expr::Div(Box::new(cst(4)), Box::new(cst(0)));
+        assert_eq!(e.eval(&BTreeMap::new()), None);
+    }
+
+    #[test]
+    fn eval_min_max_mod() {
+        let e = Expr::Min(Box::new(var("i")), Box::new(cst(10)));
+        assert_eq!(e.eval(&bind(&[("i", 12)])), Some(10));
+        let e = Expr::Max(Box::new(var("i")), Box::new(cst(10)));
+        assert_eq!(e.eval(&bind(&[("i", 12)])), Some(12));
+        let e = Expr::Mod(Box::new(var("i")), Box::new(cst(5)));
+        assert_eq!(e.eval(&bind(&[("i", 12)])), Some(2));
+    }
+
+    #[test]
+    fn simplify_constant_folds() {
+        let e = (cst(2) + cst(3)) * var("i");
+        assert_eq!(e.simplify(), Expr::Mul(Box::new(cst(5)), Box::new(var("i"))));
+    }
+
+    #[test]
+    fn simplify_identities() {
+        assert_eq!((var("i") + cst(0)).simplify(), var("i"));
+        assert_eq!((var("i") * cst(1)).simplify(), var("i"));
+        assert_eq!((var("i") * cst(0)).simplify(), cst(0));
+        assert_eq!((var("i") - var("i")).simplify(), cst(0));
+        assert_eq!((-(-var("i"))).simplify(), var("i"));
+    }
+
+    #[test]
+    fn vars_are_collected() {
+        let e = var("i") * var("NJ") + var("j");
+        let vars = e.vars();
+        assert!(vars.contains(&Var::new("i")));
+        assert!(vars.contains(&Var::new("j")));
+        assert!(vars.contains(&Var::new("NJ")));
+        assert_eq!(vars.len(), 3);
+    }
+
+    #[test]
+    fn substitution_replaces_all_occurrences() {
+        let e = var("i") + var("i") * cst(2);
+        let s = e.substitute(&Var::new("i"), &cst(3));
+        assert_eq!(s.eval(&BTreeMap::new()), Some(9));
+    }
+
+    #[test]
+    fn affine_conversion_of_affine_expression() {
+        let e = var("i") * cst(4) + var("j") - cst(7);
+        let aff = e.as_affine().expect("affine");
+        assert_eq!(aff.coefficient(&Var::new("i")), 4);
+        assert_eq!(aff.coefficient(&Var::new("j")), 1);
+        assert_eq!(aff.constant_part(), -7);
+    }
+
+    #[test]
+    fn affine_conversion_rejects_products_of_variables() {
+        assert!((var("i") * var("j")).as_affine().is_none());
+        let div = Expr::Div(Box::new(var("i")), Box::new(cst(2)));
+        assert!(div.as_affine().is_none());
+    }
+
+    #[test]
+    fn affine_addition_cancels_terms() {
+        let a = (var("i") - var("j")).as_affine().unwrap();
+        let b = var("j").as_affine().unwrap();
+        let sum = a + b;
+        assert_eq!(sum.coefficient(&Var::new("j")), 0);
+        assert_eq!(sum.vars().len(), 1);
+    }
+
+    #[test]
+    fn affine_round_trip_through_expr() {
+        let e = var("i") * cst(3) + var("k") + cst(5);
+        let aff = e.as_affine().unwrap();
+        let back = aff.to_expr();
+        let bindings = bind(&[("i", 2), ("k", 11)]);
+        assert_eq!(e.eval(&bindings), back.eval(&bindings));
+    }
+
+    #[test]
+    fn affine_eval_matches_expr_eval() {
+        let e = var("i") * cst(100) + var("j") * cst(-3) + cst(17);
+        let aff = e.as_affine().unwrap();
+        let bindings = bind(&[("i", 7), ("j", 13)]);
+        assert_eq!(aff.eval(&bindings), e.eval(&bindings));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = var("i") * cst(2) + cst(1);
+        assert_eq!(format!("{e}"), "((i * 2) + 1)");
+        let aff = e.as_affine().unwrap();
+        assert_eq!(format!("{aff}"), "2*i + 1");
+    }
+
+    #[test]
+    fn scaled_by_zero_is_constant_zero() {
+        let aff = var("i").as_affine().unwrap().scaled(0);
+        assert_eq!(aff, AffineExpr::constant(0));
+    }
+
+    #[test]
+    fn uses_var_detects_presence() {
+        let e = var("i") + var("j") * cst(2);
+        assert!(e.uses_var(&Var::new("i")));
+        assert!(e.uses_var(&Var::new("j")));
+        assert!(!e.uses_var(&Var::new("k")));
+    }
+}

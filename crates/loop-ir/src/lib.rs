@@ -1,0 +1,80 @@
+//! # loop-ir — a symbolic loop-nest intermediate representation
+//!
+//! This crate provides the symbolic representation of loop nests that the
+//! paper *"A Priori Loop Nest Normalization: Automatic Loop Scheduling in
+//! Complex Applications"* (CGO 2025) lifts from LLVM IR before normalizing
+//! (§3, Fig. 4). Instead of lifting from LLVM IR through Polly, programs are
+//! constructed directly:
+//!
+//! * programmatically through [`builder::ProgramBuilder`] or the free
+//!   constructor helpers in [`expr`] / [`scalar`] / [`nest`],
+//! * from a C-like textual mini-language through [`parser::parse_program`],
+//! * from NumPy-style array expressions through [`numpy::NumpyProgram`],
+//!   mirroring the DaCe Python frontend used in the paper's §4.3.
+//!
+//! The representation is a tree of [`Loop`] and [`Computation`] nodes
+//! (see [`nest::Node`]), where loop bounds and memory accesses are symbolic
+//! integer expressions ([`expr::Expr`]) and computation bodies are scalar
+//! floating-point expressions over array loads ([`scalar::ScalarExpr`]).
+//!
+//! ```
+//! use loop_ir::prelude::*;
+//!
+//! // C[i][j] += A[i][k] * B[k][j]  — the GEMM update statement.
+//! let update = Computation::reduction(
+//!     "S1",
+//!     ArrayRef::new("C", vec![var("i"), var("j")]),
+//!     BinOp::Add,
+//!     load("A", vec![var("i"), var("k")]) * load("B", vec![var("k"), var("j")]),
+//! );
+//! let nest = for_loop(
+//!     "i", cst(0), var("NI"),
+//!     vec![for_loop("j", cst(0), var("NJ"),
+//!         vec![for_loop("k", cst(0), var("NK"), vec![Node::Computation(update)])])],
+//! );
+//! let program = Program::builder("gemm")
+//!     .param("NI", 8).param("NJ", 8).param("NK", 8)
+//!     .array("A", &["NI", "NK"]).array("B", &["NK", "NJ"]).array("C", &["NI", "NJ"])
+//!     .node(nest)
+//!     .build()
+//!     .expect("well-formed program");
+//! assert_eq!(program.computations().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod array;
+pub mod builder;
+pub mod error;
+pub mod expr;
+pub mod nest;
+pub mod numpy;
+pub mod parser;
+pub mod printer;
+pub mod program;
+pub mod scalar;
+pub mod visit;
+
+pub use array::{Array, ArrayRef};
+pub use builder::ProgramBuilder;
+pub use error::{IrError, Result};
+pub use expr::{AffineExpr, Expr, Var};
+pub use nest::{BlasCall, BlasKind, Computation, Loop, LoopSchedule, Node};
+pub use program::Program;
+pub use scalar::{BinOp, CmpOp, ScalarExpr, UnaryOp};
+
+/// Commonly used items, intended for glob import in downstream crates,
+/// examples and tests.
+pub mod prelude {
+    pub use crate::array::{Array, ArrayRef};
+    pub use crate::builder::ProgramBuilder;
+    pub use crate::error::{IrError, Result};
+    pub use crate::expr::{cst, var, AffineExpr, Expr, Var};
+    pub use crate::nest::{
+        for_loop, parallel_loop, BlasCall, BlasKind, Computation, Loop, LoopSchedule, Node,
+    };
+    pub use crate::program::Program;
+    pub use crate::scalar::{fconst, load, param, BinOp, CmpOp, ScalarExpr, UnaryOp};
+    pub use crate::visit::{walk_computations, walk_loops, CompContext};
+}

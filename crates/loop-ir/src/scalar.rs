@@ -1,0 +1,597 @@
+//! Scalar floating-point expressions: the right-hand sides of computations.
+//!
+//! A computation in the paper's model is "a unit of work composed of one or
+//! more instructions, where exactly one of the instructions is a write of a
+//! scalar value to a data container" (§2). [`ScalarExpr`] describes the value
+//! being written: an expression over array loads, loop iterators, symbolic
+//! scalar parameters and floating-point arithmetic.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::array::ArrayRef;
+use crate::expr::{Expr, Var};
+
+/// Binary floating-point operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Power (`a.powf(b)`).
+    Pow,
+}
+
+impl BinOp {
+    /// Applies the operator to two concrete values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::Pow => a.powf(b),
+        }
+    }
+
+    /// Returns true if the operator is associative and commutative, i.e.
+    /// usable as a reduction operator.
+    pub fn is_reduction_op(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max)
+    }
+
+    /// Identity element of the operator when used as a reduction.
+    pub fn identity(self) -> Option<f64> {
+        match self {
+            BinOp::Add => Some(0.0),
+            BinOp::Mul => Some(1.0),
+            BinOp::Min => Some(f64::INFINITY),
+            BinOp::Max => Some(f64::NEG_INFINITY),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Pow => "pow",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary floating-point operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnaryOp {
+    /// Negation.
+    Neg,
+    /// Square root.
+    Sqrt,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Absolute value.
+    Abs,
+}
+
+impl UnaryOp {
+    /// Applies the operator to a concrete value.
+    pub fn apply(self, a: f64) -> f64 {
+        match self {
+            UnaryOp::Neg => -a,
+            UnaryOp::Sqrt => a.sqrt(),
+            UnaryOp::Exp => a.exp(),
+            UnaryOp::Log => a.ln(),
+            UnaryOp::Abs => a.abs(),
+        }
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnaryOp::Neg => "-",
+            UnaryOp::Sqrt => "sqrt",
+            UnaryOp::Exp => "exp",
+            UnaryOp::Log => "log",
+            UnaryOp::Abs => "abs",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operators used by [`ScalarExpr::Select`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on two concrete values.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar floating-point expression over array loads.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ScalarExpr {
+    /// Read of an array element.
+    Load(ArrayRef),
+    /// Floating-point literal.
+    Const(f64),
+    /// A symbolic scalar parameter (e.g. `alpha`, `beta`).
+    Param(Var),
+    /// The value of a loop iterator or an integer index expression, converted
+    /// to floating point (e.g. PolyBench initializers use `(i*j) % N`).
+    Index(Expr),
+    /// Unary operation.
+    Unary(UnaryOp, Box<ScalarExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Conditional selection `if lhs cmp rhs { then } else { otherwise }`.
+    Select {
+        /// Left operand of the comparison.
+        lhs: Box<ScalarExpr>,
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// Right operand of the comparison.
+        rhs: Box<ScalarExpr>,
+        /// Value when the comparison holds.
+        then: Box<ScalarExpr>,
+        /// Value when the comparison does not hold.
+        otherwise: Box<ScalarExpr>,
+    },
+}
+
+/// Builds a load expression, the usual leaf of computation bodies.
+///
+/// ```
+/// use loop_ir::prelude::*;
+/// let e = load("A", vec![var("i"), var("k")]) * load("B", vec![var("k"), var("j")]);
+/// assert_eq!(e.loads().len(), 2);
+/// ```
+pub fn load(array: impl Into<Var>, indices: Vec<Expr>) -> ScalarExpr {
+    ScalarExpr::Load(ArrayRef::new(array, indices))
+}
+
+/// Builds a floating-point constant expression.
+pub fn fconst(value: f64) -> ScalarExpr {
+    ScalarExpr::Const(value)
+}
+
+/// Builds a reference to a symbolic scalar parameter.
+pub fn param(name: impl Into<Var>) -> ScalarExpr {
+    ScalarExpr::Param(name.into())
+}
+
+impl ScalarExpr {
+    /// Builds a min of two expressions.
+    pub fn min(self, other: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary(BinOp::Min, Box::new(self), Box::new(other))
+    }
+
+    /// Builds a max of two expressions.
+    pub fn max(self, other: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary(BinOp::Max, Box::new(self), Box::new(other))
+    }
+
+    /// Builds a square root.
+    pub fn sqrt(self) -> ScalarExpr {
+        ScalarExpr::Unary(UnaryOp::Sqrt, Box::new(self))
+    }
+
+    /// Builds an exponential.
+    pub fn exp(self) -> ScalarExpr {
+        ScalarExpr::Unary(UnaryOp::Exp, Box::new(self))
+    }
+
+    /// Builds a conditional selection.
+    pub fn select(
+        lhs: ScalarExpr,
+        cmp: CmpOp,
+        rhs: ScalarExpr,
+        then: ScalarExpr,
+        otherwise: ScalarExpr,
+    ) -> ScalarExpr {
+        ScalarExpr::Select {
+            lhs: Box::new(lhs),
+            cmp,
+            rhs: Box::new(rhs),
+            then: Box::new(then),
+            otherwise: Box::new(otherwise),
+        }
+    }
+
+    /// Collects every array load in evaluation order (left to right).
+    pub fn loads(&self) -> Vec<ArrayRef> {
+        let mut out = Vec::new();
+        self.collect_loads(&mut out);
+        out
+    }
+
+    fn collect_loads(&self, out: &mut Vec<ArrayRef>) {
+        match self {
+            ScalarExpr::Load(r) => out.push(r.clone()),
+            ScalarExpr::Const(_) | ScalarExpr::Param(_) | ScalarExpr::Index(_) => {}
+            ScalarExpr::Unary(_, a) => a.collect_loads(out),
+            ScalarExpr::Binary(_, a, b) => {
+                a.collect_loads(out);
+                b.collect_loads(out);
+            }
+            ScalarExpr::Select {
+                lhs,
+                rhs,
+                then,
+                otherwise,
+                ..
+            } => {
+                lhs.collect_loads(out);
+                rhs.collect_loads(out);
+                then.collect_loads(out);
+                otherwise.collect_loads(out);
+            }
+        }
+    }
+
+    /// Collects the names of all scalar parameters referenced.
+    pub fn params(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            ScalarExpr::Param(v) => {
+                out.insert(v.clone());
+            }
+            ScalarExpr::Load(_) | ScalarExpr::Const(_) | ScalarExpr::Index(_) => {}
+            ScalarExpr::Unary(_, a) => a.collect_params(out),
+            ScalarExpr::Binary(_, a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            ScalarExpr::Select {
+                lhs,
+                rhs,
+                then,
+                otherwise,
+                ..
+            } => {
+                lhs.collect_params(out);
+                rhs.collect_params(out);
+                then.collect_params(out);
+                otherwise.collect_params(out);
+            }
+        }
+    }
+
+    /// Collects the integer variables used in `Index` leaves and load
+    /// subscripts.
+    pub fn index_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_index_vars(&mut out);
+        out
+    }
+
+    fn collect_index_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            ScalarExpr::Load(r) => {
+                for idx in &r.indices {
+                    out.extend(idx.vars());
+                }
+            }
+            ScalarExpr::Index(e) => out.extend(e.vars()),
+            ScalarExpr::Const(_) | ScalarExpr::Param(_) => {}
+            ScalarExpr::Unary(_, a) => a.collect_index_vars(out),
+            ScalarExpr::Binary(_, a, b) => {
+                a.collect_index_vars(out);
+                b.collect_index_vars(out);
+            }
+            ScalarExpr::Select {
+                lhs,
+                rhs,
+                then,
+                otherwise,
+                ..
+            } => {
+                lhs.collect_index_vars(out);
+                rhs.collect_index_vars(out);
+                then.collect_index_vars(out);
+                otherwise.collect_index_vars(out);
+            }
+        }
+    }
+
+    /// Substitutes an integer variable inside load subscripts and `Index`
+    /// leaves (used when renaming loop iterators).
+    pub fn substitute_index(&self, v: &Var, replacement: &Expr) -> ScalarExpr {
+        match self {
+            ScalarExpr::Load(r) => ScalarExpr::Load(r.substitute(v, replacement)),
+            ScalarExpr::Index(e) => ScalarExpr::Index(e.substitute(v, replacement)),
+            ScalarExpr::Const(_) | ScalarExpr::Param(_) => self.clone(),
+            ScalarExpr::Unary(op, a) => {
+                ScalarExpr::Unary(*op, Box::new(a.substitute_index(v, replacement)))
+            }
+            ScalarExpr::Binary(op, a, b) => ScalarExpr::Binary(
+                *op,
+                Box::new(a.substitute_index(v, replacement)),
+                Box::new(b.substitute_index(v, replacement)),
+            ),
+            ScalarExpr::Select {
+                lhs,
+                cmp,
+                rhs,
+                then,
+                otherwise,
+            } => ScalarExpr::Select {
+                lhs: Box::new(lhs.substitute_index(v, replacement)),
+                cmp: *cmp,
+                rhs: Box::new(rhs.substitute_index(v, replacement)),
+                then: Box::new(then.substitute_index(v, replacement)),
+                otherwise: Box::new(otherwise.substitute_index(v, replacement)),
+            },
+        }
+    }
+
+    /// Counts the floating-point operations performed by one evaluation of
+    /// this expression (used by the cost model's FLOP accounting).
+    pub fn flop_count(&self) -> u64 {
+        match self {
+            ScalarExpr::Load(_)
+            | ScalarExpr::Const(_)
+            | ScalarExpr::Param(_)
+            | ScalarExpr::Index(_) => 0,
+            ScalarExpr::Unary(op, a) => {
+                let inner = a.flop_count();
+                match op {
+                    UnaryOp::Neg | UnaryOp::Abs => inner + 1,
+                    // Transcendental operations are counted with a typical
+                    // polynomial-evaluation cost.
+                    UnaryOp::Sqrt => inner + 4,
+                    UnaryOp::Exp | UnaryOp::Log => inner + 10,
+                }
+            }
+            ScalarExpr::Binary(op, a, b) => {
+                let inner = a.flop_count() + b.flop_count();
+                match op {
+                    BinOp::Pow => inner + 10,
+                    BinOp::Div => inner + 4,
+                    _ => inner + 1,
+                }
+            }
+            ScalarExpr::Select {
+                lhs,
+                rhs,
+                then,
+                otherwise,
+                ..
+            } => 1 + lhs.flop_count() + rhs.flop_count() + then.flop_count() + otherwise.flop_count(),
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Load(r) => write!(f, "{r}"),
+            ScalarExpr::Const(c) => write!(f, "{c}"),
+            ScalarExpr::Param(v) => write!(f, "{v}"),
+            ScalarExpr::Index(e) => write!(f, "(double){e}"),
+            ScalarExpr::Unary(UnaryOp::Neg, a) => write!(f, "(-{a})"),
+            ScalarExpr::Unary(op, a) => write!(f, "{op}({a})"),
+            ScalarExpr::Binary(BinOp::Min, a, b) => write!(f, "min({a}, {b})"),
+            ScalarExpr::Binary(BinOp::Max, a, b) => write!(f, "max({a}, {b})"),
+            ScalarExpr::Binary(BinOp::Pow, a, b) => write!(f, "pow({a}, {b})"),
+            ScalarExpr::Binary(op, a, b) => write!(f, "({a} {op} {b})"),
+            ScalarExpr::Select {
+                lhs,
+                cmp,
+                rhs,
+                then,
+                otherwise,
+            } => write!(f, "({lhs} {cmp} {rhs} ? {then} : {otherwise})"),
+        }
+    }
+}
+
+impl From<f64> for ScalarExpr {
+    fn from(value: f64) -> Self {
+        ScalarExpr::Const(value)
+    }
+}
+
+impl Add for ScalarExpr {
+    type Output = ScalarExpr;
+    fn add(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Sub for ScalarExpr {
+    type Output = ScalarExpr;
+    fn sub(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Mul for ScalarExpr {
+    type Output = ScalarExpr;
+    fn mul(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Div for ScalarExpr {
+    type Output = ScalarExpr;
+    fn div(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Neg for ScalarExpr {
+    type Output = ScalarExpr;
+    fn neg(self) -> ScalarExpr {
+        ScalarExpr::Unary(UnaryOp::Neg, Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{cst, var};
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+        assert_eq!(BinOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(BinOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(BinOp::Pow.apply(2.0, 3.0), 8.0);
+    }
+
+    #[test]
+    fn reduction_identities() {
+        assert_eq!(BinOp::Add.identity(), Some(0.0));
+        assert_eq!(BinOp::Mul.identity(), Some(1.0));
+        assert_eq!(BinOp::Sub.identity(), None);
+        assert!(BinOp::Add.is_reduction_op());
+        assert!(!BinOp::Div.is_reduction_op());
+    }
+
+    #[test]
+    fn unary_apply() {
+        assert_eq!(UnaryOp::Neg.apply(2.0), -2.0);
+        assert_eq!(UnaryOp::Sqrt.apply(9.0), 3.0);
+        assert_eq!(UnaryOp::Abs.apply(-4.0), 4.0);
+        assert!((UnaryOp::Exp.apply(0.0) - 1.0).abs() < 1e-12);
+        assert!((UnaryOp::Log.apply(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmp_apply() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(CmpOp::Le.apply(2.0, 2.0));
+        assert!(CmpOp::Gt.apply(3.0, 2.0));
+        assert!(CmpOp::Ge.apply(2.0, 2.0));
+        assert!(CmpOp::Eq.apply(2.0, 2.0));
+        assert!(CmpOp::Ne.apply(2.0, 3.0));
+    }
+
+    #[test]
+    fn loads_are_collected_in_order() {
+        let e = load("A", vec![var("i")]) * load("B", vec![var("j")]) + load("C", vec![var("k")]);
+        let loads = e.loads();
+        assert_eq!(loads.len(), 3);
+        assert_eq!(loads[0].array.as_str(), "A");
+        assert_eq!(loads[1].array.as_str(), "B");
+        assert_eq!(loads[2].array.as_str(), "C");
+    }
+
+    #[test]
+    fn params_and_index_vars() {
+        let e = param("alpha") * load("A", vec![var("i"), var("k")])
+            + ScalarExpr::Index(var("j") + cst(1));
+        assert!(e.params().contains(&Var::new("alpha")));
+        let vars = e.index_vars();
+        assert!(vars.contains(&Var::new("i")));
+        assert!(vars.contains(&Var::new("k")));
+        assert!(vars.contains(&Var::new("j")));
+    }
+
+    #[test]
+    fn substitute_index_renames_iterators() {
+        let e = load("A", vec![var("i"), var("k")]) + ScalarExpr::Index(var("i"));
+        let renamed = e.substitute_index(&Var::new("i"), &var("i0"));
+        assert!(!renamed.index_vars().contains(&Var::new("i")));
+        assert!(renamed.index_vars().contains(&Var::new("i0")));
+    }
+
+    #[test]
+    fn flop_counting() {
+        let e = load("A", vec![var("i")]) * load("B", vec![var("i")]) + fconst(1.0);
+        assert_eq!(e.flop_count(), 2);
+        let t = fconst(2.0).sqrt().exp();
+        assert_eq!(t.flop_count(), 14);
+    }
+
+    #[test]
+    fn select_display_and_loads() {
+        let e = ScalarExpr::select(
+            load("A", vec![var("i")]),
+            CmpOp::Gt,
+            fconst(0.0),
+            load("A", vec![var("i")]),
+            fconst(0.0),
+        );
+        assert_eq!(e.loads().len(), 2);
+        assert!(format!("{e}").contains('>'));
+    }
+
+    #[test]
+    fn operator_overloads_build_expected_tree() {
+        let e = fconst(1.0) + fconst(2.0) * fconst(3.0);
+        match e {
+            ScalarExpr::Binary(BinOp::Add, _, rhs) => match *rhs {
+                ScalarExpr::Binary(BinOp::Mul, _, _) => {}
+                other => panic!("expected Mul on the right, got {other:?}"),
+            },
+            other => panic!("expected Add at the root, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Traversal utilities over loop-nest trees.
+
+use crate::expr::Var;
+use crate::nest::{Computation, Loop, Node};
+
+/// A computation together with its enclosing loops, outermost first.
+///
+/// This corresponds to the paper's notation `comp[i, j, k]`: a computation
+/// nested inside loops `i`, `j`, `k` where `i` is outermost.
+#[derive(Clone, Debug)]
+pub struct CompContext<'a> {
+    /// The computation.
+    pub computation: &'a Computation,
+    /// The enclosing loops, outermost first.
+    pub loops: Vec<&'a Loop>,
+}
+
+impl<'a> CompContext<'a> {
+    /// Iterator variables of the enclosing loops, outermost first.
+    pub fn iterators(&self) -> Vec<Var> {
+        self.loops.iter().map(|l| l.iter.clone()).collect()
+    }
+
+    /// Nesting depth of the computation.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+}
+
+/// Collects every computation of a node sequence with its loop context, in
+/// execution order.
+pub fn walk_computations(nodes: &[Node]) -> Vec<CompContext<'_>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<&Loop> = Vec::new();
+    for node in nodes {
+        walk_node(node, &mut stack, &mut out);
+    }
+    out
+}
+
+fn walk_node<'a>(node: &'a Node, stack: &mut Vec<&'a Loop>, out: &mut Vec<CompContext<'a>>) {
+    match node {
+        Node::Loop(l) => {
+            stack.push(l);
+            for n in &l.body {
+                walk_node(n, stack, out);
+            }
+            stack.pop();
+        }
+        Node::Computation(c) => out.push(CompContext {
+            computation: c,
+            loops: stack.clone(),
+        }),
+        Node::Call(_) => {}
+    }
+}
+
+/// Collects every loop of a node sequence in pre-order.
+pub fn walk_loops(nodes: &[Node]) -> Vec<&Loop> {
+    let mut out = Vec::new();
+    for node in nodes {
+        collect_loops(node, &mut out);
+    }
+    out
+}
+
+fn collect_loops<'a>(node: &'a Node, out: &mut Vec<&'a Loop>) {
+    if let Node::Loop(l) = node {
+        out.push(l);
+        for n in &l.body {
+            collect_loops(n, out);
+        }
+    }
+}
+
+/// Applies a mutation to every loop of a node tree (pre-order).
+pub fn for_each_loop_mut(nodes: &mut [Node], f: &mut impl FnMut(&mut Loop)) {
+    for node in nodes {
+        if let Node::Loop(l) = node {
+            f(l);
+            for_each_loop_mut(&mut l.body, f);
+        }
+    }
+}
+
+/// Applies a mutation to every computation of a node tree (execution order).
+pub fn for_each_computation_mut(nodes: &mut [Node], f: &mut impl FnMut(&mut Computation)) {
+    for node in nodes {
+        match node {
+            Node::Loop(l) => for_each_computation_mut(&mut l.body, f),
+            Node::Computation(c) => f(c),
+            Node::Call(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayRef;
+    use crate::expr::{cst, var};
+    use crate::nest::for_loop;
+    use crate::scalar::{fconst, load};
+
+    fn two_statement_nest() -> Vec<Node> {
+        let s1 = Computation::assign(
+            "S1",
+            ArrayRef::new("B", vec![var("i"), var("j")]),
+            load("A", vec![var("i"), var("j")]),
+        );
+        let s2 = Computation::assign(
+            "S2",
+            ArrayRef::new("C", vec![var("i")]),
+            fconst(0.0),
+        );
+        vec![for_loop(
+            "i",
+            cst(0),
+            var("N"),
+            vec![
+                for_loop("j", cst(0), var("M"), vec![Node::Computation(s1)]),
+                Node::Computation(s2),
+            ],
+        )]
+    }
+
+    #[test]
+    fn walk_computations_reports_context() {
+        let nodes = two_statement_nest();
+        let ctxs = walk_computations(&nodes);
+        assert_eq!(ctxs.len(), 2);
+        assert_eq!(ctxs[0].iterators(), vec![Var::new("i"), Var::new("j")]);
+        assert_eq!(ctxs[0].depth(), 2);
+        assert_eq!(ctxs[1].iterators(), vec![Var::new("i")]);
+        assert_eq!(ctxs[1].depth(), 1);
+    }
+
+    #[test]
+    fn walk_loops_preorder() {
+        let nodes = two_statement_nest();
+        let loops = walk_loops(&nodes);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].iter, Var::new("i"));
+        assert_eq!(loops[1].iter, Var::new("j"));
+    }
+
+    #[test]
+    fn mutation_visitors_touch_all_nodes() {
+        let mut nodes = two_statement_nest();
+        let mut loop_count = 0;
+        for_each_loop_mut(&mut nodes, &mut |l| {
+            l.schedule.parallel = true;
+            loop_count += 1;
+        });
+        assert_eq!(loop_count, 2);
+        let mut comp_count = 0;
+        for_each_computation_mut(&mut nodes, &mut |c| {
+            c.name.push('!');
+            comp_count += 1;
+        });
+        assert_eq!(comp_count, 2);
+        let ctxs = walk_computations(&nodes);
+        assert!(ctxs.iter().all(|c| c.computation.name.ends_with('!')));
+        assert!(walk_loops(&nodes).iter().all(|l| l.schedule.parallel));
+    }
+
+    #[test]
+    fn execution_order_is_preserved() {
+        let nodes = two_statement_nest();
+        let names: Vec<&str> = walk_computations(&nodes)
+            .iter()
+            .map(|c| c.computation.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["S1", "S2"]);
+    }
+}

@@ -1,0 +1,527 @@
+//! A reference interpreter for loop-nest programs.
+//!
+//! The interpreter executes programs over concrete `f64` arrays. It is the
+//! ground truth used by the test suite to check that transformations —
+//! fission, interchange, tiling, fusion, idiom replacement — preserve
+//! semantics, exactly the property normalization must have.
+
+use std::collections::BTreeMap;
+
+use loop_ir::array::ArrayRef;
+use loop_ir::expr::Var;
+use loop_ir::nest::{BlasCall, BlasKind, Node};
+use loop_ir::program::Program;
+use loop_ir::scalar::ScalarExpr;
+
+use crate::blas;
+use crate::error::{MachineError, Result};
+
+/// Concrete storage for every array of a program, laid out row-major.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgramData {
+    arrays: BTreeMap<Var, ArrayStorage>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ArrayStorage {
+    dims: Vec<i64>,
+    strides: Vec<i64>,
+    data: Vec<f64>,
+}
+
+impl ProgramData {
+    /// Allocates storage for every array of the program, initializing every
+    /// element with `init(array_name, flat_index)`.
+    ///
+    /// # Errors
+    /// Returns an error if an array extent cannot be evaluated under the
+    /// program's parameters.
+    pub fn new_with(
+        program: &Program,
+        mut init: impl FnMut(&str, usize) -> f64,
+    ) -> Result<ProgramData> {
+        let mut arrays = BTreeMap::new();
+        for (name, array) in &program.arrays {
+            let dims = array
+                .concrete_dims(&program.params)
+                .ok_or_else(|| MachineError::UnboundSize(name.to_string()))?;
+            if dims.iter().any(|d| *d < 0) {
+                return Err(MachineError::UnboundSize(name.to_string()));
+            }
+            let strides = array
+                .strides(&program.params)
+                .ok_or_else(|| MachineError::UnboundSize(name.to_string()))?;
+            let len: i64 = dims.iter().product();
+            let data = (0..len as usize).map(|i| init(name.as_str(), i)).collect();
+            arrays.insert(
+                name.clone(),
+                ArrayStorage {
+                    dims,
+                    strides,
+                    data,
+                },
+            );
+        }
+        Ok(ProgramData { arrays })
+    }
+
+    /// Allocates zero-initialized storage.
+    pub fn zeroed(program: &Program) -> Result<ProgramData> {
+        ProgramData::new_with(program, |_, _| 0.0)
+    }
+
+    /// Allocates storage with a deterministic, array-dependent pattern, the
+    /// initialization used by the benchmark suite (a stand-in for the
+    /// PolyBench init kernels).
+    pub fn seeded(program: &Program) -> Result<ProgramData> {
+        ProgramData::new_with(program, |name, i| {
+            let h = name
+                .bytes()
+                .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+            let x = (h.wrapping_add(i as u64).wrapping_mul(2654435761)) % 1000;
+            (x as f64) / 1000.0 + 0.01
+        })
+    }
+
+    /// Returns a flat view of an array's contents.
+    pub fn array(&self, name: &str) -> Option<&[f64]> {
+        self.arrays.get(&Var::new(name)).map(|a| a.data.as_slice())
+    }
+
+    /// Returns a mutable flat view of an array's contents.
+    pub fn array_mut(&mut self, name: &str) -> Option<&mut [f64]> {
+        self.arrays
+            .get_mut(&Var::new(name))
+            .map(|a| a.data.as_mut_slice())
+    }
+
+    /// The concrete dimensions of an array.
+    pub fn dims(&self, name: &str) -> Option<&[i64]> {
+        self.arrays.get(&Var::new(name)).map(|a| a.dims.as_slice())
+    }
+
+    /// Maximum absolute difference between the same array in two data sets,
+    /// used by equivalence tests.
+    pub fn max_abs_diff(&self, other: &ProgramData, name: &str) -> Option<f64> {
+        let a = self.array(name)?;
+        let b = other.array(name)?;
+        if a.len() != b.len() {
+            return None;
+        }
+        Some(
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    fn flat_index(&self, array_ref: &ArrayRef, bindings: &BTreeMap<Var, i64>) -> Result<(Var, usize)> {
+        let storage = self
+            .arrays
+            .get(&array_ref.array)
+            .ok_or_else(|| MachineError::UnknownArray(array_ref.array.to_string()))?;
+        if storage.dims.len() != array_ref.indices.len() {
+            return Err(MachineError::OutOfBounds {
+                array: array_ref.array.to_string(),
+                index: -1,
+            });
+        }
+        let mut flat: i64 = 0;
+        for ((idx_expr, dim), stride) in array_ref
+            .indices
+            .iter()
+            .zip(&storage.dims)
+            .zip(&storage.strides)
+        {
+            let idx = idx_expr
+                .eval(bindings)
+                .ok_or_else(|| MachineError::UnboundVariable(idx_expr.to_string()))?;
+            if idx < 0 || idx >= *dim {
+                return Err(MachineError::OutOfBounds {
+                    array: array_ref.array.to_string(),
+                    index: idx,
+                });
+            }
+            flat += idx * stride;
+        }
+        Ok((array_ref.array.clone(), flat as usize))
+    }
+
+    fn load(&self, array_ref: &ArrayRef, bindings: &BTreeMap<Var, i64>) -> Result<f64> {
+        let (name, flat) = self.flat_index(array_ref, bindings)?;
+        Ok(self.arrays[&name].data[flat])
+    }
+
+    fn store(&mut self, array_ref: &ArrayRef, bindings: &BTreeMap<Var, i64>, value: f64) -> Result<()> {
+        let (name, flat) = self.flat_index(array_ref, bindings)?;
+        self.arrays.get_mut(&name).expect("checked").data[flat] = value;
+        Ok(())
+    }
+}
+
+/// The interpreter: executes a program over a [`ProgramData`] store.
+#[derive(Debug, Clone, Default)]
+pub struct Interpreter {
+    /// Counts of executed computation instances, for test assertions.
+    pub executed_statements: u64,
+}
+
+impl Interpreter {
+    /// Creates an interpreter.
+    pub fn new() -> Self {
+        Interpreter::default()
+    }
+
+    /// Executes the program, mutating `data` in place.
+    ///
+    /// # Errors
+    /// Returns an error on out-of-bounds accesses, unbound variables or
+    /// non-evaluable loop bounds.
+    pub fn run(&mut self, program: &Program, data: &mut ProgramData) -> Result<()> {
+        let mut bindings: BTreeMap<Var, i64> = program.params.clone();
+        for node in &program.body {
+            self.run_node(program, node, &mut bindings, data)?;
+        }
+        Ok(())
+    }
+
+    fn run_node(
+        &mut self,
+        program: &Program,
+        node: &Node,
+        bindings: &mut BTreeMap<Var, i64>,
+        data: &mut ProgramData,
+    ) -> Result<()> {
+        match node {
+            Node::Loop(l) => {
+                let lower = l
+                    .lower
+                    .eval(bindings)
+                    .ok_or_else(|| MachineError::UnboundVariable(l.lower.to_string()))?;
+                let upper = l
+                    .upper
+                    .eval(bindings)
+                    .ok_or_else(|| MachineError::UnboundVariable(l.upper.to_string()))?;
+                if l.step <= 0 {
+                    return Err(MachineError::InvalidLoop(l.iter.to_string()));
+                }
+                let previous = bindings.get(&l.iter).copied();
+                let mut v = lower;
+                while v < upper {
+                    bindings.insert(l.iter.clone(), v);
+                    for child in &l.body {
+                        self.run_node(program, child, bindings, data)?;
+                    }
+                    v += l.step;
+                }
+                match previous {
+                    Some(p) => {
+                        bindings.insert(l.iter.clone(), p);
+                    }
+                    None => {
+                        bindings.remove(&l.iter);
+                    }
+                }
+                Ok(())
+            }
+            Node::Computation(c) => {
+                self.executed_statements += 1;
+                let value = eval_scalar(&c.value, program, bindings, data)?;
+                let result = match c.reduction {
+                    Some(op) => {
+                        let current = data.load(&c.target, bindings)?;
+                        op.apply(current, value)
+                    }
+                    None => value,
+                };
+                data.store(&c.target, bindings, result)
+            }
+            Node::Call(call) => self.run_blas(program, call, bindings, data),
+        }
+    }
+
+    fn run_blas(
+        &mut self,
+        program: &Program,
+        call: &BlasCall,
+        bindings: &BTreeMap<Var, i64>,
+        data: &mut ProgramData,
+    ) -> Result<()> {
+        let dims: Option<Vec<i64>> = call.dims.iter().map(|d| d.eval(bindings)).collect();
+        let dims = dims.ok_or_else(|| MachineError::UnboundVariable("blas dims".to_string()))?;
+        let alpha = eval_scalar(&call.alpha, program, bindings, data)?;
+        let beta = eval_scalar(&call.beta, program, bindings, data)?;
+        let input = |i: usize| -> Result<Vec<f64>> {
+            let name = call
+                .inputs
+                .get(i)
+                .ok_or_else(|| MachineError::UnknownArray(format!("blas input {i}")))?;
+            data.array(name.as_str())
+                .map(|s| s.to_vec())
+                .ok_or_else(|| MachineError::UnknownArray(name.to_string()))
+        };
+        match call.kind {
+            BlasKind::Gemm => {
+                let (m, n, k) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+                let a = input(0)?;
+                let b = input(1)?;
+                let c = data
+                    .array_mut(call.output.as_str())
+                    .ok_or_else(|| MachineError::UnknownArray(call.output.to_string()))?;
+                blas::dgemm(m, n, k, alpha, &a, &b, beta, c);
+            }
+            BlasKind::Syrk => {
+                let (n, k) = (dims[0] as usize, dims[1] as usize);
+                let a = input(0)?;
+                let c = data
+                    .array_mut(call.output.as_str())
+                    .ok_or_else(|| MachineError::UnknownArray(call.output.to_string()))?;
+                blas::dsyrk(n, k, alpha, &a, beta, c);
+            }
+            BlasKind::Syr2k => {
+                let (n, k) = (dims[0] as usize, dims[1] as usize);
+                let a = input(0)?;
+                let b = input(1)?;
+                let c = data
+                    .array_mut(call.output.as_str())
+                    .ok_or_else(|| MachineError::UnknownArray(call.output.to_string()))?;
+                blas::dsyr2k(n, k, alpha, &a, &b, beta, c);
+            }
+            BlasKind::Gemv => {
+                let (m, n) = (dims[0] as usize, dims[1] as usize);
+                let a = input(0)?;
+                let x = input(1)?;
+                let y = data
+                    .array_mut(call.output.as_str())
+                    .ok_or_else(|| MachineError::UnknownArray(call.output.to_string()))?;
+                blas::dgemv(m, n, alpha, &a, &x, beta, y);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn eval_scalar(
+    expr: &ScalarExpr,
+    program: &Program,
+    bindings: &BTreeMap<Var, i64>,
+    data: &ProgramData,
+) -> Result<f64> {
+    match expr {
+        ScalarExpr::Load(r) => data.load(r, bindings),
+        ScalarExpr::Const(c) => Ok(*c),
+        ScalarExpr::Param(p) => program
+            .scalar_params
+            .get(p)
+            .copied()
+            .ok_or_else(|| MachineError::UnboundVariable(p.to_string())),
+        ScalarExpr::Index(e) => e
+            .eval(bindings)
+            .map(|v| v as f64)
+            .ok_or_else(|| MachineError::UnboundVariable(e.to_string())),
+        ScalarExpr::Unary(op, a) => Ok(op.apply(eval_scalar(a, program, bindings, data)?)),
+        ScalarExpr::Binary(op, a, b) => Ok(op.apply(
+            eval_scalar(a, program, bindings, data)?,
+            eval_scalar(b, program, bindings, data)?,
+        )),
+        ScalarExpr::Select {
+            lhs,
+            cmp,
+            rhs,
+            then,
+            otherwise,
+        } => {
+            let l = eval_scalar(lhs, program, bindings, data)?;
+            let r = eval_scalar(rhs, program, bindings, data)?;
+            if cmp.apply(l, r) {
+                eval_scalar(then, program, bindings, data)
+            } else {
+                eval_scalar(otherwise, program, bindings, data)
+            }
+        }
+    }
+}
+
+/// Convenience: runs a program on seeded data and returns the data.
+///
+/// # Errors
+/// Propagates interpreter errors.
+pub fn run_seeded(program: &Program) -> Result<ProgramData> {
+    let mut data = ProgramData::seeded(program)?;
+    Interpreter::new().run(program, &mut data)?;
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::parser::parse_program;
+    use loop_ir::prelude::*;
+
+    #[test]
+    fn executes_a_simple_copy() {
+        let p = parse_program(
+            "program copy { param N = 8; array A[N]; array B[N];
+               for i in 0..N { B[i] = A[i] * 2.0; } }",
+        )
+        .unwrap();
+        let mut data = ProgramData::new_with(&p, |name, i| {
+            if name == "A" {
+                i as f64
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        Interpreter::new().run(&p, &mut data).unwrap();
+        assert_eq!(data.array("B").unwrap(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn gemm_matches_reference_computation() {
+        let p = parse_program(
+            "program gemm { param NI = 5; param NJ = 4; param NK = 3;
+               scalar alpha = 2.0; scalar beta = 0.5;
+               array A[NI][NK]; array B[NK][NJ]; array C[NI][NJ];
+               for i in 0..NI { for j in 0..NJ {
+                 C[i][j] = C[i][j] * beta;
+                 for k in 0..NK { C[i][j] += alpha * A[i][k] * B[k][j]; }
+               } } }",
+        )
+        .unwrap();
+        let mut data = ProgramData::seeded(&p).unwrap();
+        let a0 = data.array("A").unwrap().to_vec();
+        let b0 = data.array("B").unwrap().to_vec();
+        let c0 = data.array("C").unwrap().to_vec();
+        Interpreter::new().run(&p, &mut data).unwrap();
+        // reference
+        let (ni, nj, nk) = (5usize, 4usize, 3usize);
+        let mut c_ref = c0.clone();
+        for i in 0..ni {
+            for j in 0..nj {
+                let mut acc = c0[i * nj + j] * 0.5;
+                for k in 0..nk {
+                    acc += 2.0 * a0[i * nk + k] * b0[k * nj + j];
+                }
+                c_ref[i * nj + j] = acc;
+            }
+        }
+        let c = data.array("C").unwrap();
+        for (x, y) in c.iter().zip(&c_ref) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reduction_and_select_semantics() {
+        let s = Computation::reduction(
+            "S0",
+            ArrayRef::new("acc", vec![cst(0)]),
+            BinOp::Max,
+            ScalarExpr::select(
+                load("A", vec![var("i")]),
+                CmpOp::Gt,
+                fconst(0.0),
+                load("A", vec![var("i")]),
+                fconst(0.0),
+            ),
+        );
+        let p = Program::builder("maxpos")
+            .param("N", 6)
+            .param("ONE", 1)
+            .array("A", &["N"])
+            .array("acc", &["ONE"])
+            .node(for_loop("i", cst(0), var("N"), vec![Node::Computation(s)]))
+            .build()
+            .unwrap();
+        let mut data = ProgramData::new_with(&p, |name, i| match name {
+            "A" => [-3.0, 2.0, -1.0, 5.0, 4.0, -9.0][i],
+            _ => f64::NEG_INFINITY,
+        })
+        .unwrap();
+        Interpreter::new().run(&p, &mut data).unwrap();
+        assert_eq!(data.array("acc").unwrap()[0], 5.0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let p = parse_program(
+            "program oob { param N = 4; array A[N];
+               for i in 0..N { A[i + 1] = 1.0; } }",
+        )
+        .unwrap();
+        let mut data = ProgramData::zeroed(&p).unwrap();
+        let err = Interpreter::new().run(&p, &mut data).unwrap_err();
+        assert!(matches!(err, MachineError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn executed_statement_count() {
+        let p = parse_program(
+            "program count { param N = 3; param M = 4; array A[N][M];
+               for i in 0..N { for j in 0..M { A[i][j] = 1.0; } } }",
+        )
+        .unwrap();
+        let mut interp = Interpreter::new();
+        let mut data = ProgramData::zeroed(&p).unwrap();
+        interp.run(&p, &mut data).unwrap();
+        assert_eq!(interp.executed_statements, 12);
+    }
+
+    #[test]
+    fn strided_loops_and_symbolic_bounds() {
+        let p = parse_program(
+            "program strided { param N = 10; array A[N];
+               for i in 0..N step 3 { A[i] = 7.0; } }",
+        )
+        .unwrap();
+        let mut data = ProgramData::zeroed(&p).unwrap();
+        Interpreter::new().run(&p, &mut data).unwrap();
+        let a = data.array("A").unwrap();
+        for (i, v) in a.iter().enumerate() {
+            let expected = if i % 3 == 0 { 7.0 } else { 0.0 };
+            assert_eq!(*v, expected, "element {i}");
+        }
+    }
+
+    #[test]
+    fn blas_call_node_executes() {
+        let call = BlasCall {
+            kind: BlasKind::Gemm,
+            output: Var::new("C"),
+            inputs: vec![Var::new("A"), Var::new("B")],
+            dims: vec![var("N"), var("N"), var("N")],
+            alpha: fconst(1.0),
+            beta: fconst(0.0),
+        };
+        let p = Program::builder("blas")
+            .param("N", 4)
+            .array("A", &["N", "N"])
+            .array("B", &["N", "N"])
+            .array("C", &["N", "N"])
+            .node(Node::Call(call))
+            .build()
+            .unwrap();
+        let mut data = ProgramData::new_with(&p, |name, i| match name {
+            "A" => (i % 4 == i / 4) as u8 as f64, // identity
+            "B" => i as f64,
+            _ => -1.0,
+        })
+        .unwrap();
+        Interpreter::new().run(&p, &mut data).unwrap();
+        let c = data.array("C").unwrap();
+        let b: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        assert_eq!(c, b.as_slice());
+    }
+
+    #[test]
+    fn seeded_data_is_deterministic() {
+        let p = parse_program("program d { param N = 4; array A[N]; for i in 0..N { A[i] = A[i]; } }").unwrap();
+        let d1 = ProgramData::seeded(&p).unwrap();
+        let d2 = ProgramData::seeded(&p).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(d1.max_abs_diff(&d2, "A"), Some(0.0));
+        assert_eq!(d1.dims("A"), Some(&[4_i64][..]));
+    }
+}

@@ -1,0 +1,34 @@
+//! # machine — the execution substrate
+//!
+//! The paper evaluates schedules by running generated code on an Intel Xeon
+//! E5-2680 v3. This reproduction has no LLVM backend, so the crate provides
+//! the substitutes (see DESIGN.md):
+//!
+//! * [`interp`] — a reference interpreter over concrete `f64` arrays, used to
+//!   verify that normalization and optimization preserve semantics,
+//! * [`cache`] + [`trace`] — a set-associative L1/L2 cache simulator fed by
+//!   the exact access stream, reproducing the load/evict counters of the
+//!   CLOUDSC case study (Table 1),
+//! * [`cost`] — a cache-aware analytical roofline that converts a scheduled
+//!   program into an estimated runtime on the configured machine
+//!   ([`config::MachineConfig`]), the quantity all figures compare,
+//! * [`blas`] — reference BLAS kernels and the near-peak cost of a library
+//!   call, the target of the idiom-detection recipes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blas;
+pub mod cache;
+pub mod config;
+pub mod cost;
+pub mod error;
+pub mod interp;
+pub mod trace;
+
+pub use cache::{CacheHierarchy, CacheStats};
+pub use config::MachineConfig;
+pub use cost::{count_flops, CostModel, CostReport, NestCost};
+pub use error::{MachineError, Result};
+pub use interp::{run_seeded, Interpreter, ProgramData};
+pub use trace::{simulate_cache, walk_accesses, TraceEntry};

@@ -1,0 +1,446 @@
+//! Stride minimization (the second normalization criterion, §2.2).
+
+use dependence::{analyze, is_permutation_legal, DependenceGraph};
+use loop_ir::expr::Var;
+use loop_ir::nest::{Loop, Node};
+use loop_ir::program::Program;
+use transforms::interchange::{interchange, perfect_chain};
+
+use crate::stride::{iterator_stride_weights, sum_of_strides};
+
+/// Nests whose perfect chain is deeper than this are not exhaustively
+/// enumerated; the grouped-sorting approximation is used instead, as proposed
+/// by the paper for deep loop nests.
+const ENUMERATION_LIMIT: usize = 6;
+
+/// The stride-minimization normalization pass.
+///
+/// For every top-level loop nest of the program, the legal permutation of its
+/// perfectly nested loops with the smallest [`sum_of_strides`] cost replaces
+/// the nest. The pass assumes maximal loop fission already ran (§2.2: "We
+/// assume the stride minimization criterion is applied after the maximal loop
+/// fission criterion"), but is safe on any program: imperfectly nested parts
+/// simply stay where they are.
+#[derive(Debug, Clone, Default)]
+pub struct StrideMinimization {
+    /// Maximum perfect-chain depth for exhaustive permutation enumeration.
+    pub enumeration_limit: usize,
+}
+
+/// Statistics reported by the stride-minimization pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PermutationStats {
+    /// Number of loop nests examined.
+    pub nests_examined: usize,
+    /// Number of nests whose loop order changed.
+    pub nests_permuted: usize,
+    /// Number of nests handled by the grouped-sorting approximation.
+    pub approximated: usize,
+    /// Total stride cost before the pass (sum over nests).
+    pub cost_before: f64,
+    /// Total stride cost after the pass (sum over nests).
+    pub cost_after: f64,
+}
+
+impl StrideMinimization {
+    /// Creates the pass with the default enumeration limit.
+    pub fn new() -> Self {
+        StrideMinimization {
+            enumeration_limit: ENUMERATION_LIMIT,
+        }
+    }
+
+    /// Runs the pass, returning the permuted program and statistics.
+    pub fn run(&self, program: &Program) -> (Program, PermutationStats) {
+        let graph = analyze(program);
+        let mut stats = PermutationStats::default();
+        let mut out = program.clone();
+        out.body = program
+            .body
+            .iter()
+            .map(|node| match node {
+                Node::Loop(nest) => {
+                    Node::Loop(self.minimize_nest(program, &graph, nest, &mut stats))
+                }
+                other => other.clone(),
+            })
+            .collect();
+        (out, stats)
+    }
+
+    /// Finds and applies the minimal-stride legal permutation for one nest,
+    /// then recurses into loop nests below the perfect chain (imperfectly
+    /// nested programs such as time-stepped stencils carry their permutable
+    /// spatial nests *inside* the sequential time loop).
+    pub fn minimize_nest(
+        &self,
+        program: &Program,
+        graph: &DependenceGraph,
+        nest: &Loop,
+        stats: &mut PermutationStats,
+    ) -> Loop {
+        stats.nests_examined += 1;
+        let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
+        let original_cost = sum_of_strides(program, nest, &chain);
+        stats.cost_before += original_cost;
+
+        let mut result = if chain.len() < 2 {
+            stats.cost_after += original_cost;
+            nest.clone()
+        } else {
+            let limit = if self.enumeration_limit == 0 {
+                ENUMERATION_LIMIT
+            } else {
+                self.enumeration_limit
+            };
+            let best_order = if chain.len() <= limit {
+                self.enumerate(program, graph, nest, &chain)
+            } else {
+                stats.approximated += 1;
+                self.grouped_sort(program, graph, nest, &chain)
+            };
+            match best_order {
+                Some(order) if order != chain => match interchange(nest, &order) {
+                    Ok(permuted) => {
+                        stats.nests_permuted += 1;
+                        stats.cost_after += sum_of_strides(program, &permuted, &order);
+                        permuted
+                    }
+                    Err(_) => {
+                        stats.cost_after += original_cost;
+                        nest.clone()
+                    }
+                },
+                _ => {
+                    stats.cost_after += original_cost;
+                    nest.clone()
+                }
+            }
+        };
+
+        // Recurse into the loops below the end of the perfect chain.
+        self.minimize_below_chain(program, graph, &mut result, stats);
+        result
+    }
+
+    fn minimize_below_chain(
+        &self,
+        program: &Program,
+        graph: &DependenceGraph,
+        nest: &mut Loop,
+        stats: &mut PermutationStats,
+    ) {
+        // Find the innermost loop of the perfect chain.
+        let chain_len = perfect_chain(nest).len();
+        let mut current: &mut Loop = nest;
+        for _ in 1..chain_len {
+            let Some(Node::Loop(inner)) = current.body.iter_mut().next() else {
+                return;
+            };
+            current = inner;
+        }
+        // If the innermost chain loop has several children, each child loop
+        // is itself a nest to minimize.
+        if current.body.len() <= 1 {
+            return;
+        }
+        current.body = current
+            .body
+            .iter()
+            .map(|node| match node {
+                Node::Loop(sub) => {
+                    Node::Loop(self.minimize_nest(program, graph, sub, stats))
+                }
+                other => other.clone(),
+            })
+            .collect();
+    }
+
+    /// Exhaustive enumeration of legal permutations (§2.2: "the minimum can
+    /// simply be found by enumeration for many practically-relevant loop
+    /// nests").
+    fn enumerate(
+        &self,
+        program: &Program,
+        graph: &DependenceGraph,
+        nest: &Loop,
+        chain: &[Var],
+    ) -> Option<Vec<Var>> {
+        let mut best: Option<(f64, Vec<Var>, Vec<f64>)> = None;
+        for order in permutations(chain) {
+            if !is_permutation_legal(graph, nest, &order) {
+                continue;
+            }
+            // Triangular bounds make some orders structurally impossible;
+            // interchange reports those, so probe it.
+            if interchange(nest, &order).is_err() {
+                continue;
+            }
+            let cost = sum_of_strides(program, nest, &order);
+            // Deterministic tie-break independent of the incoming loop order:
+            // prefer the order whose per-level stride weights decrease from
+            // outermost to innermost, comparing the weight vectors
+            // lexicographically (largest-stride iterators outermost), and
+            // finally the iterator names.
+            let weights = iterator_stride_weights(program, nest);
+            let key: Vec<f64> = order.iter().map(|v| -weights[v]).collect();
+            let better = match &best {
+                None => true,
+                Some((best_cost, best_order, best_key)) => {
+                    cost < best_cost - 1e-9
+                        || ((cost - best_cost).abs() <= 1e-9
+                            && (compare_keys(&key, best_key) == std::cmp::Ordering::Less
+                                || (compare_keys(&key, best_key) == std::cmp::Ordering::Equal
+                                    && order < *best_order)))
+                }
+            };
+            if better {
+                best = Some((cost, order, key));
+            }
+        }
+        best.map(|(_, order, _)| order)
+    }
+
+    /// Grouped-sorting approximation for deep nests: sort iterators by their
+    /// total stride weight, largest strides outermost, and accept the order
+    /// only if it is legal.
+    fn grouped_sort(
+        &self,
+        program: &Program,
+        graph: &DependenceGraph,
+        nest: &Loop,
+        chain: &[Var],
+    ) -> Option<Vec<Var>> {
+        let weights = iterator_stride_weights(program, nest);
+        let mut order = chain.to_vec();
+        order.sort_by(|a, b| {
+            weights[b]
+                .partial_cmp(&weights[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+        if is_permutation_legal(graph, nest, &order) && interchange(nest, &order).is_ok() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+fn compare_keys(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match x.partial_cmp(y) {
+            Some(std::cmp::Ordering::Equal) | None => continue,
+            Some(other) => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// All permutations of a slice (Heap's algorithm, iterative collection).
+fn permutations(items: &[Var]) -> Vec<Vec<Var>> {
+    let mut out = Vec::new();
+    let mut current = items.to_vec();
+    heap_permute(current.len(), &mut current, &mut out);
+    out
+}
+
+fn heap_permute(k: usize, items: &mut Vec<Var>, out: &mut Vec<Vec<Var>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(k - 1, items, out);
+        if k % 2 == 0 {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::parser::parse_program;
+    use loop_ir::prelude::*;
+
+    fn order_of(program: &Program, nest_index: usize) -> Vec<String> {
+        program.loop_nests()[nest_index]
+            .nested_iterators()
+            .iter()
+            .map(|v| v.to_string())
+            .collect()
+    }
+
+    fn gemm_update(order: &str) -> Program {
+        let loops: Vec<char> = order.chars().collect();
+        let src = format!(
+            r#"
+            program gemm_{order} {{
+              param NI = 64; param NJ = 64; param NK = 64;
+              array A[NI][NK]; array B[NK][NJ]; array C[NI][NJ];
+              for {a} in 0..N{au} {{ for {b} in 0..N{bu} {{ for {c} in 0..N{cu} {{
+                C[i][j] += A[i][k] * B[k][j];
+              }} }} }}
+            }}
+            "#,
+            a = loops[0],
+            b = loops[1],
+            c = loops[2],
+            au = loops[0].to_uppercase(),
+            bu = loops[1].to_uppercase(),
+            cu = loops[2].to_uppercase(),
+        );
+        parse_program(&src).unwrap()
+    }
+
+    #[test]
+    fn all_gemm_orders_normalize_to_the_same_canonical_order() {
+        let canonical = {
+            let p = gemm_update("ikj");
+            let (n, _) = StrideMinimization::new().run(&p);
+            order_of(&n, 0)
+        };
+        for variant in ["ijk", "ikj", "jik", "jki", "kij", "kji"] {
+            let p = gemm_update(variant);
+            let (n, _) = StrideMinimization::new().run(&p);
+            assert_eq!(
+                order_of(&n, 0),
+                canonical,
+                "variant {variant} should normalize to the canonical order"
+            );
+        }
+        assert_eq!(canonical, vec!["i", "k", "j"]);
+    }
+
+    #[test]
+    fn permutation_is_semantically_valid_program() {
+        let p = gemm_update("kji");
+        let (n, stats) = StrideMinimization::new().run(&p);
+        assert!(n.validate().is_ok());
+        assert_eq!(stats.nests_examined, 1);
+        assert_eq!(stats.nests_permuted, 1);
+        assert!(stats.cost_after <= stats.cost_before);
+    }
+
+    #[test]
+    fn stencil_with_carried_dependence_keeps_legal_order() {
+        // A[i][j] = A[i-1][j+1]: interchanging i and j is illegal, so the
+        // pass must keep (i, j) even though (j, i) is never better anyway.
+        let src = r#"
+            program skewed {
+              param N = 32;
+              array A[N][N];
+              for i in 1..N { for j in 0..N - 1 {
+                A[i][j] = A[i - 1][j + 1] + 1.0;
+              } }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let (n, _) = StrideMinimization::new().run(&p);
+        assert_eq!(order_of(&n, 0), vec!["i", "j"]);
+    }
+
+    #[test]
+    fn column_major_copy_is_transposed() {
+        let src = r#"
+            program copy_t {
+              param N = 64; param M = 32;
+              array C[M][N]; array D[M][N];
+              for i in 0..N { for j in 0..M {
+                D[j][i] = C[j][i];
+              } }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let (n, stats) = StrideMinimization::new().run(&p);
+        assert_eq!(order_of(&n, 0), vec!["j", "i"]);
+        assert_eq!(stats.nests_permuted, 1);
+        assert!(stats.cost_after < stats.cost_before);
+    }
+
+    #[test]
+    fn single_loop_nest_is_untouched() {
+        let src = r#"
+            program one {
+              param N = 16;
+              array A[N];
+              for i in 0..N { A[i] = 1.0; }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let (n, stats) = StrideMinimization::new().run(&p);
+        assert_eq!(n, p);
+        assert_eq!(stats.nests_permuted, 0);
+    }
+
+    #[test]
+    fn triangular_nests_keep_structurally_required_order() {
+        let src = r#"
+            program tri {
+              param N = 32;
+              array C[N][N];
+              for i in 0..N { for j in 0..i + 1 {
+                C[j][i] = 1.0;
+              } }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let (n, _) = StrideMinimization::new().run(&p);
+        // (j, i) would have better strides but is structurally impossible
+        // because j's bound depends on i.
+        assert_eq!(order_of(&n, 0), vec!["i", "j"]);
+    }
+
+    #[test]
+    fn deep_nests_use_grouped_sorting() {
+        let s = Computation::assign(
+            "S1",
+            ArrayRef::new(
+                "A",
+                vec![var("a"), var("b"), var("c"), var("d"), var("e"), var("f"), var("g")],
+            ),
+            fconst(1.0),
+        );
+        let mut node = Node::Computation(s);
+        for iter in ["g", "f", "e", "d", "c", "b", "a"] {
+            node = for_loop(iter, cst(0), cst(4), vec![node]);
+        }
+        let p = Program::builder("deep")
+            .array_with_dims(
+                "A",
+                vec![cst(4), cst(4), cst(4), cst(4), cst(4), cst(4), cst(4)],
+            )
+            .node(node)
+            .build()
+            .unwrap();
+        let pass = StrideMinimization::new();
+        let (n, stats) = pass.run(&p);
+        assert_eq!(stats.approximated, 1);
+        // Grouped sorting orders by descending stride weight: a, b, …, g.
+        assert_eq!(
+            order_of(&n, 0),
+            vec!["a", "b", "c", "d", "e", "f", "g"]
+        );
+    }
+
+    #[test]
+    fn pass_is_idempotent() {
+        let p = gemm_update("jki");
+        let (once, _) = StrideMinimization::new().run(&p);
+        let (twice, stats) = StrideMinimization::new().run(&once);
+        assert_eq!(once, twice);
+        assert_eq!(stats.nests_permuted, 0);
+    }
+
+    #[test]
+    fn permutations_helper_generates_all() {
+        let items: Vec<Var> = ["a", "b", "c"].iter().map(|s| Var::new(*s)).collect();
+        let perms = permutations(&items);
+        assert_eq!(perms.len(), 6);
+        let unique: std::collections::BTreeSet<Vec<Var>> = perms.into_iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+}

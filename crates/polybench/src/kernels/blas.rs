@@ -1,0 +1,648 @@
+//! BLAS-style kernels: gemm, 2mm, 3mm, syrk, syr2k.
+
+use loop_ir::expr::{cst, var, Var};
+use loop_ir::numpy::{ArrayView, FrameworkOp, NpExpr, NpStmt, NumpyProgram, Range};
+use loop_ir::program::Program;
+use loop_ir::scalar::BinOp;
+
+use crate::kernels::build;
+use crate::sizes::{matmul_sizes, rank_update_sizes, Dataset};
+
+// --------------------------------------------------------------------------
+// gemm: C = alpha*A*B + beta*C
+// --------------------------------------------------------------------------
+
+/// PolyBench `gemm`, A variant (original loop structure: scaling fused into
+/// the (i, j) nest, reduction innermost).
+pub fn gemm_a(dataset: Dataset) -> Program {
+    let s = matmul_sizes(dataset);
+    build(
+        "gemm_a",
+        &format!(
+            "program gemm_a {{
+               param NI = {ni}; param NJ = {nj}; param NK = {nk};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[NI][NK]; array B[NK][NJ]; array C[NI][NJ];
+               for i in 0..NI {{
+                 for j in 0..NJ {{
+                   C[i][j] *= beta;
+                   for k in 0..NK {{
+                     C[i][j] += alpha * A[i][k] * B[k][j];
+                   }}
+                 }}
+               }}
+             }}",
+            ni = s.get("NI"),
+            nj = s.get("NJ"),
+            nk = s.get("NK"),
+        ),
+    )
+}
+
+/// `gemm`, B variant: the scaling is a separate (j, i) nest and the update
+/// runs with the contraction loop outermost.
+pub fn gemm_b(dataset: Dataset) -> Program {
+    let s = matmul_sizes(dataset);
+    build(
+        "gemm_b",
+        &format!(
+            "program gemm_b {{
+               param NI = {ni}; param NJ = {nj}; param NK = {nk};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[NI][NK]; array B[NK][NJ]; array C[NI][NJ];
+               for j in 0..NJ {{
+                 for i in 0..NI {{
+                   C[i][j] *= beta;
+                 }}
+               }}
+               for k in 0..NK {{
+                 for j in 0..NJ {{
+                   for i in 0..NI {{
+                     C[i][j] += alpha * A[i][k] * B[k][j];
+                   }}
+                 }}
+               }}
+             }}",
+            ni = s.get("NI"),
+            nj = s.get("NJ"),
+            nk = s.get("NK"),
+        ),
+    )
+}
+
+/// `gemm`, NPBench-style NumPy formulation: `C *= beta; t = A @ B;
+/// C += alpha * t` (operator-at-a-time with a temporary).
+pub fn gemm_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = matmul_sizes(dataset);
+    let p = NumpyProgram::new("gemm_py")
+        .param("NI", s.get("NI"))
+        .param("NJ", s.get("NJ"))
+        .param("NK", s.get("NK"))
+        .scalar("alpha", 1.5)
+        .scalar("beta", 1.2)
+        .array("A", &["NI", "NK"])
+        .array("B", &["NK", "NJ"])
+        .array("C", &["NI", "NJ"])
+        .array("t_ab", &["NI", "NJ"]);
+    let a = ArrayView::whole("A", &p.extents("A").unwrap());
+    let b = ArrayView::whole("B", &p.extents("B").unwrap());
+    let c = ArrayView::whole("C", &p.extents("C").unwrap());
+    let t = ArrayView::whole("t_ab", &p.extents("t_ab").unwrap());
+    p.stmt(NpStmt::AugAssign {
+        target: c.clone(),
+        op: BinOp::Mul,
+        value: NpExpr::Param(Var::new("beta")),
+    })
+    .stmt(NpStmt::Assign {
+        target: t.clone(),
+        value: NpExpr::View(a).matmul(NpExpr::View(b)),
+    })
+    .stmt(NpStmt::AugAssign {
+        target: c,
+        op: BinOp::Add,
+        value: NpExpr::View(t).mul(NpExpr::Param(Var::new("alpha"))),
+    })
+    .lower()
+    .expect("gemm_py lowers")
+}
+
+// --------------------------------------------------------------------------
+// 2mm: D = alpha*A*B*C + beta*D
+// --------------------------------------------------------------------------
+
+/// PolyBench `2mm`, A variant.
+pub fn mm2_a(dataset: Dataset) -> Program {
+    let s = matmul_sizes(dataset);
+    build(
+        "2mm_a",
+        &format!(
+            "program mm2_a {{
+               param NI = {ni}; param NJ = {nj}; param NK = {nk}; param NL = {nl};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[NI][NK]; array B[NK][NJ]; array C[NJ][NL]; array D[NI][NL];
+               array tmp[NI][NJ];
+               for i in 0..NI {{
+                 for j in 0..NJ {{
+                   tmp[i][j] = 0.0;
+                   for k in 0..NK {{
+                     tmp[i][j] += alpha * A[i][k] * B[k][j];
+                   }}
+                 }}
+               }}
+               for i in 0..NI {{
+                 for l in 0..NL {{
+                   D[i][l] *= beta;
+                   for j in 0..NJ {{
+                     D[i][l] += tmp[i][j] * C[j][l];
+                   }}
+                 }}
+               }}
+             }}",
+            ni = s.get("NI"),
+            nj = s.get("NJ"),
+            nk = s.get("NK"),
+            nl = s.get("NL"),
+        ),
+    )
+}
+
+/// `2mm`, B variant: initialization nests separated, both products written
+/// with the contraction loop in the middle and the fast dimension outermost.
+pub fn mm2_b(dataset: Dataset) -> Program {
+    let s = matmul_sizes(dataset);
+    build(
+        "2mm_b",
+        &format!(
+            "program mm2_b {{
+               param NI = {ni}; param NJ = {nj}; param NK = {nk}; param NL = {nl};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[NI][NK]; array B[NK][NJ]; array C[NJ][NL]; array D[NI][NL];
+               array tmp[NI][NJ];
+               for j in 0..NJ {{
+                 for i in 0..NI {{
+                   tmp[i][j] = 0.0;
+                 }}
+               }}
+               for j in 0..NJ {{
+                 for k in 0..NK {{
+                   for i in 0..NI {{
+                     tmp[i][j] += alpha * A[i][k] * B[k][j];
+                   }}
+                 }}
+               }}
+               for l in 0..NL {{
+                 for i in 0..NI {{
+                   D[i][l] *= beta;
+                 }}
+               }}
+               for l in 0..NL {{
+                 for j in 0..NJ {{
+                   for i in 0..NI {{
+                     D[i][l] += tmp[i][j] * C[j][l];
+                   }}
+                 }}
+               }}
+             }}",
+            ni = s.get("NI"),
+            nj = s.get("NJ"),
+            nk = s.get("NK"),
+            nl = s.get("NL"),
+        ),
+    )
+}
+
+/// `2mm`, NPBench-style: `t = A @ B; t *= alpha; D *= beta; D += t @ C`.
+pub fn mm2_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = matmul_sizes(dataset);
+    let p = NumpyProgram::new("mm2_py")
+        .param("NI", s.get("NI"))
+        .param("NJ", s.get("NJ"))
+        .param("NK", s.get("NK"))
+        .param("NL", s.get("NL"))
+        .scalar("alpha", 1.5)
+        .scalar("beta", 1.2)
+        .array("A", &["NI", "NK"])
+        .array("B", &["NK", "NJ"])
+        .array("C", &["NJ", "NL"])
+        .array("D", &["NI", "NL"])
+        .array("tmp", &["NI", "NJ"]);
+    let a = ArrayView::whole("A", &p.extents("A").unwrap());
+    let b = ArrayView::whole("B", &p.extents("B").unwrap());
+    let c = ArrayView::whole("C", &p.extents("C").unwrap());
+    let d = ArrayView::whole("D", &p.extents("D").unwrap());
+    let tmp = ArrayView::whole("tmp", &p.extents("tmp").unwrap());
+    p.stmt(NpStmt::Assign {
+        target: tmp.clone(),
+        value: NpExpr::View(a).matmul(NpExpr::View(b)),
+    })
+    .stmt(NpStmt::AugAssign {
+        target: tmp.clone(),
+        op: BinOp::Mul,
+        value: NpExpr::Param(Var::new("alpha")),
+    })
+    .stmt(NpStmt::AugAssign {
+        target: d.clone(),
+        op: BinOp::Mul,
+        value: NpExpr::Param(Var::new("beta")),
+    })
+    .stmt(NpStmt::AugAssign {
+        target: d,
+        op: BinOp::Add,
+        value: NpExpr::View(tmp).matmul(NpExpr::View(c)),
+    })
+    .lower()
+    .expect("2mm_py lowers")
+}
+
+// --------------------------------------------------------------------------
+// 3mm: G = (A*B) * (C*D)
+// --------------------------------------------------------------------------
+
+/// PolyBench `3mm`, A variant.
+pub fn mm3_a(dataset: Dataset) -> Program {
+    let s = matmul_sizes(dataset);
+    build(
+        "3mm_a",
+        &format!(
+            "program mm3_a {{
+               param NI = {ni}; param NJ = {nj}; param NK = {nk}; param NL = {nl}; param NM = {nm};
+               array A[NI][NK]; array B[NK][NJ]; array C[NJ][NM]; array D[NM][NL];
+               array E[NI][NJ]; array F[NJ][NL]; array G[NI][NL];
+               for i in 0..NI {{
+                 for j in 0..NJ {{
+                   E[i][j] = 0.0;
+                   for k in 0..NK {{
+                     E[i][j] += A[i][k] * B[k][j];
+                   }}
+                 }}
+               }}
+               for j in 0..NJ {{
+                 for l in 0..NL {{
+                   F[j][l] = 0.0;
+                   for m in 0..NM {{
+                     F[j][l] += C[j][m] * D[m][l];
+                   }}
+                 }}
+               }}
+               for i in 0..NI {{
+                 for l in 0..NL {{
+                   G[i][l] = 0.0;
+                   for j in 0..NJ {{
+                     G[i][l] += E[i][j] * F[j][l];
+                   }}
+                 }}
+               }}
+             }}",
+            ni = s.get("NI"),
+            nj = s.get("NJ"),
+            nk = s.get("NK"),
+            nl = s.get("NL"),
+            nm = s.get("NM"),
+        ),
+    )
+}
+
+/// `3mm`, B variant: every product written with a different (legal) loop
+/// order and the initializations hoisted into separate nests.
+pub fn mm3_b(dataset: Dataset) -> Program {
+    let s = matmul_sizes(dataset);
+    build(
+        "3mm_b",
+        &format!(
+            "program mm3_b {{
+               param NI = {ni}; param NJ = {nj}; param NK = {nk}; param NL = {nl}; param NM = {nm};
+               array A[NI][NK]; array B[NK][NJ]; array C[NJ][NM]; array D[NM][NL];
+               array E[NI][NJ]; array F[NJ][NL]; array G[NI][NL];
+               for j in 0..NJ {{ for i in 0..NI {{ E[i][j] = 0.0; }} }}
+               for k in 0..NK {{ for j in 0..NJ {{ for i in 0..NI {{
+                 E[i][j] += A[i][k] * B[k][j];
+               }} }} }}
+               for l in 0..NL {{ for j in 0..NJ {{ F[j][l] = 0.0; }} }}
+               for l in 0..NL {{ for m in 0..NM {{ for j in 0..NJ {{
+                 F[j][l] += C[j][m] * D[m][l];
+               }} }} }}
+               for i in 0..NI {{ for l in 0..NL {{ G[i][l] = 0.0; }} }}
+               for j in 0..NJ {{ for i in 0..NI {{ for l in 0..NL {{
+                 G[i][l] += E[i][j] * F[j][l];
+               }} }} }}
+             }}",
+            ni = s.get("NI"),
+            nj = s.get("NJ"),
+            nk = s.get("NK"),
+            nl = s.get("NL"),
+            nm = s.get("NM"),
+        ),
+    )
+}
+
+/// `3mm`, NPBench-style: three chained `@` products.
+pub fn mm3_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = matmul_sizes(dataset);
+    let p = NumpyProgram::new("mm3_py")
+        .param("NI", s.get("NI"))
+        .param("NJ", s.get("NJ"))
+        .param("NK", s.get("NK"))
+        .param("NL", s.get("NL"))
+        .param("NM", s.get("NM"))
+        .array("A", &["NI", "NK"])
+        .array("B", &["NK", "NJ"])
+        .array("C", &["NJ", "NM"])
+        .array("D", &["NM", "NL"])
+        .array("E", &["NI", "NJ"])
+        .array("F", &["NJ", "NL"])
+        .array("G", &["NI", "NL"]);
+    let a = ArrayView::whole("A", &p.extents("A").unwrap());
+    let b = ArrayView::whole("B", &p.extents("B").unwrap());
+    let c = ArrayView::whole("C", &p.extents("C").unwrap());
+    let d = ArrayView::whole("D", &p.extents("D").unwrap());
+    let e = ArrayView::whole("E", &p.extents("E").unwrap());
+    let f = ArrayView::whole("F", &p.extents("F").unwrap());
+    let g = ArrayView::whole("G", &p.extents("G").unwrap());
+    p.stmt(NpStmt::Assign {
+        target: e.clone(),
+        value: NpExpr::View(a).matmul(NpExpr::View(b)),
+    })
+    .stmt(NpStmt::Assign {
+        target: f.clone(),
+        value: NpExpr::View(c).matmul(NpExpr::View(d)),
+    })
+    .stmt(NpStmt::Assign {
+        target: g,
+        value: NpExpr::View(e).matmul(NpExpr::View(f)),
+    })
+    .lower()
+    .expect("3mm_py lowers")
+}
+
+// --------------------------------------------------------------------------
+// syrk: C = alpha*A*A^T + beta*C  (lower triangle)
+// --------------------------------------------------------------------------
+
+/// PolyBench `syrk`, A variant (triangular update, scaling fused).
+pub fn syrk_a(dataset: Dataset) -> Program {
+    let s = rank_update_sizes(dataset);
+    build(
+        "syrk_a",
+        &format!(
+            "program syrk_a {{
+               param N = {n}; param M = {m};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[N][M]; array C[N][N];
+               for i in 0..N {{
+                 for j in 0..i + 1 {{
+                   C[i][j] *= beta;
+                 }}
+                 for k in 0..M {{
+                   for j in 0..i + 1 {{
+                     C[i][j] += alpha * A[i][k] * A[j][k];
+                   }}
+                 }}
+               }}
+             }}",
+            n = s.get("N"),
+            m = s.get("M"),
+        ),
+    )
+}
+
+/// `syrk`, B variant: scaling over the columns first, update with the
+/// contraction loop outermost and the row loop innermost.
+pub fn syrk_b(dataset: Dataset) -> Program {
+    let s = rank_update_sizes(dataset);
+    build(
+        "syrk_b",
+        &format!(
+            "program syrk_b {{
+               param N = {n}; param M = {m};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[N][M]; array C[N][N];
+               for j in 0..N {{
+                 for i in j..N {{
+                   C[i][j] *= beta;
+                 }}
+               }}
+               for k in 0..M {{
+                 for j in 0..N {{
+                   for i in j..N {{
+                     C[i][j] += alpha * A[i][k] * A[j][k];
+                   }}
+                 }}
+               }}
+             }}",
+            n = s.get("N"),
+            m = s.get("M"),
+        ),
+    )
+}
+
+/// `syrk`, NPBench-style: triangular slice updates inside an explicit Python
+/// loop (`C[i, :i+1] *= beta; C[i, :i+1] += alpha * A[i, k] * A[:i+1, k]`).
+pub fn syrk_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = rank_update_sizes(dataset);
+    let p = NumpyProgram::new("syrk_py")
+        .param("N", s.get("N"))
+        .param("M", s.get("M"))
+        .scalar("alpha", 1.5)
+        .scalar("beta", 1.2)
+        .array("A", &["N", "M"])
+        .array("C", &["N", "N"]);
+    let row_slice = || {
+        ArrayView::sliced(
+            "C",
+            vec![Range::index(var("i")), Range::new(cst(0), var("i") + cst(1))],
+        )
+    };
+    let scale = NpStmt::AugAssign {
+        target: row_slice(),
+        op: BinOp::Mul,
+        value: NpExpr::Param(Var::new("beta")),
+    };
+    let update = NpStmt::For {
+        iter: Var::new("k"),
+        lower: cst(0),
+        upper: var("M"),
+        body: vec![NpStmt::AugAssign {
+            target: row_slice(),
+            op: BinOp::Add,
+            value: NpExpr::Param(Var::new("alpha"))
+                .mul(NpExpr::View(ArrayView::sliced(
+                    "A",
+                    vec![Range::index(var("i")), Range::index(var("k"))],
+                )))
+                .mul(NpExpr::View(ArrayView::sliced(
+                    "A",
+                    vec![Range::new(cst(0), var("i") + cst(1)), Range::index(var("k"))],
+                ))),
+        }],
+    };
+    p.stmt(NpStmt::For {
+        iter: Var::new("i"),
+        lower: cst(0),
+        upper: var("N"),
+        body: vec![scale, update],
+    })
+    .lower()
+    .expect("syrk_py lowers")
+}
+
+// --------------------------------------------------------------------------
+// syr2k: C = alpha*(A*B^T + B*A^T) + beta*C  (lower triangle)
+// --------------------------------------------------------------------------
+
+/// PolyBench `syr2k`, A variant.
+pub fn syr2k_a(dataset: Dataset) -> Program {
+    let s = rank_update_sizes(dataset);
+    build(
+        "syr2k_a",
+        &format!(
+            "program syr2k_a {{
+               param N = {n}; param M = {m};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[N][M]; array B[N][M]; array C[N][N];
+               for i in 0..N {{
+                 for j in 0..i + 1 {{
+                   C[i][j] *= beta;
+                 }}
+                 for k in 0..M {{
+                   for j in 0..i + 1 {{
+                     C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+                   }}
+                 }}
+               }}
+             }}",
+            n = s.get("N"),
+            m = s.get("M"),
+        ),
+    )
+}
+
+/// `syr2k`, B variant: column-first scaling, contraction loop outermost.
+pub fn syr2k_b(dataset: Dataset) -> Program {
+    let s = rank_update_sizes(dataset);
+    build(
+        "syr2k_b",
+        &format!(
+            "program syr2k_b {{
+               param N = {n}; param M = {m};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[N][M]; array B[N][M]; array C[N][N];
+               for j in 0..N {{
+                 for i in j..N {{
+                   C[i][j] *= beta;
+                 }}
+               }}
+               for k in 0..M {{
+                 for i in 0..N {{
+                   for j in 0..i + 1 {{
+                     C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+                   }}
+                 }}
+               }}
+             }}",
+            n = s.get("N"),
+            m = s.get("M"),
+        ),
+    )
+}
+
+/// `syr2k`, NPBench-style: triangular slice updates inside explicit loops.
+pub fn syr2k_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = rank_update_sizes(dataset);
+    let p = NumpyProgram::new("syr2k_py")
+        .param("N", s.get("N"))
+        .param("M", s.get("M"))
+        .scalar("alpha", 1.5)
+        .scalar("beta", 1.2)
+        .array("A", &["N", "M"])
+        .array("B", &["N", "M"])
+        .array("C", &["N", "N"]);
+    let row_slice = || {
+        ArrayView::sliced(
+            "C",
+            vec![Range::index(var("i")), Range::new(cst(0), var("i") + cst(1))],
+        )
+    };
+    let scale = NpStmt::AugAssign {
+        target: row_slice(),
+        op: BinOp::Mul,
+        value: NpExpr::Param(Var::new("beta")),
+    };
+    let col = |name: &str| {
+        NpExpr::View(ArrayView::sliced(
+            name,
+            vec![Range::new(cst(0), var("i") + cst(1)), Range::index(var("k"))],
+        ))
+    };
+    let elem = |name: &str| {
+        NpExpr::View(ArrayView::sliced(
+            name,
+            vec![Range::index(var("i")), Range::index(var("k"))],
+        ))
+    };
+    let update = NpStmt::For {
+        iter: Var::new("k"),
+        lower: cst(0),
+        upper: var("M"),
+        body: vec![NpStmt::AugAssign {
+            target: row_slice(),
+            op: BinOp::Add,
+            value: col("A")
+                .mul(NpExpr::Param(Var::new("alpha")))
+                .mul(elem("B"))
+                .add(col("B").mul(NpExpr::Param(Var::new("alpha"))).mul(elem("A"))),
+        }],
+    };
+    p.stmt(NpStmt::For {
+        iter: Var::new("i"),
+        lower: cst(0),
+        upper: var("N"),
+        body: vec![scale, update],
+    })
+    .lower()
+    .expect("syr2k_py lowers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::interp::run_seeded;
+
+    fn equivalent(a: &Program, b: &Program, arrays: &[&str]) {
+        let da = run_seeded(a).expect("A variant runs");
+        let db = run_seeded(b).expect("B variant runs");
+        for array in arrays {
+            let diff = da.max_abs_diff(&db, array).expect("same shape");
+            assert!(diff < 1e-9, "array {array} differs by {diff}");
+        }
+    }
+
+    #[test]
+    fn gemm_variants_are_equivalent() {
+        equivalent(&gemm_a(Dataset::Mini), &gemm_b(Dataset::Mini), &["C"]);
+        let (py, ops) = gemm_py(Dataset::Mini);
+        equivalent(&gemm_a(Dataset::Mini), &py, &["C"]);
+        assert!(!ops.is_empty());
+    }
+
+    #[test]
+    fn mm2_variants_are_equivalent() {
+        equivalent(&mm2_a(Dataset::Mini), &mm2_b(Dataset::Mini), &["D"]);
+        let (py, _) = mm2_py(Dataset::Mini);
+        equivalent(&mm2_a(Dataset::Mini), &py, &["D"]);
+    }
+
+    #[test]
+    fn mm3_variants_are_equivalent() {
+        equivalent(&mm3_a(Dataset::Mini), &mm3_b(Dataset::Mini), &["G"]);
+        let (py, _) = mm3_py(Dataset::Mini);
+        equivalent(&mm3_a(Dataset::Mini), &py, &["G"]);
+    }
+
+    #[test]
+    fn syrk_variants_are_equivalent() {
+        equivalent(&syrk_a(Dataset::Mini), &syrk_b(Dataset::Mini), &["C"]);
+        let (py, _) = syrk_py(Dataset::Mini);
+        equivalent(&syrk_a(Dataset::Mini), &py, &["C"]);
+    }
+
+    #[test]
+    fn syr2k_variants_are_equivalent() {
+        equivalent(&syr2k_a(Dataset::Mini), &syr2k_b(Dataset::Mini), &["C"]);
+        let (py, _) = syr2k_py(Dataset::Mini);
+        equivalent(&syr2k_a(Dataset::Mini), &py, &["C"]);
+    }
+
+    #[test]
+    fn large_sizes_validate_without_executing() {
+        for p in [
+            gemm_a(Dataset::Large),
+            gemm_b(Dataset::Large),
+            mm2_a(Dataset::Large),
+            mm3_a(Dataset::Large),
+            syrk_a(Dataset::Large),
+            syr2k_b(Dataset::Large),
+        ] {
+            assert!(p.validate().is_ok(), "{} should validate", p.name);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Data-mining kernels: correlation and covariance.
+//!
+//! These are the two benchmarks on which the paper's own pipeline
+//! under-performs against Polly in the C evaluation (the lifted reduction is
+//! executed in parallel with atomics, §4.1), while the Python-frontend
+//! variants do not show the problem because the frontend produces a different
+//! structure (§4.3) — which is why the Py variants below are expressed as
+//! separate operator-at-a-time nests.
+//!
+//! Differences from PolyBench C: the `stddev[j] <= eps ? 1.0 : stddev[j]`
+//! guard is replaced by `max(stddev[j], 0.1)`, identically in every variant,
+//! so cross-variant equivalence is preserved.
+
+use loop_ir::numpy::{FrameworkOp, FrameworkOpKind};
+use loop_ir::program::Program;
+
+use crate::kernels::build;
+use crate::sizes::{datamining_sizes, Dataset};
+
+/// Synthesized framework-op trace for the operator-at-a-time Py variants
+/// (mean/stddev reductions, centering elementwise, one matrix-product-like
+/// contraction for the correlation/covariance matrix).
+fn datamining_ops(dataset: Dataset, with_stddev: bool) -> Vec<FrameworkOp> {
+    let s = datamining_sizes(dataset);
+    let (m, n) = (s.get("M"), s.get("N"));
+    let mut ops = vec![
+        FrameworkOp {
+            kind: FrameworkOpKind::Reduction,
+            invocations: 1,
+            output_elements: m,
+        },
+        FrameworkOp {
+            kind: FrameworkOpKind::Elementwise,
+            invocations: 1,
+            output_elements: n * m,
+        },
+    ];
+    if with_stddev {
+        ops.push(FrameworkOp {
+            kind: FrameworkOpKind::Reduction,
+            invocations: 1,
+            output_elements: m,
+        });
+        ops.push(FrameworkOp {
+            kind: FrameworkOpKind::Elementwise,
+            invocations: 1,
+            output_elements: n * m,
+        });
+    }
+    ops.push(FrameworkOp {
+        kind: FrameworkOpKind::MatMul,
+        invocations: 1,
+        output_elements: m * m,
+    });
+    ops
+}
+
+// --------------------------------------------------------------------------
+// correlation
+// --------------------------------------------------------------------------
+
+/// PolyBench `correlation`, A variant.
+pub fn correlation_a(dataset: Dataset) -> Program {
+    let s = datamining_sizes(dataset);
+    build(
+        "correlation_a",
+        &format!(
+            "program correlation_a {{
+               param M = {m}; param N = {n};
+               scalar float_n = {nf}.0;
+               array data[N][M]; array corr[M][M]; array mean[M]; array stddev[M];
+               for j in 0..M {{
+                 mean[j] = 0.0;
+                 for i in 0..N {{ mean[j] += data[i][j]; }}
+                 mean[j] /= float_n;
+               }}
+               for j in 0..M {{
+                 stddev[j] = 0.0;
+                 for i in 0..N {{
+                   stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+                 }}
+                 stddev[j] /= float_n;
+                 stddev[j] = max(sqrt(stddev[j]), 0.1);
+               }}
+               for i in 0..N {{
+                 for j in 0..M {{
+                   data[i][j] -= mean[j];
+                   data[i][j] /= sqrt(float_n) * stddev[j];
+                 }}
+               }}
+               for i in 0..M {{
+                 corr[i][i] = 1.0;
+                 for j in i + 1..M {{
+                   corr[i][j] = 0.0;
+                   for k in 0..N {{ corr[i][j] += data[k][i] * data[k][j]; }}
+                   corr[j][i] = corr[i][j];
+                 }}
+               }}
+             }}",
+            m = s.get("M"),
+            n = s.get("N"),
+            nf = s.get("N"),
+        ),
+    )
+}
+
+/// `correlation`, B variant: the mean and stddev accumulations run with the
+/// row loop outermost, the normalization is split into two nests, and the
+/// correlation triangle is computed column-by-column.
+pub fn correlation_b(dataset: Dataset) -> Program {
+    let s = datamining_sizes(dataset);
+    build(
+        "correlation_b",
+        &format!(
+            "program correlation_b {{
+               param M = {m}; param N = {n};
+               scalar float_n = {nf}.0;
+               array data[N][M]; array corr[M][M]; array mean[M]; array stddev[M];
+               for j in 0..M {{ mean[j] = 0.0; }}
+               for i in 0..N {{ for j in 0..M {{ mean[j] += data[i][j]; }} }}
+               for j in 0..M {{ mean[j] /= float_n; }}
+               for j in 0..M {{ stddev[j] = 0.0; }}
+               for i in 0..N {{ for j in 0..M {{
+                 stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+               }} }}
+               for j in 0..M {{
+                 stddev[j] /= float_n;
+                 stddev[j] = max(sqrt(stddev[j]), 0.1);
+               }}
+               for j in 0..M {{ for i in 0..N {{
+                 data[i][j] -= mean[j];
+               }} }}
+               for j in 0..M {{ for i in 0..N {{
+                 data[i][j] /= sqrt(float_n) * stddev[j];
+               }} }}
+               for i in 0..M {{ corr[i][i] = 1.0; }}
+               for j in 0..M {{
+                 for i in 0..j {{
+                   corr[i][j] = 0.0;
+                   for k in 0..N {{ corr[i][j] += data[k][i] * data[k][j]; }}
+                   corr[j][i] = corr[i][j];
+                 }}
+               }}
+             }}",
+            m = s.get("M"),
+            n = s.get("N"),
+            nf = s.get("N"),
+        ),
+    )
+}
+
+/// `correlation`, Python-frontend style: every NumPy operation becomes its
+/// own loop nest (reductions, centering, scaling, then the `data.T @ data`
+/// style contraction over the full matrix followed by fixing the diagonal).
+pub fn correlation_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = datamining_sizes(dataset);
+    let program = build(
+        "correlation_py",
+        &format!(
+            "program correlation_py {{
+               param M = {m}; param N = {n};
+               scalar float_n = {nf}.0;
+               array data[N][M]; array corr[M][M]; array mean[M]; array stddev[M];
+               for _c0 in 0..M {{ mean[_c0] = 0.0; }}
+               for _r0 in 0..N {{ for _c0 in 0..M {{ mean[_c0] += data[_r0][_c0]; }} }}
+               for _c0 in 0..M {{ mean[_c0] /= float_n; }}
+               for _r1 in 0..N {{ for _c1 in 0..M {{ data[_r1][_c1] -= mean[_c1]; }} }}
+               for _c2 in 0..M {{ stddev[_c2] = 0.0; }}
+               for _r2 in 0..N {{ for _c2 in 0..M {{
+                 stddev[_c2] += data[_r2][_c2] * data[_r2][_c2];
+               }} }}
+               for _c2 in 0..M {{
+                 stddev[_c2] /= float_n;
+                 stddev[_c2] = max(sqrt(stddev[_c2]), 0.1);
+               }}
+               for _r3 in 0..N {{ for _c3 in 0..M {{
+                 data[_r3][_c3] /= sqrt(float_n) * stddev[_c3];
+               }} }}
+               for _i in 0..M {{ for _j in 0..M {{
+                 corr[_i][_j] = 0.0;
+                 for _k in 0..N {{ corr[_i][_j] += data[_k][_i] * data[_k][_j]; }}
+               }} }}
+               for _i in 0..M {{ corr[_i][_i] = 1.0; }}
+             }}",
+            m = s.get("M"),
+            n = s.get("N"),
+            nf = s.get("N"),
+        ),
+    );
+    (program, datamining_ops(dataset, true))
+}
+
+// --------------------------------------------------------------------------
+// covariance
+// --------------------------------------------------------------------------
+
+/// PolyBench `covariance`, A variant.
+pub fn covariance_a(dataset: Dataset) -> Program {
+    let s = datamining_sizes(dataset);
+    build(
+        "covariance_a",
+        &format!(
+            "program covariance_a {{
+               param M = {m}; param N = {n};
+               scalar float_n = {nf}.0;
+               array data[N][M]; array cov[M][M]; array mean[M];
+               for j in 0..M {{
+                 mean[j] = 0.0;
+                 for i in 0..N {{ mean[j] += data[i][j]; }}
+                 mean[j] /= float_n;
+               }}
+               for i in 0..N {{ for j in 0..M {{ data[i][j] -= mean[j]; }} }}
+               for i in 0..M {{
+                 for j in i..M {{
+                   cov[i][j] = 0.0;
+                   for k in 0..N {{ cov[i][j] += data[k][i] * data[k][j]; }}
+                   cov[i][j] /= float_n - 1.0;
+                   cov[j][i] = cov[i][j];
+                 }}
+               }}
+             }}",
+            m = s.get("M"),
+            n = s.get("N"),
+            nf = s.get("N"),
+        ),
+    )
+}
+
+/// `covariance`, B variant: row-outer mean accumulation, column-major
+/// centering, and the covariance triangle computed per column.
+pub fn covariance_b(dataset: Dataset) -> Program {
+    let s = datamining_sizes(dataset);
+    build(
+        "covariance_b",
+        &format!(
+            "program covariance_b {{
+               param M = {m}; param N = {n};
+               scalar float_n = {nf}.0;
+               array data[N][M]; array cov[M][M]; array mean[M];
+               for j in 0..M {{ mean[j] = 0.0; }}
+               for i in 0..N {{ for j in 0..M {{ mean[j] += data[i][j]; }} }}
+               for j in 0..M {{ mean[j] /= float_n; }}
+               for j in 0..M {{ for i in 0..N {{ data[i][j] -= mean[j]; }} }}
+               for j in 0..M {{
+                 for i in 0..j + 1 {{
+                   cov[i][j] = 0.0;
+                   for k in 0..N {{ cov[i][j] += data[k][i] * data[k][j]; }}
+                   cov[i][j] /= float_n - 1.0;
+                   cov[j][i] = cov[i][j];
+                 }}
+               }}
+             }}",
+            m = s.get("M"),
+            n = s.get("N"),
+            nf = s.get("N"),
+        ),
+    )
+}
+
+/// `covariance`, Python-frontend style (operator-at-a-time nests).
+pub fn covariance_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = datamining_sizes(dataset);
+    let program = build(
+        "covariance_py",
+        &format!(
+            "program covariance_py {{
+               param M = {m}; param N = {n};
+               scalar float_n = {nf}.0;
+               array data[N][M]; array cov[M][M]; array mean[M];
+               for _c0 in 0..M {{ mean[_c0] = 0.0; }}
+               for _r0 in 0..N {{ for _c0 in 0..M {{ mean[_c0] += data[_r0][_c0]; }} }}
+               for _c0 in 0..M {{ mean[_c0] /= float_n; }}
+               for _r1 in 0..N {{ for _c1 in 0..M {{ data[_r1][_c1] -= mean[_c1]; }} }}
+               for _i in 0..M {{ for _j in 0..M {{
+                 cov[_i][_j] = 0.0;
+                 for _k in 0..N {{ cov[_i][_j] += data[_k][_i] * data[_k][_j]; }}
+                 cov[_i][_j] /= float_n - 1.0;
+               }} }}
+             }}",
+            m = s.get("M"),
+            n = s.get("N"),
+            nf = s.get("N"),
+        ),
+    );
+    (program, datamining_ops(dataset, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::interp::run_seeded;
+
+    fn equivalent(a: &Program, b: &Program, arrays: &[&str]) {
+        let da = run_seeded(a).expect("first variant runs");
+        let db = run_seeded(b).expect("second variant runs");
+        for array in arrays {
+            let diff = da.max_abs_diff(&db, array).expect("same shape");
+            assert!(diff < 1e-9, "array {array} differs by {diff}");
+        }
+    }
+
+    #[test]
+    fn correlation_a_and_b_are_equivalent() {
+        equivalent(
+            &correlation_a(Dataset::Mini),
+            &correlation_b(Dataset::Mini),
+            &["corr", "mean", "stddev"],
+        );
+    }
+
+    #[test]
+    fn correlation_py_matches_on_the_off_diagonal_shape() {
+        // The Python-style variant computes the full corr matrix (including
+        // diagonal fix-up) and matches the A variant everywhere.
+        let (py, ops) = correlation_py(Dataset::Mini);
+        equivalent(&correlation_a(Dataset::Mini), &py, &["corr"]);
+        assert!(ops.iter().any(|o| o.kind == FrameworkOpKind::MatMul));
+    }
+
+    #[test]
+    fn covariance_variants_are_equivalent() {
+        equivalent(
+            &covariance_a(Dataset::Mini),
+            &covariance_b(Dataset::Mini),
+            &["cov", "mean"],
+        );
+        let (py, _) = covariance_py(Dataset::Mini);
+        equivalent(&covariance_a(Dataset::Mini), &py, &["cov"]);
+    }
+
+    #[test]
+    fn large_variants_validate() {
+        assert!(correlation_a(Dataset::Large).validate().is_ok());
+        assert!(correlation_b(Dataset::Large).validate().is_ok());
+        assert!(covariance_a(Dataset::Large).validate().is_ok());
+        assert!(covariance_b(Dataset::Large).validate().is_ok());
+    }
+}

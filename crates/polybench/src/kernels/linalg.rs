@@ -1,0 +1,526 @@
+//! Matrix-vector kernels: atax, bicg, mvt, gemver, gesummv.
+
+use loop_ir::expr::Var;
+use loop_ir::numpy::{ArrayView, FrameworkOp, NpExpr, NpStmt, NumpyProgram};
+use loop_ir::program::Program;
+use loop_ir::scalar::BinOp;
+
+use crate::kernels::build;
+use crate::sizes::{matvec_sizes, Dataset};
+
+// --------------------------------------------------------------------------
+// atax: y = A^T (A x)
+// --------------------------------------------------------------------------
+
+/// PolyBench `atax`, A variant.
+pub fn atax_a(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "atax_a",
+        &format!(
+            "program atax_a {{
+               param M = {m}; param N = {n};
+               array A[M][N]; array x[N]; array y[N]; array tmp[M];
+               for j in 0..N {{ y[j] = 0.0; }}
+               for i in 0..M {{
+                 tmp[i] = 0.0;
+                 for j in 0..N {{ tmp[i] += A[i][j] * x[j]; }}
+                 for j in 0..N {{ y[j] += A[i][j] * tmp[i]; }}
+               }}
+             }}",
+            m = s.get("M"),
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `atax`, B variant: the two products are separate nests, the second one
+/// runs with `j` outermost (column-major traversal of `A`).
+pub fn atax_b(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "atax_b",
+        &format!(
+            "program atax_b {{
+               param M = {m}; param N = {n};
+               array A[M][N]; array x[N]; array y[N]; array tmp[M];
+               for i in 0..M {{ tmp[i] = 0.0; }}
+               for i in 0..M {{ for j in 0..N {{ tmp[i] += A[i][j] * x[j]; }} }}
+               for j in 0..N {{ y[j] = 0.0; }}
+               for j in 0..N {{ for i in 0..M {{ y[j] += A[i][j] * tmp[i]; }} }}
+             }}",
+            m = s.get("M"),
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `atax`, NPBench-style: `tmp = A @ x; y = A.T @ tmp`.
+pub fn atax_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = matvec_sizes(dataset);
+    let p = NumpyProgram::new("atax_py")
+        .param("M", s.get("M"))
+        .param("N", s.get("N"))
+        .array("A", &["M", "N"])
+        .array("x", &["N"])
+        .array("y", &["N"])
+        .array("tmp", &["M"]);
+    let a = ArrayView::whole("A", &p.extents("A").unwrap());
+    let x = ArrayView::whole("x", &p.extents("x").unwrap());
+    let y = ArrayView::whole("y", &p.extents("y").unwrap());
+    let tmp = ArrayView::whole("tmp", &p.extents("tmp").unwrap());
+    p.stmt(NpStmt::Assign {
+        target: tmp.clone(),
+        value: NpExpr::View(a.clone()).matmul(NpExpr::View(x)),
+    })
+    .stmt(NpStmt::Assign {
+        target: y,
+        value: NpExpr::View(a.t()).matmul(NpExpr::View(tmp)),
+    })
+    .lower()
+    .expect("atax_py lowers")
+}
+
+// --------------------------------------------------------------------------
+// bicg: s = r A, q = A p
+// --------------------------------------------------------------------------
+
+/// PolyBench `bicg`, A variant (both products fused into one nest).
+pub fn bicg_a(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "bicg_a",
+        &format!(
+            "program bicg_a {{
+               param N = {n}; param M = {m};
+               array A[N][M]; array s[M]; array q[N]; array p[M]; array r[N];
+               for i in 0..M {{ s[i] = 0.0; }}
+               for i in 0..N {{
+                 q[i] = 0.0;
+                 for j in 0..M {{
+                   s[j] += r[i] * A[i][j];
+                   q[i] += A[i][j] * p[j];
+                 }}
+               }}
+             }}",
+            n = s.get("N"),
+            m = s.get("M"),
+        ),
+    )
+}
+
+/// `bicg`, B variant: the two products are computed in separate nests, the
+/// `s` product with `j` outermost.
+pub fn bicg_b(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "bicg_b",
+        &format!(
+            "program bicg_b {{
+               param N = {n}; param M = {m};
+               array A[N][M]; array s[M]; array q[N]; array p[M]; array r[N];
+               for j in 0..M {{ s[j] = 0.0; }}
+               for j in 0..M {{ for i in 0..N {{ s[j] += r[i] * A[i][j]; }} }}
+               for i in 0..N {{ q[i] = 0.0; }}
+               for i in 0..N {{ for j in 0..M {{ q[i] += A[i][j] * p[j]; }} }}
+             }}",
+            n = s.get("N"),
+            m = s.get("M"),
+        ),
+    )
+}
+
+/// `bicg`, NPBench-style: `s = r @ A; q = A @ p`.
+pub fn bicg_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let sz = matvec_sizes(dataset);
+    let p = NumpyProgram::new("bicg_py")
+        .param("N", sz.get("N"))
+        .param("M", sz.get("M"))
+        .array("A", &["N", "M"])
+        .array("s", &["M"])
+        .array("q", &["N"])
+        .array("p", &["M"])
+        .array("r", &["N"]);
+    let a = ArrayView::whole("A", &p.extents("A").unwrap());
+    let s = ArrayView::whole("s", &p.extents("s").unwrap());
+    let q = ArrayView::whole("q", &p.extents("q").unwrap());
+    let pv = ArrayView::whole("p", &p.extents("p").unwrap());
+    let r = ArrayView::whole("r", &p.extents("r").unwrap());
+    p.stmt(NpStmt::Assign {
+        target: s,
+        value: NpExpr::View(r).matmul(NpExpr::View(a.clone())),
+    })
+    .stmt(NpStmt::Assign {
+        target: q,
+        value: NpExpr::View(a).matmul(NpExpr::View(pv)),
+    })
+    .lower()
+    .expect("bicg_py lowers")
+}
+
+// --------------------------------------------------------------------------
+// mvt: x1 += A y1, x2 += A^T y2
+// --------------------------------------------------------------------------
+
+/// PolyBench `mvt`, A variant.
+pub fn mvt_a(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "mvt_a",
+        &format!(
+            "program mvt_a {{
+               param N = {n};
+               array A[N][N]; array x1[N]; array x2[N]; array y1[N]; array y2[N];
+               for i in 0..N {{ for j in 0..N {{ x1[i] += A[i][j] * y1[j]; }} }}
+               for i in 0..N {{ for j in 0..N {{ x2[i] += A[j][i] * y2[j]; }} }}
+             }}",
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `mvt`, B variant: both nests interchanged (the first becomes column-major,
+/// the second row-major).
+pub fn mvt_b(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "mvt_b",
+        &format!(
+            "program mvt_b {{
+               param N = {n};
+               array A[N][N]; array x1[N]; array x2[N]; array y1[N]; array y2[N];
+               for j in 0..N {{ for i in 0..N {{ x1[i] += A[i][j] * y1[j]; }} }}
+               for j in 0..N {{ for i in 0..N {{ x2[i] += A[j][i] * y2[j]; }} }}
+             }}",
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `mvt`, NPBench-style: `x1 += A @ y1; x2 += A.T @ y2`.
+pub fn mvt_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = matvec_sizes(dataset);
+    let p = NumpyProgram::new("mvt_py")
+        .param("N", s.get("N"))
+        .array("A", &["N", "N"])
+        .array("x1", &["N"])
+        .array("x2", &["N"])
+        .array("y1", &["N"])
+        .array("y2", &["N"]);
+    let a = ArrayView::whole("A", &p.extents("A").unwrap());
+    let x1 = ArrayView::whole("x1", &p.extents("x1").unwrap());
+    let x2 = ArrayView::whole("x2", &p.extents("x2").unwrap());
+    let y1 = ArrayView::whole("y1", &p.extents("y1").unwrap());
+    let y2 = ArrayView::whole("y2", &p.extents("y2").unwrap());
+    p.stmt(NpStmt::AugAssign {
+        target: x1,
+        op: BinOp::Add,
+        value: NpExpr::View(a.clone()).matmul(NpExpr::View(y1)),
+    })
+    .stmt(NpStmt::AugAssign {
+        target: x2,
+        op: BinOp::Add,
+        value: NpExpr::View(a.t()).matmul(NpExpr::View(y2)),
+    })
+    .lower()
+    .expect("mvt_py lowers")
+}
+
+// --------------------------------------------------------------------------
+// gemver: rank-1 updates + two matrix-vector products
+// --------------------------------------------------------------------------
+
+/// PolyBench `gemver`, A variant.
+pub fn gemver_a(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "gemver_a",
+        &format!(
+            "program gemver_a {{
+               param N = {n};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[N][N]; array u1[N]; array v1[N]; array u2[N]; array v2[N];
+               array w[N]; array x[N]; array y[N]; array z[N];
+               for i in 0..N {{ for j in 0..N {{
+                 A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+               }} }}
+               for i in 0..N {{ for j in 0..N {{
+                 x[i] = x[i] + beta * A[j][i] * y[j];
+               }} }}
+               for i in 0..N {{ x[i] = x[i] + z[i]; }}
+               for i in 0..N {{ for j in 0..N {{
+                 w[i] = w[i] + alpha * A[i][j] * x[j];
+               }} }}
+             }}",
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `gemver`, B variant: the rank-1 update and the first product run with the
+/// loops interchanged.
+pub fn gemver_b(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "gemver_b",
+        &format!(
+            "program gemver_b {{
+               param N = {n};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[N][N]; array u1[N]; array v1[N]; array u2[N]; array v2[N];
+               array w[N]; array x[N]; array y[N]; array z[N];
+               for j in 0..N {{ for i in 0..N {{
+                 A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+               }} }}
+               for j in 0..N {{ for i in 0..N {{
+                 x[i] = x[i] + beta * A[j][i] * y[j];
+               }} }}
+               for i in 0..N {{ x[i] = x[i] + z[i]; }}
+               for j in 0..N {{ for i in 0..N {{
+                 w[i] = w[i] + alpha * A[i][j] * x[j];
+               }} }}
+             }}",
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `gemver`, NPBench-style: rank-1 update through an explicit row loop,
+/// products through `@` with temporaries.
+pub fn gemver_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    use loop_ir::expr::{cst, var};
+    use loop_ir::numpy::Range;
+    let s = matvec_sizes(dataset);
+    let p = NumpyProgram::new("gemver_py")
+        .param("N", s.get("N"))
+        .scalar("alpha", 1.5)
+        .scalar("beta", 1.2)
+        .array("A", &["N", "N"])
+        .array("u1", &["N"])
+        .array("v1", &["N"])
+        .array("u2", &["N"])
+        .array("v2", &["N"])
+        .array("w", &["N"])
+        .array("x", &["N"])
+        .array("y", &["N"])
+        .array("z", &["N"])
+        .array("t1", &["N"])
+        .array("t2", &["N"]);
+    let n_extent = p.extents("A").unwrap();
+    let vec_extent = p.extents("x").unwrap();
+    let whole = |name: &str| {
+        if name == "A" {
+            ArrayView::whole(name, &n_extent)
+        } else {
+            ArrayView::whole(name, &vec_extent)
+        }
+    };
+    let row = |name: &str| {
+        ArrayView::sliced(
+            name,
+            vec![Range::index(var("i")), Range::new(cst(0), var("N"))],
+        )
+    };
+    let elem = |name: &str| ArrayView::sliced(name, vec![Range::index(var("i"))]);
+    // A[i, :] += u1[i]*v1[:] + u2[i]*v2[:]
+    let rank1 = NpStmt::For {
+        iter: Var::new("i"),
+        lower: cst(0),
+        upper: var("N"),
+        body: vec![NpStmt::AugAssign {
+            target: row("A"),
+            op: BinOp::Add,
+            value: NpExpr::View(elem("u1"))
+                .mul(NpExpr::View(whole("v1")))
+                .add(NpExpr::View(elem("u2")).mul(NpExpr::View(whole("v2")))),
+        }],
+    };
+    let (program, ops) = p
+        .stmt(rank1)
+        // t1 = A.T @ y ; x += beta * t1 ; x += z
+        .stmt(NpStmt::Assign {
+            target: whole("t1"),
+            value: NpExpr::View(whole("A").t()).matmul(NpExpr::View(whole("y"))),
+        })
+        .stmt(NpStmt::AugAssign {
+            target: whole("x"),
+            op: BinOp::Add,
+            value: NpExpr::View(whole("t1")).mul(NpExpr::Param(Var::new("beta"))),
+        })
+        .stmt(NpStmt::AugAssign {
+            target: whole("x"),
+            op: BinOp::Add,
+            value: NpExpr::View(whole("z")),
+        })
+        // t2 = A @ x ; w += alpha * t2
+        .stmt(NpStmt::Assign {
+            target: whole("t2"),
+            value: NpExpr::View(whole("A")).matmul(NpExpr::View(whole("x"))),
+        })
+        .stmt(NpStmt::AugAssign {
+            target: whole("w"),
+            op: BinOp::Add,
+            value: NpExpr::View(whole("t2")).mul(NpExpr::Param(Var::new("alpha"))),
+        })
+        .lower()
+        .expect("gemver_py lowers");
+    (program, ops)
+}
+
+// --------------------------------------------------------------------------
+// gesummv: y = alpha*A*x + beta*B*x
+// --------------------------------------------------------------------------
+
+/// PolyBench `gesummv`, A variant (everything fused into one nest).
+pub fn gesummv_a(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "gesummv_a",
+        &format!(
+            "program gesummv_a {{
+               param N = {n};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[N][N]; array B[N][N]; array x[N]; array y[N]; array tmp[N];
+               for i in 0..N {{
+                 tmp[i] = 0.0;
+                 y[i] = 0.0;
+                 for j in 0..N {{
+                   tmp[i] += A[i][j] * x[j];
+                   y[i] += B[i][j] * x[j];
+                 }}
+                 y[i] = alpha * tmp[i] + beta * y[i];
+               }}
+             }}",
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `gesummv`, B variant: the two products and the final combination are
+/// separate nests, the products with `j` outermost.
+pub fn gesummv_b(dataset: Dataset) -> Program {
+    let s = matvec_sizes(dataset);
+    build(
+        "gesummv_b",
+        &format!(
+            "program gesummv_b {{
+               param N = {n};
+               scalar alpha = 1.5; scalar beta = 1.2;
+               array A[N][N]; array B[N][N]; array x[N]; array y[N]; array tmp[N];
+               for i in 0..N {{ tmp[i] = 0.0; }}
+               for i in 0..N {{ y[i] = 0.0; }}
+               for j in 0..N {{ for i in 0..N {{ tmp[i] += A[i][j] * x[j]; }} }}
+               for j in 0..N {{ for i in 0..N {{ y[i] += B[i][j] * x[j]; }} }}
+               for i in 0..N {{ y[i] = alpha * tmp[i] + beta * y[i]; }}
+             }}",
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `gesummv`, NPBench-style: `tmp = A @ x; y = B @ x; y = alpha*tmp + beta*y`.
+pub fn gesummv_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = matvec_sizes(dataset);
+    let p = NumpyProgram::new("gesummv_py")
+        .param("N", s.get("N"))
+        .scalar("alpha", 1.5)
+        .scalar("beta", 1.2)
+        .array("A", &["N", "N"])
+        .array("B", &["N", "N"])
+        .array("x", &["N"])
+        .array("y", &["N"])
+        .array("tmp", &["N"]);
+    let mat_extent = p.extents("A").unwrap();
+    let vec_extent = p.extents("x").unwrap();
+    let whole = |name: &str| {
+        if name == "A" || name == "B" {
+            ArrayView::whole(name, &mat_extent)
+        } else {
+            ArrayView::whole(name, &vec_extent)
+        }
+    };
+    p.stmt(NpStmt::Assign {
+        target: whole("tmp"),
+        value: NpExpr::View(whole("A")).matmul(NpExpr::View(whole("x"))),
+    })
+    .stmt(NpStmt::Assign {
+        target: whole("y"),
+        value: NpExpr::View(whole("B")).matmul(NpExpr::View(whole("x"))),
+    })
+    .stmt(NpStmt::Assign {
+        target: whole("y"),
+        value: NpExpr::View(whole("tmp"))
+            .mul(NpExpr::Param(Var::new("alpha")))
+            .add(NpExpr::View(whole("y")).mul(NpExpr::Param(Var::new("beta")))),
+    })
+    .lower()
+    .expect("gesummv_py lowers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::interp::run_seeded;
+
+    fn equivalent(a: &Program, b: &Program, arrays: &[&str]) {
+        let da = run_seeded(a).expect("first variant runs");
+        let db = run_seeded(b).expect("second variant runs");
+        for array in arrays {
+            let diff = da.max_abs_diff(&db, array).expect("same shape");
+            assert!(diff < 1e-9, "array {array} differs by {diff}");
+        }
+    }
+
+    #[test]
+    fn atax_variants_are_equivalent() {
+        equivalent(&atax_a(Dataset::Mini), &atax_b(Dataset::Mini), &["y"]);
+        let (py, ops) = atax_py(Dataset::Mini);
+        equivalent(&atax_a(Dataset::Mini), &py, &["y"]);
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn bicg_variants_are_equivalent() {
+        equivalent(&bicg_a(Dataset::Mini), &bicg_b(Dataset::Mini), &["s", "q"]);
+        let (py, _) = bicg_py(Dataset::Mini);
+        equivalent(&bicg_a(Dataset::Mini), &py, &["s", "q"]);
+    }
+
+    #[test]
+    fn mvt_variants_are_equivalent() {
+        equivalent(&mvt_a(Dataset::Mini), &mvt_b(Dataset::Mini), &["x1", "x2"]);
+        let (py, _) = mvt_py(Dataset::Mini);
+        equivalent(&mvt_a(Dataset::Mini), &py, &["x1", "x2"]);
+    }
+
+    #[test]
+    fn gemver_variants_are_equivalent() {
+        equivalent(
+            &gemver_a(Dataset::Mini),
+            &gemver_b(Dataset::Mini),
+            &["A", "x", "w"],
+        );
+        let (py, _) = gemver_py(Dataset::Mini);
+        equivalent(&gemver_a(Dataset::Mini), &py, &["A", "x", "w"]);
+    }
+
+    #[test]
+    fn gesummv_variants_are_equivalent() {
+        equivalent(
+            &gesummv_a(Dataset::Mini),
+            &gesummv_b(Dataset::Mini),
+            &["y", "tmp"],
+        );
+        let (py, _) = gesummv_py(Dataset::Mini);
+        equivalent(&gesummv_a(Dataset::Mini), &py, &["y", "tmp"]);
+    }
+
+    #[test]
+    fn large_variants_validate() {
+        assert!(atax_a(Dataset::Large).validate().is_ok());
+        assert!(bicg_b(Dataset::Large).validate().is_ok());
+        assert!(mvt_a(Dataset::Large).validate().is_ok());
+        assert!(gemver_b(Dataset::Large).validate().is_ok());
+        assert!(gesummv_a(Dataset::Large).validate().is_ok());
+    }
+}

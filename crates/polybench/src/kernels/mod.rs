@@ -1,0 +1,45 @@
+//! Kernel definitions, grouped by PolyBench category.
+//!
+//! Every kernel module exposes three constructors:
+//!
+//! * `a_variant(dataset)` — the original PolyBench loop structure,
+//! * `b_variant(dataset)` — a semantically equivalent restructuring
+//!   (different loop permutation and composition),
+//! * `py_variant(dataset)` — the NPBench-style NumPy formulation lowered
+//!   through [`loop_ir::numpy`], returning the program and the framework-op
+//!   trace used by the Python-framework baselines.
+
+pub mod blas;
+pub mod datamining;
+pub mod linalg;
+pub mod stencils;
+
+use loop_ir::parser::parse_program;
+use loop_ir::program::Program;
+
+/// Parses a kernel source, panicking with the kernel name on error: kernel
+/// sources are compiled into the crate, so a parse failure is a bug in the
+/// suite, not a user error.
+pub(crate) fn build(name: &str, source: &str) -> Program {
+    match parse_program(source) {
+        Ok(p) => p,
+        Err(e) => panic!("benchmark `{name}` failed to build: {e}\n{source}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_parses_valid_sources() {
+        let p = build("t", "program t { param N = 4; array A[N]; for i in 0..N { A[i] = 1.0; } }");
+        assert_eq!(p.name, "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to build")]
+    fn build_panics_on_invalid_source() {
+        build("broken", "program broken {");
+    }
+}

@@ -1,0 +1,401 @@
+//! Stencil kernels: fdtd-2d, heat-3d, jacobi-2d.
+
+use loop_ir::expr::{cst, var, Var};
+use loop_ir::numpy::{ArrayView, FrameworkOp, FrameworkOpKind, NpExpr, NpStmt, NumpyProgram, Range};
+use loop_ir::program::Program;
+
+
+use crate::kernels::build;
+use crate::sizes::{stencil2d_sizes, stencil3d_sizes, Dataset};
+
+// --------------------------------------------------------------------------
+// fdtd-2d
+// --------------------------------------------------------------------------
+
+/// PolyBench `fdtd-2d`, A variant.
+pub fn fdtd2d_a(dataset: Dataset) -> Program {
+    let s = stencil2d_sizes(dataset);
+    build(
+        "fdtd2d_a",
+        &format!(
+            "program fdtd2d_a {{
+               param TMAX = {tmax}; param NX = {nx}; param NY = {ny};
+               array ex[NX][NY]; array ey[NX][NY]; array hz[NX][NY]; array fict[TMAX];
+               for t in 0..TMAX {{
+                 for j in 0..NY {{ ey[0][j] = fict[t]; }}
+                 for i in 1..NX {{ for j in 0..NY {{
+                   ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+                 }} }}
+                 for i in 0..NX {{ for j in 1..NY {{
+                   ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+                 }} }}
+                 for i in 0..NX - 1 {{ for j in 0..NY - 1 {{
+                   hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+                 }} }}
+               }}
+             }}",
+            tmax = s.get("TMAX"),
+            nx = s.get("NX"),
+            ny = s.get("NY"),
+        ),
+    )
+}
+
+/// `fdtd-2d`, B variant: the three field updates run with the `j` loop
+/// outermost (column-major traversal), which neither Polly nor icc optimize
+/// well (the example the paper calls out for Fig. 6).
+pub fn fdtd2d_b(dataset: Dataset) -> Program {
+    let s = stencil2d_sizes(dataset);
+    build(
+        "fdtd2d_b",
+        &format!(
+            "program fdtd2d_b {{
+               param TMAX = {tmax}; param NX = {nx}; param NY = {ny};
+               array ex[NX][NY]; array ey[NX][NY]; array hz[NX][NY]; array fict[TMAX];
+               for t in 0..TMAX {{
+                 for j in 0..NY {{ ey[0][j] = fict[t]; }}
+                 for j in 0..NY {{ for i in 1..NX {{
+                   ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+                 }} }}
+                 for j in 1..NY {{ for i in 0..NX {{
+                   ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+                 }} }}
+                 for j in 0..NY - 1 {{ for i in 0..NX - 1 {{
+                   hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+                 }} }}
+               }}
+             }}",
+            tmax = s.get("TMAX"),
+            nx = s.get("NX"),
+            ny = s.get("NY"),
+        ),
+    )
+}
+
+/// `fdtd-2d`, Python-frontend style: each field update is a whole-array
+/// slice operation (operator-at-a-time nests inside the time loop).
+pub fn fdtd2d_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = stencil2d_sizes(dataset);
+    let (tmax, nx, ny) = (s.get("TMAX"), s.get("NX"), s.get("NY"));
+    let program = build(
+        "fdtd2d_py",
+        &format!(
+            "program fdtd2d_py {{
+               param TMAX = {tmax}; param NX = {nx}; param NY = {ny};
+               array ex[NX][NY]; array ey[NX][NY]; array hz[NX][NY]; array fict[TMAX];
+               for t in 0..TMAX {{
+                 for _j0 in 0..NY {{ ey[0][_j0] = fict[t]; }}
+                 for _i1 in 1..NX {{ for _j1 in 0..NY {{
+                   ey[_i1][_j1] -= 0.5 * (hz[_i1][_j1] - hz[_i1 - 1][_j1]);
+                 }} }}
+                 for _i2 in 0..NX {{ for _j2 in 1..NY {{
+                   ex[_i2][_j2] -= 0.5 * (hz[_i2][_j2] - hz[_i2][_j2 - 1]);
+                 }} }}
+                 for _i3 in 0..NX - 1 {{ for _j3 in 0..NY - 1 {{
+                   hz[_i3][_j3] -= 0.7 * (ex[_i3][_j3 + 1] - ex[_i3][_j3] + ey[_i3 + 1][_j3] - ey[_i3][_j3]);
+                 }} }}
+               }}
+             }}",
+        ),
+    );
+    let ops = vec![
+        FrameworkOp {
+            kind: FrameworkOpKind::Elementwise,
+            invocations: tmax,
+            output_elements: ny,
+        },
+        FrameworkOp {
+            kind: FrameworkOpKind::Elementwise,
+            invocations: tmax,
+            output_elements: (nx - 1) * ny,
+        },
+        FrameworkOp {
+            kind: FrameworkOpKind::Elementwise,
+            invocations: tmax,
+            output_elements: nx * (ny - 1),
+        },
+        FrameworkOp {
+            kind: FrameworkOpKind::Elementwise,
+            invocations: tmax,
+            output_elements: (nx - 1) * (ny - 1),
+        },
+    ];
+    (program, ops)
+}
+
+// --------------------------------------------------------------------------
+// jacobi-2d
+// --------------------------------------------------------------------------
+
+/// PolyBench `jacobi-2d`, A variant.
+pub fn jacobi2d_a(dataset: Dataset) -> Program {
+    let s = stencil2d_sizes(dataset);
+    build(
+        "jacobi2d_a",
+        &format!(
+            "program jacobi2d_a {{
+               param TSTEPS = {t}; param N = {n};
+               array A[N][N]; array B[N][N];
+               for t in 0..TSTEPS {{
+                 for i in 1..N - 1 {{ for j in 1..N - 1 {{
+                   B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+                 }} }}
+                 for i in 1..N - 1 {{ for j in 1..N - 1 {{
+                   A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1] + B[i + 1][j] + B[i - 1][j]);
+                 }} }}
+               }}
+             }}",
+            t = s.get("TSTEPS"),
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `jacobi-2d`, B variant: both sweeps traverse the grid column-major.
+pub fn jacobi2d_b(dataset: Dataset) -> Program {
+    let s = stencil2d_sizes(dataset);
+    build(
+        "jacobi2d_b",
+        &format!(
+            "program jacobi2d_b {{
+               param TSTEPS = {t}; param N = {n};
+               array A[N][N]; array B[N][N];
+               for t in 0..TSTEPS {{
+                 for j in 1..N - 1 {{ for i in 1..N - 1 {{
+                   B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+                 }} }}
+                 for j in 1..N - 1 {{ for i in 1..N - 1 {{
+                   A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1] + B[i + 1][j] + B[i - 1][j]);
+                 }} }}
+               }}
+             }}",
+            t = s.get("TSTEPS"),
+            n = s.get("N"),
+        ),
+    )
+}
+
+/// `jacobi-2d`, NPBench-style: whole-array slice expressions inside the time
+/// loop, lowered through the NumPy frontend.
+pub fn jacobi2d_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = stencil2d_sizes(dataset);
+    let n = s.get("N");
+    let p = NumpyProgram::new("jacobi2d_py")
+        .param("TSTEPS", s.get("TSTEPS"))
+        .param("N", n)
+        .array("A", &["N", "N"])
+        .array("B", &["N", "N"]);
+    // interior view [1..N-1, 1..N-1] shifted by (di, dj).
+    let shifted = |name: &str, di: i64, dj: i64| {
+        ArrayView::sliced(
+            name,
+            vec![
+                Range::new(cst(1 + di), var("N") - cst(1 - di)),
+                Range::new(cst(1 + dj), var("N") - cst(1 - dj)),
+            ],
+        )
+    };
+    let five_point = |name: &str| {
+        NpExpr::Const(0.2).mul(
+            NpExpr::View(shifted(name, 0, 0))
+                .add(NpExpr::View(shifted(name, 0, -1)))
+                .add(NpExpr::View(shifted(name, 0, 1)))
+                .add(NpExpr::View(shifted(name, 1, 0)))
+                .add(NpExpr::View(shifted(name, -1, 0))),
+        )
+    };
+    let body = vec![
+        NpStmt::Assign {
+            target: shifted("B", 0, 0),
+            value: five_point("A"),
+        },
+        NpStmt::Assign {
+            target: shifted("A", 0, 0),
+            value: five_point("B"),
+        },
+    ];
+    p.stmt(NpStmt::For {
+        iter: Var::new("t"),
+        lower: cst(0),
+        upper: var("TSTEPS"),
+        body,
+    })
+    .lower()
+    .expect("jacobi2d_py lowers")
+}
+
+// --------------------------------------------------------------------------
+// heat-3d
+// --------------------------------------------------------------------------
+
+fn heat3d_update(dst: &str, src: &str, iters: (&str, &str, &str)) -> String {
+    let (i, j, k) = iters;
+    format!(
+        "{dst}[{i}][{j}][{k}] = 0.125 * ({src}[{i} + 1][{j}][{k}] - 2.0 * {src}[{i}][{j}][{k}] + {src}[{i} - 1][{j}][{k}])
+                 + 0.125 * ({src}[{i}][{j} + 1][{k}] - 2.0 * {src}[{i}][{j}][{k}] + {src}[{i}][{j} - 1][{k}])
+                 + 0.125 * ({src}[{i}][{j}][{k} + 1] - 2.0 * {src}[{i}][{j}][{k}] + {src}[{i}][{j}][{k} - 1])
+                 + {src}[{i}][{j}][{k}];"
+    )
+}
+
+/// PolyBench `heat-3d`, A variant.
+pub fn heat3d_a(dataset: Dataset) -> Program {
+    let s = stencil3d_sizes(dataset);
+    build(
+        "heat3d_a",
+        &format!(
+            "program heat3d_a {{
+               param TSTEPS = {t}; param N = {n};
+               array A[N][N][N]; array B[N][N][N];
+               for t in 0..TSTEPS {{
+                 for i in 1..N - 1 {{ for j in 1..N - 1 {{ for k in 1..N - 1 {{
+                   {update_b}
+                 }} }} }}
+                 for i in 1..N - 1 {{ for j in 1..N - 1 {{ for k in 1..N - 1 {{
+                   {update_a}
+                 }} }} }}
+               }}
+             }}",
+            t = s.get("TSTEPS"),
+            n = s.get("N"),
+            update_b = heat3d_update("B", "A", ("i", "j", "k")),
+            update_a = heat3d_update("A", "B", ("i", "j", "k")),
+        ),
+    )
+}
+
+/// `heat-3d`, B variant: the spatial loops run in (k, j, i) order, making the
+/// innermost accesses large-strided.
+pub fn heat3d_b(dataset: Dataset) -> Program {
+    let s = stencil3d_sizes(dataset);
+    build(
+        "heat3d_b",
+        &format!(
+            "program heat3d_b {{
+               param TSTEPS = {t}; param N = {n};
+               array A[N][N][N]; array B[N][N][N];
+               for t in 0..TSTEPS {{
+                 for k in 1..N - 1 {{ for j in 1..N - 1 {{ for i in 1..N - 1 {{
+                   {update_b}
+                 }} }} }}
+                 for k in 1..N - 1 {{ for j in 1..N - 1 {{ for i in 1..N - 1 {{
+                   {update_a}
+                 }} }} }}
+               }}
+             }}",
+            t = s.get("TSTEPS"),
+            n = s.get("N"),
+            update_b = heat3d_update("B", "A", ("i", "j", "k")),
+            update_a = heat3d_update("A", "B", ("i", "j", "k")),
+        ),
+    )
+}
+
+/// `heat-3d`, Python-frontend style: the same sweeps expressed as separate
+/// whole-array operations with frontend-generated iterator names.
+pub fn heat3d_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
+    let s = stencil3d_sizes(dataset);
+    let (tsteps, n) = (s.get("TSTEPS"), s.get("N"));
+    let program = build(
+        "heat3d_py",
+        &format!(
+            "program heat3d_py {{
+               param TSTEPS = {tsteps}; param N = {n};
+               array A[N][N][N]; array B[N][N][N];
+               for t in 0..TSTEPS {{
+                 for _i0 in 1..N - 1 {{ for _j0 in 1..N - 1 {{ for _k0 in 1..N - 1 {{
+                   {update_b}
+                 }} }} }}
+                 for _i1 in 1..N - 1 {{ for _j1 in 1..N - 1 {{ for _k1 in 1..N - 1 {{
+                   {update_a}
+                 }} }} }}
+               }}
+             }}",
+            update_b = heat3d_update("B", "A", ("_i0", "_j0", "_k0")),
+            update_a = heat3d_update("A", "B", ("_i1", "_j1", "_k1")),
+        ),
+    );
+    let interior = (n - 2) * (n - 2) * (n - 2);
+    let ops = vec![
+        FrameworkOp {
+            kind: FrameworkOpKind::Elementwise,
+            invocations: tsteps,
+            output_elements: interior,
+        },
+        FrameworkOp {
+            kind: FrameworkOpKind::Elementwise,
+            invocations: tsteps,
+            output_elements: interior,
+        },
+    ];
+    (program, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::interp::run_seeded;
+
+    fn equivalent(a: &Program, b: &Program, arrays: &[&str]) {
+        let da = run_seeded(a).expect("first variant runs");
+        let db = run_seeded(b).expect("second variant runs");
+        for array in arrays {
+            let diff = da.max_abs_diff(&db, array).expect("same shape");
+            assert!(diff < 1e-9, "array {array} differs by {diff}");
+        }
+    }
+
+    #[test]
+    fn fdtd2d_variants_are_equivalent() {
+        equivalent(
+            &fdtd2d_a(Dataset::Mini),
+            &fdtd2d_b(Dataset::Mini),
+            &["ex", "ey", "hz"],
+        );
+        let (py, ops) = fdtd2d_py(Dataset::Mini);
+        equivalent(&fdtd2d_a(Dataset::Mini), &py, &["ex", "ey", "hz"]);
+        assert_eq!(ops.len(), 4);
+    }
+
+    #[test]
+    fn jacobi2d_variants_are_equivalent() {
+        equivalent(
+            &jacobi2d_a(Dataset::Mini),
+            &jacobi2d_b(Dataset::Mini),
+            &["A", "B"],
+        );
+        let (py, _) = jacobi2d_py(Dataset::Mini);
+        equivalent(&jacobi2d_a(Dataset::Mini), &py, &["A", "B"]);
+    }
+
+    #[test]
+    fn heat3d_variants_are_equivalent() {
+        equivalent(
+            &heat3d_a(Dataset::Mini),
+            &heat3d_b(Dataset::Mini),
+            &["A", "B"],
+        );
+        let (py, _) = heat3d_py(Dataset::Mini);
+        equivalent(&heat3d_a(Dataset::Mini), &py, &["A", "B"]);
+    }
+
+    #[test]
+    fn stencil_b_variants_traverse_column_major() {
+        let b = jacobi2d_b(Dataset::Mini);
+        let order: Vec<String> = b.loop_nests()[0]
+            .nested_iterators()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(order[0], "t");
+        assert_eq!(order[1], "j");
+        assert_eq!(order[2], "i");
+    }
+
+    #[test]
+    fn large_variants_validate() {
+        assert!(fdtd2d_a(Dataset::Large).validate().is_ok());
+        assert!(jacobi2d_b(Dataset::Large).validate().is_ok());
+        assert!(heat3d_a(Dataset::Large).validate().is_ok());
+    }
+}

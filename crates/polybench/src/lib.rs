@@ -1,0 +1,30 @@
+//! # polybench — the benchmark suite of the evaluation
+//!
+//! The paper evaluates normalization + auto-scheduling on 15 parallelizable
+//! PolyBench kernels (§4), each in three structural families:
+//!
+//! * **A variants** — the original PolyBench C loop structure,
+//! * **B variants** — semantically equivalent implementations with different
+//!   loop permutations and compositions (the robustness test of Fig. 6),
+//! * **Py variants** — the NPBench NumPy formulations translated through the
+//!   NumPy-style frontend (operator-at-a-time loop nests, Fig. 9),
+//!
+//! plus the CLOUDSC cloud-microphysics proxy used in the §5 case study.
+//!
+//! All kernels are expressed directly in the loop-nest IR (through the
+//! textual frontend or the NumPy frontend) with the PolyBench LARGE problem
+//! sizes; [`Dataset::Mini`] provides small sizes so the reference interpreter
+//! can check that the three families compute the same values.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cloudsc;
+pub mod kernels;
+pub mod sizes;
+pub mod suite;
+pub mod variant;
+
+pub use sizes::Dataset;
+pub use suite::{all_benchmarks, benchmark, Benchmark};
+pub use variant::random_b_variant;

@@ -1,0 +1,163 @@
+//! Problem sizes for the benchmark suite.
+
+/// Which dataset size to instantiate a benchmark with.
+///
+/// `Large` matches the PolyBench 4.2 LARGE datasets used by the paper
+/// ("we only consider the large input size", §4); `Medium` is the PolyBench
+/// MEDIUM dataset (useful for faster experimentation); `Mini` is small enough
+/// for the reference interpreter to execute in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Tiny sizes for semantics tests (interpreter-friendly).
+    Mini,
+    /// PolyBench MEDIUM sizes.
+    Medium,
+    /// PolyBench LARGE sizes (the paper's configuration).
+    Large,
+}
+
+impl Dataset {
+    /// Scales a `(mini, medium, large)` triple.
+    pub fn pick(self, mini: i64, medium: i64, large: i64) -> i64 {
+        match self {
+            Dataset::Mini => mini,
+            Dataset::Medium => medium,
+            Dataset::Large => large,
+        }
+    }
+}
+
+/// Named sizes of one benchmark instance, a thin helper so every kernel
+/// module declares its parameters the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeSet {
+    entries: Vec<(&'static str, i64)>,
+}
+
+impl SizeSet {
+    /// Builds a size set from `(name, value)` pairs.
+    pub fn new(entries: Vec<(&'static str, i64)>) -> Self {
+        SizeSet { entries }
+    }
+
+    /// The value of a named size parameter.
+    ///
+    /// # Panics
+    /// Panics if the parameter is unknown — kernel definitions control both
+    /// sides, so this indicates a typo in the kernel module.
+    pub fn get(&self, name: &str) -> i64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("unknown size parameter `{name}`"))
+    }
+
+    /// All `(name, value)` pairs.
+    pub fn entries(&self) -> &[(&'static str, i64)] {
+        &self.entries
+    }
+}
+
+/// Sizes of the GEMM-family kernels (gemm, 2mm, 3mm).
+pub fn matmul_sizes(dataset: Dataset) -> SizeSet {
+    SizeSet::new(vec![
+        ("NI", dataset.pick(12, 180, 800)),
+        ("NJ", dataset.pick(14, 190, 900)),
+        ("NK", dataset.pick(16, 200, 1000)),
+        ("NL", dataset.pick(18, 210, 1100)),
+        ("NM", dataset.pick(20, 220, 1200)),
+    ])
+}
+
+/// Sizes of the matrix-vector kernels (atax, bicg, mvt, gemver, gesummv).
+pub fn matvec_sizes(dataset: Dataset) -> SizeSet {
+    SizeSet::new(vec![
+        ("M", dataset.pick(14, 390, 1900)),
+        ("N", dataset.pick(16, 410, 2100)),
+    ])
+}
+
+/// Sizes of the rank-update kernels (syrk, syr2k).
+pub fn rank_update_sizes(dataset: Dataset) -> SizeSet {
+    SizeSet::new(vec![
+        ("N", dataset.pick(12, 240, 1200)),
+        ("M", dataset.pick(10, 200, 1000)),
+    ])
+}
+
+/// Sizes of the data-mining kernels (correlation, covariance).
+pub fn datamining_sizes(dataset: Dataset) -> SizeSet {
+    SizeSet::new(vec![
+        ("M", dataset.pick(10, 240, 1200)),
+        ("N", dataset.pick(12, 260, 1400)),
+    ])
+}
+
+/// Sizes of the 2-D stencils (fdtd-2d, jacobi-2d).
+pub fn stencil2d_sizes(dataset: Dataset) -> SizeSet {
+    SizeSet::new(vec![
+        ("TMAX", dataset.pick(4, 100, 500)),
+        ("NX", dataset.pick(12, 500, 1000)),
+        ("NY", dataset.pick(14, 600, 1200)),
+        ("N", dataset.pick(13, 650, 1300)),
+        ("TSTEPS", dataset.pick(4, 100, 500)),
+    ])
+}
+
+/// Sizes of the 3-D stencil (heat-3d).
+pub fn stencil3d_sizes(dataset: Dataset) -> SizeSet {
+    SizeSet::new(vec![
+        ("TSTEPS", dataset.pick(3, 100, 500)),
+        ("N", dataset.pick(10, 40, 120)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_pick() {
+        assert_eq!(Dataset::Mini.pick(1, 2, 3), 1);
+        assert_eq!(Dataset::Medium.pick(1, 2, 3), 2);
+        assert_eq!(Dataset::Large.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn size_set_lookup() {
+        let s = matmul_sizes(Dataset::Large);
+        assert_eq!(s.get("NI"), 800);
+        assert_eq!(s.get("NM"), 1200);
+        assert_eq!(s.entries().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown size parameter")]
+    fn unknown_size_panics() {
+        matmul_sizes(Dataset::Mini).get("ZZ");
+    }
+
+    #[test]
+    fn large_sizes_match_polybench_large() {
+        assert_eq!(matvec_sizes(Dataset::Large).get("M"), 1900);
+        assert_eq!(rank_update_sizes(Dataset::Large).get("N"), 1200);
+        assert_eq!(datamining_sizes(Dataset::Large).get("N"), 1400);
+        assert_eq!(stencil2d_sizes(Dataset::Large).get("TMAX"), 500);
+        assert_eq!(stencil3d_sizes(Dataset::Large).get("N"), 120);
+    }
+
+    #[test]
+    fn mini_sizes_are_interpreter_friendly() {
+        for s in [
+            matmul_sizes(Dataset::Mini),
+            matvec_sizes(Dataset::Mini),
+            rank_update_sizes(Dataset::Mini),
+            datamining_sizes(Dataset::Mini),
+            stencil2d_sizes(Dataset::Mini),
+            stencil3d_sizes(Dataset::Mini),
+        ] {
+            assert!(s.entries().iter().all(|(_, v)| *v <= 20));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The benchmark registry: the 15 PolyBench kernels of the evaluation.
+
+use loop_ir::numpy::FrameworkOp;
+use loop_ir::program::Program;
+
+use crate::kernels::{blas, datamining, linalg, stencils};
+use crate::sizes::Dataset;
+
+/// One benchmark with its three structural families.
+#[derive(Clone)]
+pub struct Benchmark {
+    /// PolyBench benchmark name.
+    pub name: &'static str,
+    /// The original PolyBench structure.
+    pub a: fn(Dataset) -> Program,
+    /// The restructured, semantically equivalent variant.
+    pub b: fn(Dataset) -> Program,
+    /// The NPBench/Python-frontend style variant plus its framework-op trace.
+    pub py: fn(Dataset) -> (Program, Vec<FrameworkOp>),
+    /// The arrays holding the benchmark result (used by equivalence tests).
+    pub outputs: &'static [&'static str],
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+/// The 15 parallelizable PolyBench benchmarks selected by the paper (§4).
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "2mm",
+            a: blas::mm2_a,
+            b: blas::mm2_b,
+            py: blas::mm2_py,
+            outputs: &["D"],
+        },
+        Benchmark {
+            name: "3mm",
+            a: blas::mm3_a,
+            b: blas::mm3_b,
+            py: blas::mm3_py,
+            outputs: &["G"],
+        },
+        Benchmark {
+            name: "atax",
+            a: linalg::atax_a,
+            b: linalg::atax_b,
+            py: linalg::atax_py,
+            outputs: &["y"],
+        },
+        Benchmark {
+            name: "bicg",
+            a: linalg::bicg_a,
+            b: linalg::bicg_b,
+            py: linalg::bicg_py,
+            outputs: &["s", "q"],
+        },
+        Benchmark {
+            name: "correlation",
+            a: datamining::correlation_a,
+            b: datamining::correlation_b,
+            py: datamining::correlation_py,
+            outputs: &["corr"],
+        },
+        Benchmark {
+            name: "covariance",
+            a: datamining::covariance_a,
+            b: datamining::covariance_b,
+            py: datamining::covariance_py,
+            outputs: &["cov"],
+        },
+        Benchmark {
+            name: "fdtd-2d",
+            a: stencils::fdtd2d_a,
+            b: stencils::fdtd2d_b,
+            py: stencils::fdtd2d_py,
+            outputs: &["ex", "ey", "hz"],
+        },
+        Benchmark {
+            name: "gemm",
+            a: blas::gemm_a,
+            b: blas::gemm_b,
+            py: blas::gemm_py,
+            outputs: &["C"],
+        },
+        Benchmark {
+            name: "gemver",
+            a: linalg::gemver_a,
+            b: linalg::gemver_b,
+            py: linalg::gemver_py,
+            outputs: &["w"],
+        },
+        Benchmark {
+            name: "gesummv",
+            a: linalg::gesummv_a,
+            b: linalg::gesummv_b,
+            py: linalg::gesummv_py,
+            outputs: &["y"],
+        },
+        Benchmark {
+            name: "heat-3d",
+            a: stencils::heat3d_a,
+            b: stencils::heat3d_b,
+            py: stencils::heat3d_py,
+            outputs: &["A", "B"],
+        },
+        Benchmark {
+            name: "jacobi-2d",
+            a: stencils::jacobi2d_a,
+            b: stencils::jacobi2d_b,
+            py: stencils::jacobi2d_py,
+            outputs: &["A", "B"],
+        },
+        Benchmark {
+            name: "mvt",
+            a: linalg::mvt_a,
+            b: linalg::mvt_b,
+            py: linalg::mvt_py,
+            outputs: &["x1", "x2"],
+        },
+        Benchmark {
+            name: "syr2k",
+            a: blas::syr2k_a,
+            b: blas::syr2k_b,
+            py: blas::syr2k_py,
+            outputs: &["C"],
+        },
+        Benchmark {
+            name: "syrk",
+            a: blas::syrk_a,
+            b: blas::syrk_b,
+            py: blas::syrk_py,
+            outputs: &["C"],
+        },
+    ]
+}
+
+/// Looks up a benchmark by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_fifteen_paper_benchmarks() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), 15);
+        for expected in [
+            "2mm",
+            "3mm",
+            "atax",
+            "bicg",
+            "correlation",
+            "covariance",
+            "fdtd-2d",
+            "gemm",
+            "gemver",
+            "gesummv",
+            "heat-3d",
+            "jacobi-2d",
+            "mvt",
+            "syr2k",
+            "syrk",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("gemm").is_some());
+        assert!(benchmark("does-not-exist").is_none());
+        assert_eq!(benchmark("mvt").unwrap().outputs, &["x1", "x2"]);
+    }
+
+    #[test]
+    fn every_benchmark_builds_at_mini_size() {
+        for b in all_benchmarks() {
+            let a = (b.a)(Dataset::Mini);
+            let bb = (b.b)(Dataset::Mini);
+            let (py, ops) = (b.py)(Dataset::Mini);
+            assert!(a.validate().is_ok(), "{} A", b.name);
+            assert!(bb.validate().is_ok(), "{} B", b.name);
+            assert!(py.validate().is_ok(), "{} Py", b.name);
+            assert!(!ops.is_empty(), "{} has no framework ops", b.name);
+            assert!(format!("{b:?}").contains(b.name));
+        }
+    }
+
+    #[test]
+    fn every_benchmark_builds_at_large_size() {
+        for b in all_benchmarks() {
+            assert!((b.a)(Dataset::Large).validate().is_ok(), "{} A large", b.name);
+            assert!((b.b)(Dataset::Large).validate().is_ok(), "{} B large", b.name);
+        }
+    }
+}

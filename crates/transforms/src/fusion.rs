@@ -1,0 +1,236 @@
+//! Loop fusion: merging two sibling loops with identical iteration domains.
+//!
+//! Fusion is used by the CLOUDSC case study (§5.1): after maximal fission the
+//! optimization recipe "iteratively fuses all one-to-one producer-consumer
+//! relations between loop nests", shortening the reuse distance of
+//! intermediate arrays.
+
+use loop_ir::expr::Expr;
+use loop_ir::nest::{Loop, Node};
+use loop_ir::visit::for_each_computation_mut;
+
+use crate::error::{Result, TransformError};
+
+/// Fuses two sibling loops into one.
+///
+/// The second loop's iterator is renamed to the first loop's iterator in all
+/// its statements, and the bodies are concatenated (first body, then second
+/// body). The schedules are merged conservatively: the fused loop is parallel
+/// or vectorized only if both inputs were.
+///
+/// # Errors
+/// Returns [`TransformError::DomainMismatch`] if the loops have different
+/// bounds or steps. Legality with respect to dependences must be checked by
+/// the caller (`dependence::can_fuse_siblings`).
+pub fn fuse(first: &Loop, second: &Loop) -> Result<Loop> {
+    if first.lower != second.lower || first.upper != second.upper || first.step != second.step {
+        return Err(TransformError::DomainMismatch);
+    }
+    let mut fused_body = first.body.clone();
+    let mut second_body = second.body.clone();
+    if second.iter != first.iter {
+        let replacement = Expr::Var(first.iter.clone());
+        for_each_computation_mut(&mut second_body, &mut |c| {
+            *c = c.clone().rename_via(&second.iter, &replacement);
+        });
+        rename_loop_bounds(&mut second_body, &second.iter, &replacement);
+    }
+    fused_body.extend(second_body);
+    let mut fused = Loop::new(
+        first.iter.clone(),
+        first.lower.clone(),
+        first.upper.clone(),
+        fused_body,
+    );
+    fused.step = first.step;
+    fused.schedule.parallel = first.schedule.parallel && second.schedule.parallel;
+    fused.schedule.vectorize = first.schedule.vectorize && second.schedule.vectorize;
+    fused.schedule.unroll = 1;
+    Ok(fused)
+}
+
+/// Iteratively fuses adjacent sibling loop nests connected by a one-to-one
+/// producer-consumer dependence, the optimization recipe of the paper's
+/// CLOUDSC case study (§5.1): after maximal fission, loops whose results feed
+/// directly into the next loop are merged again so intermediate values stay
+/// in cache (Fig. 10b).
+///
+/// Fusion is applied to every loop body (and the program's top level) until
+/// no more adjacent pair can be fused legally.
+pub fn fuse_producer_consumers(program: &loop_ir::Program) -> loop_ir::Program {
+    let graph = dependence::analyze(program);
+    let mut out = program.clone();
+    fuse_siblings_in(&mut out.body, &graph);
+    out
+}
+
+fn fuse_siblings_in(nodes: &mut Vec<Node>, graph: &dependence::DependenceGraph) {
+    // Depth first: fuse inside children before fusing the children together.
+    for node in nodes.iter_mut() {
+        if let Node::Loop(l) = node {
+            fuse_siblings_in(&mut l.body, graph);
+        }
+    }
+    let mut index = 0;
+    while index + 1 < nodes.len() {
+        let fused = match (&nodes[index], &nodes[index + 1]) {
+            (Node::Loop(first), Node::Loop(second)) => {
+                let connected = first.computations().iter().any(|p| {
+                    second
+                        .computations()
+                        .iter()
+                        .any(|c| graph.connected(p.id, c.id))
+                });
+                if connected && dependence::can_fuse_siblings(graph, first, second) {
+                    fuse(first, second).ok()
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match fused {
+            Some(merged) => {
+                nodes[index] = Node::Loop(merged);
+                nodes.remove(index + 1);
+                // Stay on the same index: the merged loop may fuse with the
+                // next sibling as well.
+            }
+            None => index += 1,
+        }
+    }
+}
+
+/// Renames an iterator inside the bounds of nested loops (needed when the
+/// second loop's body contains loops whose bounds reference its iterator).
+fn rename_loop_bounds(nodes: &mut [Node], from: &loop_ir::expr::Var, to: &Expr) {
+    for node in nodes {
+        if let Node::Loop(l) = node {
+            l.lower = l.lower.substitute(from, to);
+            l.upper = l.upper.substitute(from, to);
+            rename_loop_bounds(&mut l.body, from, to);
+        }
+    }
+}
+
+/// Extension helper: renaming through an arbitrary expression (not just a
+/// variable), used by [`fuse`].
+trait RenameVia {
+    fn rename_via(self, from: &loop_ir::expr::Var, to: &Expr) -> Self;
+}
+
+impl RenameVia for loop_ir::nest::Computation {
+    fn rename_via(self, from: &loop_ir::expr::Var, to: &Expr) -> Self {
+        loop_ir::nest::Computation {
+            id: self.id,
+            name: self.name,
+            target: self.target.substitute(from, to),
+            reduction: self.reduction,
+            value: self.value.substitute_index(from, to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::prelude::*;
+
+    fn producer() -> Loop {
+        let s = Computation::assign(
+            "P",
+            ArrayRef::new("B", vec![var("i")]),
+            load("A", vec![var("i")]) * fconst(2.0),
+        );
+        match for_loop("i", cst(0), var("N"), vec![Node::Computation(s)]) {
+            Node::Loop(l) => l,
+            _ => unreachable!(),
+        }
+    }
+
+    fn consumer(iter: &str) -> Loop {
+        let s = Computation::assign(
+            "C",
+            ArrayRef::new("D", vec![var(iter)]),
+            load("B", vec![var(iter)]) + fconst(1.0),
+        );
+        match for_loop(iter, cst(0), var("N"), vec![Node::Computation(s)]) {
+            Node::Loop(l) => l,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fusion_concatenates_bodies_in_order() {
+        let fused = fuse(&producer(), &consumer("j")).unwrap();
+        assert_eq!(fused.body.len(), 2);
+        let names: Vec<&str> = fused
+            .computations()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["P", "C"]);
+    }
+
+    #[test]
+    fn fusion_renames_second_iterator() {
+        let fused = fuse(&producer(), &consumer("j")).unwrap();
+        let consumer_comp = fused.computations()[1].clone();
+        assert!(consumer_comp.referenced_vars().contains(&Var::new("i")));
+        assert!(!consumer_comp.referenced_vars().contains(&Var::new("j")));
+    }
+
+    #[test]
+    fn fusion_with_same_iterator_name() {
+        let fused = fuse(&producer(), &consumer("i")).unwrap();
+        assert_eq!(fused.computations().len(), 2);
+        assert_eq!(fused.iter, Var::new("i"));
+    }
+
+    #[test]
+    fn domain_mismatch_is_rejected() {
+        let mut shorter = consumer("j");
+        shorter.upper = cst(4);
+        assert_eq!(
+            fuse(&producer(), &shorter).unwrap_err(),
+            TransformError::DomainMismatch
+        );
+        let mut strided = consumer("j");
+        strided.step = 2;
+        assert_eq!(
+            fuse(&producer(), &strided).unwrap_err(),
+            TransformError::DomainMismatch
+        );
+    }
+
+    #[test]
+    fn schedules_merge_conservatively() {
+        let mut a = producer();
+        a.schedule.parallel = true;
+        let mut b = consumer("j");
+        b.schedule.parallel = true;
+        b.schedule.vectorize = true;
+        let fused = fuse(&a, &b).unwrap();
+        assert!(fused.schedule.parallel);
+        assert!(!fused.schedule.vectorize);
+    }
+
+    #[test]
+    fn nested_bounds_are_renamed() {
+        // second loop: for j { for k in 0..j { D[j] += B[k] } }
+        let s = Computation::reduction(
+            "C",
+            ArrayRef::new("D", vec![var("j")]),
+            BinOp::Add,
+            load("B", vec![var("k")]),
+        );
+        let inner = for_loop("k", cst(0), var("j"), vec![Node::Computation(s)]);
+        let second = match for_loop("j", cst(0), var("N"), vec![inner]) {
+            Node::Loop(l) => l,
+            _ => unreachable!(),
+        };
+        let fused = fuse(&producer(), &second).unwrap();
+        let inner_loop = fused.body[1].as_loop().unwrap();
+        assert_eq!(inner_loop.upper, var("i"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Integration test of the §5 case study: the full optimization pipeline on
+//! the CLOUDSC proxy is semantics-preserving and at least as fast as the
+//! hand-tuned structure under the machine model.
+
+use machine::interp::run_seeded;
+use machine::CostModel;
+use normalize::Normalizer;
+use polybench::cloudsc::{full_model, CloudscSizes, CloudscVariant};
+use transforms::fuse_producer_consumers;
+
+#[test]
+fn daisy_pipeline_on_cloudsc_is_equivalent_and_not_slower() {
+    let mini = CloudscSizes::mini();
+    let fortran = full_model(CloudscVariant::Fortran, mini);
+    let dace = full_model(CloudscVariant::Dace, mini);
+    let daisy_prog = fuse_producer_consumers(&Normalizer::new().run(&dace).unwrap().program);
+    assert!(daisy_prog.validate().is_ok());
+
+    // Semantics: the optimized pipeline computes the same physics.
+    let reference = run_seeded(&fortran).unwrap();
+    let optimized = run_seeded(&daisy_prog).unwrap();
+    for array in ["ZTP1", "ZQSMIX", "PLUDE", "PFPLSL"] {
+        let diff = reference.max_abs_diff(&optimized, array).unwrap();
+        assert!(diff < 1e-9, "array {array} differs by {diff}");
+    }
+
+    // Performance shape at the paper's sizes: daisy beats the DaCe structure
+    // it started from and is at least competitive with Fortran.
+    let paper = CloudscSizes::paper();
+    let fortran_large = full_model(CloudscVariant::Fortran, paper);
+    let dace_large = full_model(CloudscVariant::Dace, paper);
+    let daisy_large =
+        fuse_producer_consumers(&Normalizer::new().run(&dace_large).unwrap().program);
+    let model = CostModel::sequential();
+    let t_fortran = model.estimate(&fortran_large).seconds;
+    let t_dace = model.estimate(&dace_large).seconds;
+    let t_daisy = model.estimate(&daisy_large).seconds;
+    assert!(t_daisy < t_dace, "daisy {t_daisy} should beat DaCe {t_dace}");
+    assert!(
+        t_daisy <= t_fortran * 1.05,
+        "daisy {t_daisy} should be competitive with Fortran {t_fortran}"
+    );
+}
