@@ -164,9 +164,7 @@ mod tests {
     fn polly_beats_plain_clang_on_gemm() {
         let p = gemm("ijk", 512);
         let model = CostModel::new(MachineConfig::xeon_e5_2680v3(), 12);
-        let clang = model
-            .estimate(&crate::compiler::clang_schedule(&p))
-            .seconds;
+        let clang = model.estimate(&crate::compiler::clang_schedule(&p)).seconds;
         let polly = model.estimate(&polly_schedule(&p)).seconds;
         assert!(polly < clang);
     }

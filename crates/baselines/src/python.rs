@@ -81,7 +81,9 @@ pub fn numpy_time(program: &Program, ops: &[FrameworkOp], machine: &MachineConfi
 /// sources), no BLAS recognition.
 pub fn numba_time(program: &Program, machine: &MachineConfig) -> f64 {
     let scheduled = crate::compiler::clang_schedule(program);
-    CostModel::new(machine.clone(), 1).estimate(&scheduled).seconds
+    CostModel::new(machine.clone(), 1)
+        .estimate(&scheduled)
+        .seconds
 }
 
 /// The DaCe model: recognized matrix-product nests become library nodes,
@@ -108,7 +110,9 @@ pub fn dace_time(program: &Program, machine: &MachineConfig, threads: usize) -> 
             other => other,
         })
         .collect();
-    CostModel::new(machine.clone(), threads).estimate(&scheduled).seconds
+    CostModel::new(machine.clone(), threads)
+        .estimate(&scheduled)
+        .seconds
 }
 
 /// Convenience: all three framework estimates for one lowered benchmark.
@@ -171,7 +175,10 @@ mod tests {
         let scale = NpStmt::AugAssign {
             target: ArrayView::sliced(
                 "C",
-                vec![Range::index(var("i")), Range::new(cst(0), var("i") + cst(1))],
+                vec![
+                    Range::index(var("i")),
+                    Range::new(cst(0), var("i") + cst(1)),
+                ],
             ),
             op: loop_ir::scalar::BinOp::Mul,
             value: NpExpr::Param(Var::new("beta")),
@@ -179,7 +186,10 @@ mod tests {
         let update = NpStmt::AugAssign {
             target: ArrayView::sliced(
                 "C",
-                vec![Range::index(var("i")), Range::new(cst(0), var("i") + cst(1))],
+                vec![
+                    Range::index(var("i")),
+                    Range::new(cst(0), var("i") + cst(1)),
+                ],
             ),
             op: loop_ir::scalar::BinOp::Add,
             value: NpExpr::View(ArrayView::sliced(
@@ -189,7 +199,10 @@ mod tests {
             .matmul(NpExpr::View(
                 ArrayView::sliced(
                     "A",
-                    vec![Range::new(cst(0), var("i") + cst(1)), Range::new(cst(0), var("M"))],
+                    vec![
+                        Range::new(cst(0), var("i") + cst(1)),
+                        Range::new(cst(0), var("M")),
+                    ],
                 )
                 .t(),
             )),

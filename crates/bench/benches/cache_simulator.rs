@@ -1,9 +1,15 @@
 //! Criterion micro-benchmark: trace-driven cache simulation (Table 1
 //! machinery).
+//!
+//! Benchmarks both the streaming simulator (flat tag/stamp arrays, compiled
+//! access streams, closed-form stride runs) and the pre-refactor reference
+//! (per-set `Vec` LRU fed by the symbolic walker) on the same CLOUDSC
+//! erosion workloads, so the speedup is visible in one run. The two must
+//! produce identical counters — asserted before anything is measured.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use machine::{simulate_cache, MachineConfig};
-use polybench::cloudsc::{erosion_single_level, CloudscSizes};
+use machine::{simulate_cache, simulate_cache_reference, MachineConfig};
+use polybench::cloudsc::{erosion_original, erosion_single_level, CloudscSizes};
 
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_simulator");
@@ -12,11 +18,29 @@ fn bench_cache(c: &mut Criterion) {
     let sizes = CloudscSizes::paper();
     let original = erosion_single_level(sizes, false);
     let optimized = erosion_single_level(sizes, true);
+    let full = erosion_original(sizes);
+
+    // Sanity: streaming and reference counters are identical on the Table 1
+    // workload before we measure anything.
+    for program in [&original, &optimized, &full] {
+        let fast = simulate_cache(program, &machine).unwrap();
+        let slow = simulate_cache_reference(program, &machine).unwrap();
+        assert_eq!(fast.accesses(), slow.accesses(), "{}", program.name);
+        assert_eq!(fast.l1(), slow.l1(), "{}", program.name);
+        assert_eq!(fast.l2(), slow.l2(), "{}", program.name);
+    }
+
     group.bench_function("erosion_original_single_level", |b| {
         b.iter(|| simulate_cache(&original, &machine).unwrap())
     });
     group.bench_function("erosion_optimized_single_level", |b| {
         b.iter(|| simulate_cache(&optimized, &machine).unwrap())
+    });
+    group.bench_function("erosion_full_streaming", |b| {
+        b.iter(|| simulate_cache(&full, &machine).unwrap())
+    });
+    group.bench_function("erosion_full_reference", |b| {
+        b.iter(|| simulate_cache_reference(&full, &machine).unwrap())
     });
     group.finish();
 }

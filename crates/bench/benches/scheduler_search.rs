@@ -1,5 +1,10 @@
 //! Criterion micro-benchmark: the daisy scheduling pipeline (idiom detection,
 //! database query, recipe application) and the evolutionary search.
+//!
+//! The search is measured twice: the production configuration (parallel
+//! candidate evaluation, structural dedupe, memoized cost model) and the
+//! pre-refactor baseline (sequential, no dedupe, unmemoized model), so the
+//! throughput win is visible in one run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use daisy::search::EvolutionarySearch;
@@ -16,15 +21,26 @@ fn bench_scheduler(c: &mut Criterion) {
     group.bench_function("daisy_schedule_gemm_medium", |b| {
         b.iter(|| seeded.schedule(&gemm))
     });
-    let model = CostModel::sequential();
-    let search = EvolutionarySearch::new(SearchConfig {
+    let config = SearchConfig {
         epochs: 1,
         iterations_per_epoch: 1,
         population: 6,
         seed: 1,
-    });
+    };
+    let search = EvolutionarySearch::new(config.clone());
     group.bench_function("evolutionary_search_one_epoch", |b| {
-        b.iter(|| search.search(&gemm, 0, &model, &[]))
+        b.iter(|| search.search(&gemm, 0, &CostModel::sequential(), &[]))
+    });
+    let reference = EvolutionarySearch::new(config).reference_evaluation();
+    group.bench_function("evolutionary_search_one_epoch_reference", |b| {
+        b.iter(|| {
+            reference.search(
+                &gemm,
+                0,
+                &CostModel::sequential().without_memoization(),
+                &[],
+            )
+        })
     });
     group.finish();
 }

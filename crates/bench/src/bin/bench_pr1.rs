@@ -1,0 +1,302 @@
+//! Before/after throughput snapshot of the evaluation-stack overhaul
+//! (PR 1): streaming cache simulator vs the naive reference, and the
+//! parallel/deduped/memoized evolutionary search vs the sequential
+//! pre-refactor baseline. Writes `BENCH_PR1.json` into the current
+//! directory and prints the same numbers as a table.
+//!
+//! Run with `cargo run --release -p bench --bin bench_pr1`.
+
+use std::time::Instant;
+
+use bench::print_table;
+use daisy::search::EvolutionarySearch;
+use daisy::SearchConfig;
+use loop_ir::expr::Var;
+use machine::{simulate_cache, simulate_cache_reference, CostModel, MachineConfig};
+use normalize::{out_of_order_cost, sum_of_strides, Normalizer};
+use polybench::cloudsc::{
+    erosion_original, erosion_single_level, full_model, CloudscSizes, CloudscVariant,
+};
+use polybench::{benchmark, Dataset};
+
+/// Best-of-`reps` wall time of one invocation, in seconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct CacheRow {
+    workload: &'static str,
+    accesses: u64,
+    reference_per_sec: f64,
+    streaming_per_sec: f64,
+}
+
+impl CacheRow {
+    fn speedup(&self) -> f64 {
+        self.streaming_per_sec / self.reference_per_sec
+    }
+}
+
+fn measure_cache(workload: &'static str, program: &loop_ir::Program) -> CacheRow {
+    let machine = MachineConfig::xeon_e5_2680v3();
+    // Correctness first: identical counters (the Table 1 acceptance check).
+    let fast = simulate_cache(program, &machine).unwrap();
+    let slow = simulate_cache_reference(program, &machine).unwrap();
+    assert_eq!(
+        fast.accesses(),
+        slow.accesses(),
+        "{workload}: access counts"
+    );
+    assert_eq!(fast.l1(), slow.l1(), "{workload}: L1 counters");
+    assert_eq!(fast.l2(), slow.l2(), "{workload}: L2 counters");
+    let accesses = fast.accesses();
+    let t_ref = best_of(5, || simulate_cache_reference(program, &machine).unwrap());
+    let t_new = best_of(5, || simulate_cache(program, &machine).unwrap());
+    CacheRow {
+        workload,
+        accesses,
+        reference_per_sec: accesses as f64 / t_ref,
+        streaming_per_sec: accesses as f64 / t_new,
+    }
+}
+
+struct SearchRow {
+    workload: &'static str,
+    candidates: usize,
+    reference_per_sec: f64,
+    overhauled_per_sec: f64,
+}
+
+impl SearchRow {
+    fn speedup(&self) -> f64 {
+        self.overhauled_per_sec / self.reference_per_sec
+    }
+}
+
+fn measure_search(
+    workload: &'static str,
+    program: &loop_ir::Program,
+    nest_index: usize,
+) -> SearchRow {
+    let config = SearchConfig {
+        epochs: 2,
+        iterations_per_epoch: 2,
+        population: 8,
+        seed: 7,
+    };
+    // Candidate recipes a search with this configuration scores: the initial
+    // population, the per-iteration refills (half the population each) and
+    // one epoch-reseed candidate per epoch.
+    let refill = config.population - config.population / 2;
+    let candidates =
+        config.population + config.epochs * config.iterations_per_epoch * refill + config.epochs;
+
+    let overhauled = EvolutionarySearch::new(config.clone());
+    let reference = EvolutionarySearch::new(config).reference_evaluation();
+
+    // Both sides get a fresh cost model per run: the memo must not leak
+    // across repetitions, only within one search.
+    let machine = MachineConfig::xeon_e5_2680v3();
+    let t_new = best_of(5, || {
+        overhauled.search(
+            program,
+            nest_index,
+            &CostModel::new(machine.clone(), 12),
+            &[],
+        )
+    });
+    let t_ref = best_of(5, || {
+        reference.search(
+            program,
+            nest_index,
+            &CostModel::new(machine.clone(), 12).without_memoization(),
+            &[],
+        )
+    });
+
+    // Same configuration and seed must find the same recipe either way.
+    let (r_new, s_new) = overhauled.search(
+        program,
+        nest_index,
+        &CostModel::new(machine.clone(), 12),
+        &[],
+    );
+    let (r_ref, s_ref) = reference.search(
+        program,
+        nest_index,
+        &CostModel::new(machine.clone(), 12).without_memoization(),
+        &[],
+    );
+    assert_eq!(r_new, r_ref, "search results diverged");
+    assert_eq!(s_new, s_ref, "search scores diverged");
+
+    SearchRow {
+        workload,
+        candidates,
+        reference_per_sec: candidates as f64 / t_ref,
+        overhauled_per_sec: candidates as f64 / t_new,
+    }
+}
+
+fn measure_stride_cost() -> (f64, f64) {
+    let gemm = (benchmark("gemm").unwrap().a)(Dataset::Large);
+    let nest = gemm.loop_nests()[0].clone();
+    let orders: Vec<Vec<Var>> = [
+        ["i", "j", "k"],
+        ["i", "k", "j"],
+        ["j", "i", "k"],
+        ["j", "k", "i"],
+        ["k", "i", "j"],
+        ["k", "j", "i"],
+    ]
+    .iter()
+    .map(|o| o.iter().map(|s| Var::new(*s)).collect())
+    .collect();
+    let sum = best_of(20, || {
+        orders
+            .iter()
+            .map(|o| sum_of_strides(&gemm, &nest, o))
+            .fold(f64::INFINITY, f64::min)
+    });
+    let ooo = best_of(20, || {
+        orders
+            .iter()
+            .map(|o| out_of_order_cost(&nest, o))
+            .fold(f64::INFINITY, f64::min)
+    });
+    (sum * 1e9, ooo * 1e9)
+}
+
+fn main() {
+    let sizes = CloudscSizes::paper();
+    let cache_rows = [
+        measure_cache(
+            "cloudsc_erosion_single_level_original",
+            &erosion_single_level(sizes, false),
+        ),
+        measure_cache(
+            "cloudsc_erosion_single_level_optimized",
+            &erosion_single_level(sizes, true),
+        ),
+        measure_cache("cloudsc_erosion_full_original", &erosion_original(sizes)),
+    ];
+    // The headline search workload: the normalized CLOUDSC proxy, whose
+    // multi-nest body is what the memoized cost model was built for (the
+    // search mutates one nest; the others must never be re-priced).
+    let cloudsc = Normalizer::new()
+        .run(&full_model(CloudscVariant::Dace, CloudscSizes::paper()))
+        .unwrap()
+        .program;
+    let gemm = (benchmark("gemm").unwrap().a)(Dataset::Medium);
+    let search_rows = [
+        measure_search("cloudsc_dace_normalized_nest0", &cloudsc, 0),
+        measure_search("gemm_a_medium", &gemm, 0),
+    ];
+    let search_row = &search_rows[0];
+    let (stride_sum_ns, stride_ooo_ns) = measure_stride_cost();
+
+    print_table(
+        "cache_simulator (accesses/sec)",
+        &["workload", "accesses", "reference", "streaming", "speedup"],
+        &cache_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.to_string(),
+                    r.accesses.to_string(),
+                    format!("{:.3e}", r.reference_per_sec),
+                    format!("{:.3e}", r.streaming_per_sec),
+                    format!("{:.2}x", r.speedup()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "scheduler_search (candidates/sec)",
+        &[
+            "workload",
+            "candidates",
+            "reference",
+            "overhauled",
+            "speedup",
+        ],
+        &search_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.to_string(),
+                    r.candidates.to_string(),
+                    format!("{:.2}", r.reference_per_sec),
+                    format!("{:.2}", r.overhauled_per_sec),
+                    format!("{:.2}x", r.speedup()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "stride_cost (ns, all 6 GEMM orders)",
+        &["sum_of_strides", "out_of_order_cost"],
+        &[vec![
+            format!("{stride_sum_ns:.0}"),
+            format!("{stride_ooo_ns:.0}"),
+        ]],
+    );
+
+    let min_cache_speedup = cache_rows
+        .iter()
+        .map(CacheRow::speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nacceptance: cache speedup >= 5x: {} ({min_cache_speedup:.2}x), \
+         search speedup >= 3x: {} ({:.2}x)",
+        min_cache_speedup >= 5.0,
+        search_row.speedup() >= 3.0,
+        search_row.speedup(),
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p bench --bin bench_pr1\",\n");
+    json.push_str("  \"cache_simulator\": [\n");
+    for (i, r) in cache_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"accesses\": {}, \
+             \"reference_accesses_per_sec\": {:.0}, \"streaming_accesses_per_sec\": {:.0}, \
+             \"speedup\": {:.2}, \"stats_match_reference\": true}}{}\n",
+            r.workload,
+            r.accesses,
+            r.reference_per_sec,
+            r.streaming_per_sec,
+            r.speedup(),
+            if i + 1 < cache_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scheduler_search\": [\n");
+    for (i, r) in search_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"candidates\": {}, \
+             \"reference_candidates_per_sec\": {:.2}, \"overhauled_candidates_per_sec\": {:.2}, \
+             \"speedup\": {:.2}, \"same_result_as_reference\": true}}{}\n",
+            r.workload,
+            r.candidates,
+            r.reference_per_sec,
+            r.overhauled_per_sec,
+            r.speedup(),
+            if i + 1 < search_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"stride_cost\": {{\"workload\": \"gemm_a_large_all_orders\", \
+         \"sum_of_strides_ns\": {stride_sum_ns:.0}, \"out_of_order_cost_ns\": {stride_ooo_ns:.0}}}\n",
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    println!("\nwrote BENCH_PR1.json");
+}

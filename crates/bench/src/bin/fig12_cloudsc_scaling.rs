@@ -29,7 +29,10 @@ fn strong_scaling() {
     let mut rows = Vec::new();
     for threads in [1usize, 2, 4, 6, 8, 10, 12] {
         let model = paper_machine_model(threads);
-        let times: Vec<f64> = programs.iter().map(|(_, p)| model.estimate(p).seconds).collect();
+        let times: Vec<f64> = programs
+            .iter()
+            .map(|(_, p)| model.estimate(p).seconds)
+            .collect();
         let gain = 100.0 * (times[0] - times[3]) / times[0];
         rows.push(vec![
             threads.to_string(),
@@ -42,7 +45,14 @@ fn strong_scaling() {
     }
     print_table(
         "Figure 12a: strong scaling (seconds per run)",
-        &["threads", "Fortran", "C", "DaCe", "daisy", "daisy vs Fortran"],
+        &[
+            "threads",
+            "Fortran",
+            "C",
+            "DaCe",
+            "daisy",
+            "daisy vs Fortran",
+        ],
         &rows,
     );
 }
@@ -53,7 +63,10 @@ fn weak_scaling() {
         let sizes = CloudscSizes::with_columns(columns);
         let programs = versions(sizes);
         let model = paper_machine_model(threads);
-        let times: Vec<f64> = programs.iter().map(|(_, p)| model.estimate(p).seconds).collect();
+        let times: Vec<f64> = programs
+            .iter()
+            .map(|(_, p)| model.estimate(p).seconds)
+            .collect();
         let gain = 100.0 * (times[0] - times[3]) / times[0];
         rows.push(vec![
             format!("{columns} / {threads}"),
@@ -66,13 +79,22 @@ fn weak_scaling() {
     }
     print_table(
         "Figure 12b: weak scaling (seconds per run)",
-        &["columns/threads", "Fortran", "C", "DaCe", "daisy", "daisy vs Fortran"],
+        &[
+            "columns/threads",
+            "Fortran",
+            "C",
+            "DaCe",
+            "daisy",
+            "daisy vs Fortran",
+        ],
         &rows,
     );
 }
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let mode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "both".to_string());
     match mode.as_str() {
         "strong" => strong_scaling(),
         "weak" => weak_scaling(),

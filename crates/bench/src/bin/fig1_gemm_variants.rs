@@ -63,8 +63,10 @@ fn main() {
         &["order", "clang -O3", "Polly", "normalized order"],
         &rows,
     );
-    let spread = |times: &[f64]| times.iter().cloned().fold(f64::MIN, f64::max)
-        / times.iter().cloned().fold(f64::MAX, f64::min);
+    let spread = |times: &[f64]| {
+        times.iter().cloned().fold(f64::MIN, f64::max)
+            / times.iter().cloned().fold(f64::MAX, f64::min)
+    };
     println!(
         "\nclang worst/best ratio: {:.1}x   Polly worst/best ratio: {:.1}x",
         spread(&clang_times),

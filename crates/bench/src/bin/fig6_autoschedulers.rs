@@ -4,7 +4,9 @@
 //! adapter cannot convert.
 
 use baselines::{icc_schedule, polly_schedule, tiramisu_schedule};
-use bench::{daisy_seeded_from_a_variants, geometric_mean, paper_machine_model, print_table, ratio, THREADS};
+use bench::{
+    daisy_seeded_from_a_variants, geometric_mean, paper_machine_model, print_table, ratio, THREADS,
+};
 use daisy::DaisyConfig;
 use polybench::{all_benchmarks, Dataset};
 
@@ -66,8 +68,16 @@ fn main() {
     print_table(
         "Figure 6: normalized runtime (baseline = daisy A, lower is better)",
         &[
-            "benchmark", "daisy A [s]", "daisy A", "daisy B", "Polly A", "Polly B", "icc A",
-            "icc B", "Tiramisu A", "Tiramisu B",
+            "benchmark",
+            "daisy A [s]",
+            "daisy A",
+            "daisy B",
+            "Polly A",
+            "Polly B",
+            "icc A",
+            "icc B",
+            "Tiramisu A",
+            "Tiramisu B",
         ],
         &rows,
     );

@@ -50,11 +50,21 @@ fn main() {
     print_table(
         "Figure 7: ablation (baseline = clang A, lower is better)",
         &[
-            "benchmark", "clang A [s]", "clang A", "Opt A", "Norm A", "Norm+Opt A", "clang B",
-            "Opt B", "Norm B", "Norm+Opt B",
+            "benchmark",
+            "clang A [s]",
+            "clang A",
+            "Opt A",
+            "Norm A",
+            "Norm+Opt A",
+            "clang B",
+            "Opt B",
+            "Norm B",
+            "Norm+Opt B",
         ],
         &rows,
     );
-    println!("\nBoth normalization and transfer tuning are required for consistently low runtimes;");
+    println!(
+        "\nBoth normalization and transfer tuning are required for consistently low runtimes;"
+    );
     println!("without normalization the database recipes fail to apply to the B variants.");
 }

@@ -42,7 +42,13 @@ fn main() {
     print_table(
         "Figure 9: Python-frontend variants (baseline = daisy, lower is better)",
         &[
-            "benchmark", "daisy [s]", "daisy", "daisy w/o norm", "NumPy", "Numba", "DaCe",
+            "benchmark",
+            "daisy [s]",
+            "daisy",
+            "daisy w/o norm",
+            "NumPy",
+            "Numba",
+            "DaCe",
         ],
         &rows,
     );

@@ -4,7 +4,7 @@
 
 use bench::{paper_machine_model, print_table};
 use machine::{simulate_cache, MachineConfig};
-use polybench::cloudsc::{erosion_original, erosion_optimized, erosion_single_level, CloudscSizes};
+use polybench::cloudsc::{erosion_optimized, erosion_original, erosion_single_level, CloudscSizes};
 
 fn main() {
     let sizes = CloudscSizes::paper();

@@ -142,7 +142,11 @@ mod tests {
             embedding: PerformanceEmbedding::of_nest(&p, nest),
             recipe: Recipe::new(vec![
                 Transform::Tile {
-                    tiles: vec![(Var::new("i"), 32), (Var::new("k"), 32), (Var::new("j"), 32)],
+                    tiles: vec![
+                        (Var::new("i"), 32),
+                        (Var::new("k"), 32),
+                        (Var::new("j"), 32),
+                    ],
                 },
                 Transform::Parallelize {
                     iter: Var::new("i_t"),

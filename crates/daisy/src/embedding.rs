@@ -180,8 +180,8 @@ mod tests {
         assert_eq!(f[4], 3.0); // three arrays
         assert_eq!(f[8], 1.0); // reduction
         assert_eq!(f[9], 1.0); // perfect nest
-        // accesses: A (unit along j? A[i][k] is invariant along j), B unit,
-        // C unit (x2).
+                               // accesses: A (unit along j? A[i][k] is invariant along j), B unit,
+                               // C unit (x2).
         assert!(f[5] > 0.5);
         assert!(f[6] > 0.0);
     }

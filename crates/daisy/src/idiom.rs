@@ -293,7 +293,11 @@ mod tests {
             assert_eq!(call.kind, BlasKind::Gemm);
             assert_eq!(call.output, Var::new("C"));
             assert_eq!(call.inputs, vec![Var::new("A"), Var::new("B")]);
-            let dims: Vec<i64> = call.dims.iter().map(|d| d.eval(&p.params).unwrap()).collect();
+            let dims: Vec<i64> = call
+                .dims
+                .iter()
+                .map(|d| d.eval(&p.params).unwrap())
+                .collect();
             assert_eq!(dims, vec![8, 9, 10]);
         }
     }

@@ -1,6 +1,8 @@
 //! The daisy auto-scheduler: normalization + idiom detection + transfer
 //! tuning (§4, "Optimization Algorithm").
 
+use std::collections::HashSet;
+
 use loop_ir::expr::Var;
 use loop_ir::nest::Node;
 use loop_ir::program::Program;
@@ -11,7 +13,7 @@ use transforms::{perfect_chain, Recipe};
 use crate::database::{DatabaseEntry, TuningDatabase};
 use crate::embedding::PerformanceEmbedding;
 use crate::idiom::detect_blas_idiom;
-use crate::search::{apply_recipe_to_program, evaluate_recipe, EvolutionarySearch, SearchConfig};
+use crate::search::{apply_recipe_to_program, EvolutionarySearch, SearchConfig};
 
 /// Configuration of the daisy scheduler. The ablation study (Fig. 7) toggles
 /// `normalize` and `transfer_tuning` independently.
@@ -95,27 +97,42 @@ impl DaisyScheduler {
     /// Seeds the scheduling database from a set of programs (the paper seeds
     /// from the normalized A variants): every non-BLAS loop nest contributes
     /// a `(embedding, recipe)` pair found by the evolutionary search.
+    ///
+    /// The per-nest searches are independent, so they run on parallel worker
+    /// threads (each search evaluating its own candidates sequentially — the
+    /// outer fan-out already saturates the cores); entries are inserted in
+    /// deterministic program/nest order afterwards.
     pub fn seed_from_programs(&mut self, programs: &[Program]) {
         let model = CostModel::new(self.config.machine.clone(), self.config.threads);
-        for program in programs {
-            let normalized = self.normalized(program);
-            for (index, node) in normalized.body.iter().enumerate() {
+        let normalized: Vec<Program> = programs.iter().map(|p| self.normalized(p)).collect();
+        let mut jobs: Vec<(&Program, usize)> = Vec::new();
+        for program in &normalized {
+            for (index, node) in program.body.iter().enumerate() {
                 let Node::Loop(nest) = node else { continue };
-                if self.config.idiom_detection && detect_blas_idiom(&normalized, nest).is_some() {
+                if self.config.idiom_detection && detect_blas_idiom(program, nest).is_some() {
                     // BLAS nests are handled by idiom detection at scheduling
                     // time; the database entry records that decision.
                     continue;
                 }
-                let (recipe, _) = self.search.search(&normalized, index, &model, &[]);
-                let chain: Vec<Var> =
-                    perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
-                self.database.insert(DatabaseEntry {
-                    embedding: PerformanceEmbedding::of_nest(&normalized, nest),
-                    recipe,
-                    chain,
-                    source: format!("{}#{}", normalized.name, index),
-                });
+                jobs.push((program, index));
             }
+        }
+        let search = self.search.clone().with_parallel(false);
+        let entries = crate::search::parallel_map(&jobs, |&(program, index)| {
+            let (recipe, _) = search.search(program, index, &model, &[]);
+            let nest = program.body[index]
+                .as_loop()
+                .expect("job indices point at loops");
+            let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
+            DatabaseEntry {
+                embedding: PerformanceEmbedding::of_nest(program, nest),
+                recipe,
+                chain,
+                source: format!("{}#{}", program.name, index),
+            }
+        });
+        for entry in entries {
+            self.database.insert(entry);
         }
     }
 
@@ -163,19 +180,28 @@ impl DaisyScheduler {
             }
             // 2. Transfer tuning: try the recipes of the nearest neighbours
             //    and keep the best one that applies and improves the cost.
+            //    Neighbours whose retargeted recipes produce structurally
+            //    identical candidates are priced once.
             let mut best: Option<(f64, Recipe, String)> = None;
             let baseline = model.estimate(&current).seconds;
             if self.config.transfer_tuning && !self.database.is_empty() {
                 let embedding = PerformanceEmbedding::of_nest(&current, &nest);
-                let chain: Vec<Var> =
-                    perfect_chain(&nest).iter().map(|l| l.iter.clone()).collect();
+                let chain: Vec<Var> = perfect_chain(&nest)
+                    .iter()
+                    .map(|l| l.iter.clone())
+                    .collect();
+                let mut tried: HashSet<u64> = HashSet::new();
                 for entry in self.database.nearest(&embedding, self.config.neighbors) {
                     let Some(recipe) = TuningDatabase::retarget(entry, &chain) else {
                         continue;
                     };
-                    let Some(time) = evaluate_recipe(&current, index, &recipe, &model) else {
+                    let Some(candidate) = apply_recipe_to_program(&current, index, &recipe) else {
                         continue;
                     };
+                    if !tried.insert(candidate.structural_hash()) {
+                        continue;
+                    }
+                    let time = model.estimate(&candidate).seconds;
                     let better = match &best {
                         None => time < baseline,
                         Some((t, _, _)) => time < *t,
@@ -288,7 +314,7 @@ mod tests {
         let mut scheduler = DaisyScheduler::new(DaisyConfig::default());
         let a = gemm_a(512);
         let b = gemm_b(512);
-        scheduler.seed_from_programs(&[a.clone()]);
+        scheduler.seed_from_programs(std::slice::from_ref(&a));
         let out_a = scheduler.schedule(&a);
         let out_b = scheduler.schedule(&b);
         let ratio = out_b.seconds() / out_a.seconds();
@@ -310,7 +336,7 @@ mod tests {
         };
         let mut scheduler = DaisyScheduler::new(config.clone());
         let a = gemm_a(512);
-        scheduler.seed_from_programs(&[a.clone()]);
+        scheduler.seed_from_programs(std::slice::from_ref(&a));
         assert!(!scheduler.database().is_empty());
         let tuned = scheduler.schedule(&gemm_b(512));
         // Without any database the same configuration leaves the nests
@@ -327,11 +353,11 @@ mod tests {
     fn scheduled_program_is_well_formed() {
         let mut scheduler = DaisyScheduler::new(DaisyConfig::default());
         let a = gemm_a(128);
-        scheduler.seed_from_programs(&[a.clone()]);
+        scheduler.seed_from_programs(std::slice::from_ref(&a));
         let outcome = scheduler.schedule(&a);
         assert!(outcome.program.validate().is_ok());
         assert!(outcome.report.flops > 0.0);
-        assert_eq!(outcome.decisions.is_empty(), false);
+        assert!(!outcome.decisions.is_empty());
     }
 
     #[test]

@@ -7,6 +7,36 @@
 //! the best recipes of the most similar loop nests (§4). Here the fitness is
 //! the analytical cost model and the initial proposals come from a
 //! structural proposal generator playing the role of the Tiramisu seed.
+//!
+//! # Evaluation pipeline
+//!
+//! Candidate evaluation — the dominant cost of the search — is incremental
+//! and staged so the expensive part runs as rarely and as concurrently as
+//! possible. The base program's per-node costs are priced once; a candidate
+//! then differs from the base only in the nest the recipe rewrote, so its
+//! score is the base costs with that one slot re-priced (summed in the same
+//! order as a full [`CostModel::estimate`], so scores are bit-identical to
+//! the naive path). Per candidate:
+//!
+//! 1. **Dedupe.** Recipes are fingerprinted; one identical to a recipe
+//!    already scored anywhere in this search reuses its score without even
+//!    being re-applied. (The duplicate stays in the population — selection
+//!    dynamics are unchanged — it is only never re-evaluated.) Distinct
+//!    recipes whose rewrites happen to be structurally identical are caught
+//!    one stage later by the cost model's structural-hash memo.
+//! 2. **Early reject.** A surviving recipe is *applied to the nest alone*
+//!    (cheap, structural — no program clone); recipes whose transform
+//!    legality check fails score `f64::INFINITY` without ever reaching the
+//!    cost model.
+//! 3. **Parallel costing.** The unique legal rewrites are priced on scoped
+//!    worker threads (adaptively — tiny batches stay on the calling
+//!    thread), each worker sharing the model's memo table.
+//!
+//! Results are deterministic: mutation draws happen on the single-threaded
+//! RNG before evaluation, and scores are written back by candidate index.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use loop_ir::expr::Var;
 use loop_ir::nest::{Loop, Node};
@@ -16,6 +46,45 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use transforms::{perfect_chain, Recipe, Transform};
+
+/// Maps `f` over `items` on scoped worker threads, preserving order.
+pub(crate) fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            return out;
+                        }
+                        out.push((index, f(&items[index])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, value) in handle.join().expect("search worker panicked") {
+                results[index] = Some(value);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every index visited"))
+        .collect()
+}
 
 /// Configuration of the evolutionary search.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +115,8 @@ impl Default for SearchConfig {
 pub struct EvolutionarySearch {
     config: SearchConfig,
     tile_sizes: Vec<i64>,
+    parallel: bool,
+    reference_eval: bool,
 }
 
 impl Default for EvolutionarySearch {
@@ -55,12 +126,34 @@ impl Default for EvolutionarySearch {
 }
 
 impl EvolutionarySearch {
-    /// Creates a search with the given configuration.
+    /// Creates a search with the given configuration, evaluating candidates
+    /// in parallel with structural dedupe.
     pub fn new(config: SearchConfig) -> Self {
         EvolutionarySearch {
             config,
             tile_sizes: vec![16, 32, 64, 128],
+            parallel: true,
+            reference_eval: false,
         }
+    }
+
+    /// Enables or disables parallel candidate evaluation. Disabled, unique
+    /// candidates are costed one at a time on the calling thread (the
+    /// incremental scoring and dedupe stay on) — useful under an outer
+    /// parallel loop such as database seeding. Scores are identical either
+    /// way.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Switches candidate scoring to the pre-refactor path: every candidate
+    /// program is materialized and fully re-priced, sequentially, with no
+    /// dedupe. Kept as the baseline the benches measure the overhauled
+    /// pipeline against; finds identical recipes and scores.
+    pub fn reference_evaluation(mut self) -> Self {
+        self.reference_eval = true;
+        self
     }
 
     /// Searches for the best recipe for `nest_index`-th top-level nest of the
@@ -88,14 +181,33 @@ impl EvolutionarySearch {
         population.extend(seeds.iter().cloned());
         population.truncate(self.config.population.max(4));
 
-        let fitness = |recipe: &Recipe| -> f64 {
-            evaluate_recipe(program, nest_index, recipe, model).unwrap_or(f64::INFINITY)
+        // Per-node costs of the base program: candidates only ever rewrite
+        // `nest_index`, so these are priced exactly once per search.
+        let node_costs: Vec<f64> = if self.reference_eval {
+            Vec::new()
+        } else {
+            model
+                .estimate(program)
+                .per_nest
+                .iter()
+                .map(|cost| cost.seconds)
+                .collect()
+        };
+        let context = ScoreContext {
+            program,
+            nest_index,
+            nest,
+            node_costs: &node_costs,
         };
 
-        let mut scored: Vec<(f64, Recipe)> = population
-            .into_iter()
-            .map(|r| (fitness(&r), r))
-            .collect();
+        // Scores of every candidate evaluated anywhere in this search, keyed
+        // by recipe fingerprint (identical recipes dedupe here; distinct
+        // recipes with structurally identical rewrites dedupe one level
+        // down, in the cost model's memo).
+        let mut seen: HashMap<u64, f64> = HashMap::new();
+
+        let scores = self.score_batch(&context, &population, model, &mut seen);
+        let mut scored: Vec<(f64, Recipe)> = scores.into_iter().zip(population).collect();
         sort_by_fitness(&mut scored);
 
         for _epoch in 0..self.config.epochs.max(1) {
@@ -104,27 +216,103 @@ impl EvolutionarySearch {
                 let keep = (scored.len() / 2).max(2);
                 scored.truncate(keep);
                 let survivors: Vec<Recipe> = scored.iter().map(|(_, r)| r.clone()).collect();
-                while scored.len() < self.config.population.max(4) {
+                // Draw the whole refill batch from the (single-threaded) RNG
+                // first, then evaluate it in one deduped, parallel pass.
+                let mut children = Vec::new();
+                while scored.len() + children.len() < self.config.population.max(4) {
                     let parent = survivors
                         .choose(&mut rng)
                         .cloned()
                         .unwrap_or_else(Recipe::identity);
-                    let child = self.mutate(&parent, &chain, &mut rng);
-                    let f = fitness(&child);
-                    scored.push((f, child));
+                    children.push(self.mutate(&parent, &chain, &mut rng));
                 }
+                let scores = self.score_batch(&context, &children, model, &mut seen);
+                scored.extend(scores.into_iter().zip(children));
                 sort_by_fitness(&mut scored);
             }
             // Re-seed the next epoch with fresh mutations of the incumbent,
             // mirroring the paper's re-seeding from the most similar nests.
             let best = scored[0].1.clone();
             let reseed = self.mutate(&best, &chain, &mut rng);
-            let f = fitness(&reseed);
+            let batch = [reseed];
+            let f = self.score_batch(&context, &batch, model, &mut seen)[0];
+            let [reseed] = batch;
             scored.push((f, reseed));
             sort_by_fitness(&mut scored);
         }
         let (best_time, best) = (scored[0].0, scored[0].1.clone());
         (best, best_time)
+    }
+
+    /// Scores a batch of recipes: early-reject, structural dedupe, then
+    /// (adaptively parallel) incremental costing of the unique survivors.
+    /// Returns one score per recipe, in order; `seen` accumulates scores
+    /// across batches.
+    fn score_batch(
+        &self,
+        context: &ScoreContext<'_>,
+        recipes: &[Recipe],
+        model: &CostModel,
+        seen: &mut HashMap<u64, f64>,
+    ) -> Vec<f64> {
+        if self.reference_eval {
+            // Pre-refactor path: materialize and fully re-price every
+            // candidate program, one at a time.
+            return recipes
+                .iter()
+                .map(|recipe| {
+                    evaluate_recipe(context.program, context.nest_index, recipe, model)
+                        .unwrap_or(f64::INFINITY)
+                })
+                .collect();
+        }
+
+        // Stage 1: dedupe by recipe fingerprint — a recipe identical to one
+        // already scored anywhere in this search skips even the rewrite.
+        let keys: Vec<u64> = recipes.iter().map(recipe_fingerprint).collect();
+        let mut jobs: Vec<(u64, &Recipe)> = Vec::new();
+        for (key, recipe) in keys.iter().zip(recipes) {
+            if !seen.contains_key(key) && jobs.iter().all(|(k, _)| k != key) {
+                jobs.push((*key, recipe));
+            }
+        }
+
+        // Stage 2: score the unique recipes — rewrite the nest (the
+        // legality gate; recipes that do not apply score infinity without
+        // reaching the cost model), then price the rewrite incrementally.
+        // (Distinct recipes producing structurally identical rewrites hit
+        // the model's memo when they reach pricing.) Fan-out is adaptive:
+        // the first job is timed on the calling thread, and the rest go to
+        // worker threads only when the remaining work is long enough to
+        // amortize spawning them (cheap single-nest programs stay
+        // sequential; multi-nest programs like CLOUDSC fan out). Scores are
+        // identical either way.
+        let score_one = |recipe: &Recipe| -> f64 {
+            match recipe.apply_to_nest(context.nest) {
+                Ok(rewrite) => context.score_rewrite(&rewrite, model),
+                Err(_) => f64::INFINITY,
+            }
+        };
+        let costs: Vec<f64> = if self.parallel && jobs.len() > 1 {
+            let start = std::time::Instant::now();
+            let first = score_one(jobs[0].1);
+            let elapsed = start.elapsed();
+            let remaining = &jobs[1..];
+            let mut costs = vec![first];
+            if elapsed * remaining.len() as u32 > std::time::Duration::from_micros(500) {
+                costs.extend(parallel_map(remaining, |(_, recipe)| score_one(recipe)));
+            } else {
+                costs.extend(remaining.iter().map(|(_, recipe)| score_one(recipe)));
+            }
+            costs
+        } else {
+            jobs.iter().map(|(_, recipe)| score_one(recipe)).collect()
+        };
+        for ((key, _), cost) in jobs.iter().zip(costs) {
+            seen.insert(*key, cost);
+        }
+
+        keys.into_iter().map(|key| seen[&key]).collect()
     }
 
     /// Structural proposals playing the role of the Tiramisu-seeded initial
@@ -145,8 +333,12 @@ impl EvolutionarySearch {
             iter: inner.clone(),
         }]));
         out.push(Recipe::new(vec![
-            Transform::Parallelize { iter: outer.clone() },
-            Transform::Vectorize { iter: inner.clone() },
+            Transform::Parallelize {
+                iter: outer.clone(),
+            },
+            Transform::Vectorize {
+                iter: inner.clone(),
+            },
         ]));
         if chain.len() >= 2 {
             for &tile in &[32i64, 64] {
@@ -156,7 +348,9 @@ impl EvolutionarySearch {
                     Transform::Parallelize {
                         iter: Var::new(format!("{outer}_t")),
                     },
-                    Transform::Vectorize { iter: inner.clone() },
+                    Transform::Vectorize {
+                        iter: inner.clone(),
+                    },
                 ]));
             }
         }
@@ -204,8 +398,7 @@ impl EvolutionarySearch {
                 let size = *self.tile_sizes.choose(rng).unwrap_or(&32);
                 steps.retain(|s| !matches!(s, Transform::Tile { .. }));
                 if chain.len() >= 2 && rng.gen_bool(0.8) {
-                    let tiles: Vec<(Var, i64)> =
-                        chain.iter().cloned().map(|v| (v, size)).collect();
+                    let tiles: Vec<(Var, i64)> = chain.iter().cloned().map(|v| (v, size)).collect();
                     // Tiling must run before annotations that reference tile
                     // loops; put it first and re-point parallelization.
                     steps.insert(0, Transform::Tile { tiles });
@@ -239,7 +432,54 @@ impl EvolutionarySearch {
                 }
             }
         }
-        Recipe { steps, blas: parent.blas }
+        Recipe {
+            steps,
+            blas: parent.blas,
+        }
+    }
+}
+
+/// Fingerprint of a recipe: a structural hash over its rendered steps and
+/// BLAS marker. Two recipes share a fingerprint exactly when they contain the
+/// same steps in the same order.
+fn recipe_fingerprint(recipe: &Recipe) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = loop_ir::StructuralHasher::default();
+    recipe.steps.len().hash(&mut hasher);
+    for step in &recipe.steps {
+        step.to_string().hash(&mut hasher);
+    }
+    recipe.blas.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Everything the incremental scorer needs about the program under search.
+struct ScoreContext<'a> {
+    program: &'a Program,
+    nest_index: usize,
+    /// The nest being rewritten (`program.body[nest_index]`).
+    nest: &'a Loop,
+    /// Per-node seconds of the base program, aligned with `program.body`.
+    node_costs: &'a [f64],
+}
+
+impl ScoreContext<'_> {
+    /// Whole-program seconds of the candidate that replaces the nest with
+    /// `rewrite`. Summed node by node in body order — the exact order
+    /// [`CostModel::estimate`] uses — so the result is bit-identical to
+    /// pricing the materialized candidate program.
+    fn score_rewrite(&self, rewrite: &[Node], model: &CostModel) -> f64 {
+        let mut seconds = 0.0;
+        for &cost in &self.node_costs[..self.nest_index] {
+            seconds += cost;
+        }
+        for node in rewrite {
+            seconds += model.node_cost(self.program, node).seconds;
+        }
+        for &cost in &self.node_costs[self.nest_index + 1..] {
+            seconds += cost;
+        }
+        seconds
     }
 }
 
@@ -302,9 +542,10 @@ mod tests {
         assert!(proposals
             .iter()
             .any(|r| r.steps.iter().any(|s| matches!(s, Transform::Tile { .. }))));
-        assert!(proposals
+        assert!(proposals.iter().any(|r| r
+            .steps
             .iter()
-            .any(|r| r.steps.iter().any(|s| matches!(s, Transform::Parallelize { .. }))));
+            .any(|s| matches!(s, Transform::Parallelize { .. }))));
     }
 
     #[test]
@@ -319,7 +560,10 @@ mod tests {
             seed: 7,
         });
         let (best, time) = search.search(&p, 0, &model, &[]);
-        assert!(time < baseline, "search ({time}) should beat identity ({baseline})");
+        assert!(
+            time < baseline,
+            "search ({time}) should beat identity ({baseline})"
+        );
         assert!(!best.is_identity());
     }
 
@@ -359,7 +603,7 @@ mod tests {
             population: 6,
             seed: 3,
         });
-        let (_, with_seed) = search.search(&p, 0, &model, &[seed_recipe.clone()]);
+        let (_, with_seed) = search.search(&p, 0, &model, std::slice::from_ref(&seed_recipe));
         let seed_time = evaluate_recipe(&p, 0, &seed_recipe, &model).unwrap();
         assert!(with_seed <= seed_time + 1e-12);
     }
@@ -373,6 +617,126 @@ mod tests {
         }]);
         assert!(evaluate_recipe(&p, 0, &bad, &model).is_none());
         assert!(apply_recipe_to_program(&p, 5, &Recipe::identity()).is_none());
+    }
+
+    #[test]
+    fn parallel_and_sequential_evaluation_agree() {
+        let p = gemm(192);
+        let config = SearchConfig {
+            epochs: 2,
+            iterations_per_epoch: 2,
+            population: 8,
+            seed: 11,
+        };
+        let model_a = CostModel::new(MachineConfig::xeon_e5_2680v3(), 8);
+        let model_b = CostModel::new(MachineConfig::xeon_e5_2680v3(), 8);
+        let (r_par, t_par) = EvolutionarySearch::new(config.clone()).search(&p, 0, &model_a, &[]);
+        let (r_seq, t_seq) =
+            EvolutionarySearch::new(config)
+                .with_parallel(false)
+                .search(&p, 0, &model_b, &[]);
+        assert_eq!(r_par, r_seq);
+        assert_eq!(t_par, t_seq);
+    }
+
+    /// Builds a scoring context over the program's only nest.
+    fn context_of<'a>(p: &'a Program, node_costs: &'a [f64]) -> ScoreContext<'a> {
+        let Node::Loop(nest) = &p.body[0] else {
+            panic!("first node is a nest");
+        };
+        ScoreContext {
+            program: p,
+            nest_index: 0,
+            nest,
+            node_costs,
+        }
+    }
+
+    #[test]
+    fn illegal_recipes_are_rejected_without_costing() {
+        let p = gemm(64);
+        let model = CostModel::sequential();
+        let node_costs: Vec<f64> = model
+            .estimate(&p)
+            .per_nest
+            .iter()
+            .map(|c| c.seconds)
+            .collect();
+        let search = EvolutionarySearch::default();
+        let mut seen = HashMap::new();
+        let batch = [
+            Recipe::new(vec![Transform::Parallelize {
+                iter: Var::new("nope"),
+            }]),
+            Recipe::identity(),
+        ];
+        let scores = search.score_batch(&context_of(&p, &node_costs), &batch, &model, &mut seen);
+        assert_eq!(scores[0], f64::INFINITY);
+        assert!(scores[1].is_finite());
+        // Both recipes were fingerprinted (the illegal one caches its
+        // rejection), but only the legal rewrite reached the cost model —
+        // and it shares the base nest's memo entry.
+        assert_eq!(seen.len(), 2);
+        assert_eq!(model.memo_entries(), 1);
+    }
+
+    #[test]
+    fn duplicate_candidates_are_priced_once() {
+        let p = gemm(64);
+        let model = CostModel::sequential();
+        let node_costs: Vec<f64> = model
+            .estimate(&p)
+            .per_nest
+            .iter()
+            .map(|c| c.seconds)
+            .collect();
+        let search = EvolutionarySearch::default();
+        let mut seen = HashMap::new();
+        let vectorize = Recipe::new(vec![Transform::Vectorize {
+            iter: Var::new("j"),
+        }]);
+        let batch = [vectorize.clone(), vectorize.clone(), vectorize];
+        let scores = search.score_batch(&context_of(&p, &node_costs), &batch, &model, &mut seen);
+        assert_eq!(scores[0], scores[1]);
+        assert_eq!(scores[1], scores[2]);
+        assert_eq!(seen.len(), 1, "one structural hash, one evaluation");
+    }
+
+    #[test]
+    fn incremental_scoring_matches_the_reference_path_exactly() {
+        // Multi-nest program: the incremental scorer must fold unchanged
+        // nest costs in body order so scores stay bit-identical.
+        let p = parse_program(
+            "program multi { param N = 96; array A[N][N]; array B[N][N]; array C[N][N];
+               for a in 0..N { for b in 0..N { B[a][b] = A[a][b] * 2.0; } }
+               for i in 0..N { for k in 0..N { for j in 0..N {
+                 C[i][j] += A[i][k] * B[k][j];
+               } } }
+               for x in 0..N { for y in 0..N { A[x][y] = C[x][y] + 1.0; } } }",
+        )
+        .unwrap();
+        let config = SearchConfig {
+            epochs: 2,
+            iterations_per_epoch: 2,
+            population: 8,
+            seed: 5,
+        };
+        let (r_new, s_new) =
+            EvolutionarySearch::new(config.clone()).search(&p, 1, &CostModel::sequential(), &[]);
+        let (r_ref, s_ref) = EvolutionarySearch::new(config)
+            .reference_evaluation()
+            .search(&p, 1, &CostModel::sequential().without_memoization(), &[]);
+        assert_eq!(r_new, r_ref);
+        assert_eq!(s_new, s_ref, "scores must be bit-identical");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled = parallel_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, |&x: &usize| x).is_empty());
     }
 
     #[test]

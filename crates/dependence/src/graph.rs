@@ -418,12 +418,9 @@ mod tests {
             .any(|d| d.kind == DepKind::Flow && d.array == Var::new("B")));
         // A written by S1 and read by S0 in a *later* t iteration: flow from
         // S1 to S0 carried by t.
-        assert!(g
-            .between(s1, s0)
-            .iter()
-            .any(|d| d.kind == DepKind::Flow
-                && d.array == Var::new("A")
-                && d.may_be_carried_by(&Var::new("t"))));
+        assert!(g.between(s1, s0).iter().any(|d| d.kind == DepKind::Flow
+            && d.array == Var::new("A")
+            && d.may_be_carried_by(&Var::new("t"))));
         // The t loop therefore carries dependences, i is clean for S0.
         assert!(!g.carried_by(&Var::new("t")).is_empty());
         assert!(g.carried_by(&Var::new("i")).is_empty());

@@ -390,7 +390,12 @@ mod tests {
                     "j",
                     cst(0),
                     var("NJ"),
-                    vec![for_loop("k", cst(0), var("NK"), vec![Node::Computation(update)])],
+                    vec![for_loop(
+                        "k",
+                        cst(0),
+                        var("NK"),
+                        vec![Node::Computation(update)],
+                    )],
                 )],
             ))
             .build()
@@ -440,8 +445,16 @@ mod tests {
             .unwrap();
         let g = analyze(&p);
         let nest = p.loop_nests()[0];
-        assert!(is_permutation_legal(&g, nest, &[Var::new("i"), Var::new("j")]));
-        assert!(!is_permutation_legal(&g, nest, &[Var::new("j"), Var::new("i")]));
+        assert!(is_permutation_legal(
+            &g,
+            nest,
+            &[Var::new("i"), Var::new("j")]
+        ));
+        assert!(!is_permutation_legal(
+            &g,
+            nest,
+            &[Var::new("j"), Var::new("i")]
+        ));
     }
 
     #[test]
@@ -499,8 +512,18 @@ mod tests {
             .array("A", &["N"])
             .array("B", &["N"])
             .array("C", &["N"])
-            .node(for_loop("i", cst(0), var("N") - cst(1), vec![Node::Computation(s0)]))
-            .node(for_loop("j", cst(0), var("N") - cst(1), vec![Node::Computation(s1)]))
+            .node(for_loop(
+                "i",
+                cst(0),
+                var("N") - cst(1),
+                vec![Node::Computation(s0)],
+            ))
+            .node(for_loop(
+                "j",
+                cst(0),
+                var("N") - cst(1),
+                vec![Node::Computation(s1)],
+            ))
             .build()
             .unwrap();
         let g = analyze(&p);

@@ -70,9 +70,7 @@ pub fn may_depend(
     params: &BTreeMap<Var, i64>,
 ) -> bool {
     debug_assert_eq!(common.len(), directions.len());
-    if src.array_ref.array != dst.array_ref.array
-        || src.array_ref.rank() != dst.array_ref.rank()
-    {
+    if src.array_ref.array != dst.array_ref.array || src.array_ref.rank() != dst.array_ref.rank() {
         return false;
     }
     let (Some(src_idx), Some(dst_idx)) = (
@@ -144,10 +142,7 @@ pub fn may_depend(
                     min: 1,
                     max: extent - 1,
                 });
-                dst_subst.insert(
-                    iter.clone(),
-                    AffineExpr::var(base) + AffineExpr::var(delta),
-                );
+                dst_subst.insert(iter.clone(), AffineExpr::var(base) + AffineExpr::var(delta));
             }
             Direction::Gt => {
                 // dst iteration strictly earlier: d = s - delta, delta >= 1.
@@ -161,10 +156,7 @@ pub fn may_depend(
                     min: 1,
                     max: extent - 1,
                 });
-                dst_subst.insert(
-                    iter.clone(),
-                    AffineExpr::var(base) - AffineExpr::var(delta),
-                );
+                dst_subst.insert(iter.clone(), AffineExpr::var(base) - AffineExpr::var(delta));
             }
             Direction::Any => {
                 let name = Var::new(format!("d${}", iter));
@@ -226,7 +218,7 @@ fn equation_may_have_solution(expr: &AffineExpr, vars: &[BoxVar]) -> bool {
         .iter()
         .map(|(_, c)| c.unsigned_abs())
         .fold(0u64, gcd_u64);
-    if gcd != 0 && constant.unsigned_abs() % gcd != 0 {
+    if gcd != 0 && !constant.unsigned_abs().is_multiple_of(gcd) {
         return false;
     }
 
@@ -273,16 +265,30 @@ mod tests {
     }
 
     fn bounds(list: &[(&str, i64, i64)]) -> Vec<LoopBound> {
-        list.iter().map(|(n, lo, hi)| LoopBound::new(*n, *lo, *hi)).collect()
+        list.iter()
+            .map(|(n, lo, hi)| LoopBound::new(*n, *lo, *hi))
+            .collect()
     }
 
     #[test]
     fn identical_access_same_iteration_depends() {
         let r = ArrayRef::new("A", vec![var("i")]);
         let loops = bounds(&[("i", 0, 10)]);
-        let src = AccessContext { array_ref: &r, loops: &loops };
-        let dst = AccessContext { array_ref: &r, loops: &loops };
-        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Eq], &params()));
+        let src = AccessContext {
+            array_ref: &r,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &r,
+            loops: &loops,
+        };
+        assert!(may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Eq],
+            &params()
+        ));
     }
 
     #[test]
@@ -290,10 +296,28 @@ mod tests {
         // A[i] written in iteration i is never touched by iteration i' != i.
         let r = ArrayRef::new("A", vec![var("i")]);
         let loops = bounds(&[("i", 0, 10)]);
-        let src = AccessContext { array_ref: &r, loops: &loops };
-        let dst = AccessContext { array_ref: &r, loops: &loops };
-        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Lt], &params()));
-        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Gt], &params()));
+        let src = AccessContext {
+            array_ref: &r,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &r,
+            loops: &loops,
+        };
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Lt],
+            &params()
+        ));
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Gt],
+            &params()
+        ));
     }
 
     #[test]
@@ -302,12 +326,36 @@ mod tests {
         let w = ArrayRef::new("A", vec![var("i")]);
         let r = ArrayRef::new("A", vec![var("i") - cst(1)]);
         let loops = bounds(&[("i", 0, 10)]);
-        let src = AccessContext { array_ref: &w, loops: &loops };
-        let dst = AccessContext { array_ref: &r, loops: &loops };
-        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Lt], &params()));
+        let src = AccessContext {
+            array_ref: &w,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &r,
+            loops: &loops,
+        };
+        assert!(may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Lt],
+            &params()
+        ));
         // but not in the same iteration and not backwards at distance >= 1.
-        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Eq], &params()));
-        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Gt], &params()));
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Eq],
+            &params()
+        ));
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Gt],
+            &params()
+        ));
     }
 
     #[test]
@@ -316,8 +364,14 @@ mod tests {
         let even = ArrayRef::new("A", vec![var("i") * cst(2)]);
         let odd = ArrayRef::new("A", vec![var("i") * cst(2) + cst(1)]);
         let loops = bounds(&[("i", 0, 100)]);
-        let src = AccessContext { array_ref: &even, loops: &loops };
-        let dst = AccessContext { array_ref: &odd, loops: &loops };
+        let src = AccessContext {
+            array_ref: &even,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &odd,
+            loops: &loops,
+        };
         for dir in [Direction::Lt, Direction::Eq, Direction::Gt, Direction::Any] {
             assert!(!may_depend(&src, &dst, &[Var::new("i")], &[dir], &params()));
         }
@@ -329,9 +383,21 @@ mod tests {
         let a = ArrayRef::new("A", vec![var("i")]);
         let b = ArrayRef::new("A", vec![var("i") + cst(100)]);
         let loops = bounds(&[("i", 0, 50)]);
-        let src = AccessContext { array_ref: &a, loops: &loops };
-        let dst = AccessContext { array_ref: &b, loops: &loops };
-        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Any], &params()));
+        let src = AccessContext {
+            array_ref: &a,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &b,
+            loops: &loops,
+        };
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Any],
+            &params()
+        ));
     }
 
     #[test]
@@ -340,12 +406,36 @@ mod tests {
         let w = ArrayRef::new("A", vec![var("i"), var("j")]);
         let r = ArrayRef::new("A", vec![var("i"), var("j") + cst(1)]);
         let loops = bounds(&[("i", 0, 10), ("j", 0, 10)]);
-        let src = AccessContext { array_ref: &w, loops: &loops };
-        let dst = AccessContext { array_ref: &r, loops: &loops };
+        let src = AccessContext {
+            array_ref: &w,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &r,
+            loops: &loops,
+        };
         let common = [Var::new("i"), Var::new("j")];
-        assert!(may_depend(&src, &dst, &common, &[Direction::Eq, Direction::Gt], &params()));
-        assert!(!may_depend(&src, &dst, &common, &[Direction::Eq, Direction::Eq], &params()));
-        assert!(!may_depend(&src, &dst, &common, &[Direction::Lt, Direction::Eq], &params()));
+        assert!(may_depend(
+            &src,
+            &dst,
+            &common,
+            &[Direction::Eq, Direction::Gt],
+            &params()
+        ));
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &common,
+            &[Direction::Eq, Direction::Eq],
+            &params()
+        ));
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &common,
+            &[Direction::Lt, Direction::Eq],
+            &params()
+        ));
     }
 
     #[test]
@@ -354,11 +444,29 @@ mod tests {
         // elements across iterations.
         let c = ArrayRef::new("C", vec![var("i")]);
         let loops = bounds(&[("i", 0, 10), ("k", 0, 10)]);
-        let src = AccessContext { array_ref: &c, loops: &loops };
-        let dst = AccessContext { array_ref: &c, loops: &loops };
+        let src = AccessContext {
+            array_ref: &c,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &c,
+            loops: &loops,
+        };
         let common = [Var::new("i"), Var::new("k")];
-        assert!(may_depend(&src, &dst, &common, &[Direction::Eq, Direction::Lt], &params()));
-        assert!(!may_depend(&src, &dst, &common, &[Direction::Lt, Direction::Eq], &params()));
+        assert!(may_depend(
+            &src,
+            &dst,
+            &common,
+            &[Direction::Eq, Direction::Lt],
+            &params()
+        ));
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &common,
+            &[Direction::Lt, Direction::Eq],
+            &params()
+        ));
     }
 
     #[test]
@@ -366,9 +474,21 @@ mod tests {
         let a = ArrayRef::new("A", vec![var("i")]);
         let b = ArrayRef::new("B", vec![var("i")]);
         let loops = bounds(&[("i", 0, 10)]);
-        let src = AccessContext { array_ref: &a, loops: &loops };
-        let dst = AccessContext { array_ref: &b, loops: &loops };
-        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Any], &params()));
+        let src = AccessContext {
+            array_ref: &a,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &b,
+            loops: &loops,
+        };
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Any],
+            &params()
+        ));
     }
 
     #[test]
@@ -379,12 +499,21 @@ mod tests {
         let b = ArrayRef::new("A", vec![var("j")]);
         let src_loops = bounds(&[("k", 0, 10)]);
         let dst_loops = bounds(&[("j", 20, 30)]);
-        let src = AccessContext { array_ref: &a, loops: &src_loops };
-        let dst = AccessContext { array_ref: &b, loops: &dst_loops };
+        let src = AccessContext {
+            array_ref: &a,
+            loops: &src_loops,
+        };
+        let dst = AccessContext {
+            array_ref: &b,
+            loops: &dst_loops,
+        };
         assert!(!may_depend(&src, &dst, &[], &[], &params()));
         // Overlapping ranges do depend.
         let dst_loops2 = bounds(&[("j", 5, 30)]);
-        let dst2 = AccessContext { array_ref: &b, loops: &dst_loops2 };
+        let dst2 = AccessContext {
+            array_ref: &b,
+            loops: &dst_loops2,
+        };
         assert!(may_depend(&src, &dst2, &[], &[], &params()));
     }
 
@@ -394,13 +523,31 @@ mod tests {
         let shifted = ArrayRef::new("A", vec![var("i") + var("N")]);
         let plain = ArrayRef::new("A", vec![var("i")]);
         let loops = bounds(&[("i", 0, 50)]);
-        let src = AccessContext { array_ref: &shifted, loops: &loops };
-        let dst = AccessContext { array_ref: &plain, loops: &loops };
+        let src = AccessContext {
+            array_ref: &shifted,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &plain,
+            loops: &loops,
+        };
         let mut p = BTreeMap::new();
         p.insert(Var::new("N"), 100);
-        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Any], &p));
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Any],
+            &p
+        ));
         // Without a binding the parameter is unbounded, so be conservative.
-        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Any], &params()));
+        assert!(may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Any],
+            &params()
+        ));
     }
 
     #[test]
@@ -408,18 +555,48 @@ mod tests {
         let nonaffine = ArrayRef::new("A", vec![var("i") * var("i")]);
         let plain = ArrayRef::new("A", vec![var("i")]);
         let loops = bounds(&[("i", 0, 10)]);
-        let src = AccessContext { array_ref: &nonaffine, loops: &loops };
-        let dst = AccessContext { array_ref: &plain, loops: &loops };
-        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Lt], &params()));
+        let src = AccessContext {
+            array_ref: &nonaffine,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &plain,
+            loops: &loops,
+        };
+        assert!(may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Lt],
+            &params()
+        ));
     }
 
     #[test]
     fn single_trip_loop_cannot_carry() {
         let r = ArrayRef::new("A", vec![cst(0)]);
         let loops = bounds(&[("i", 0, 1)]);
-        let src = AccessContext { array_ref: &r, loops: &loops };
-        let dst = AccessContext { array_ref: &r, loops: &loops };
-        assert!(!may_depend(&src, &dst, &[Var::new("i")], &[Direction::Lt], &params()));
-        assert!(may_depend(&src, &dst, &[Var::new("i")], &[Direction::Eq], &params()));
+        let src = AccessContext {
+            array_ref: &r,
+            loops: &loops,
+        };
+        let dst = AccessContext {
+            array_ref: &r,
+            loops: &loops,
+        };
+        assert!(!may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Lt],
+            &params()
+        ));
+        assert!(may_depend(
+            &src,
+            &dst,
+            &[Var::new("i")],
+            &[Direction::Eq],
+            &params()
+        ));
     }
 }

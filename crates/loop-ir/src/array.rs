@@ -30,10 +30,7 @@ impl Array {
     /// Creates an array from named parameters as extents, the common case for
     /// PolyBench-style kernels (`A[NI][NK]`).
     pub fn with_param_dims(name: impl Into<Var>, dims: &[&str]) -> Self {
-        Array::new(
-            name,
-            dims.iter().map(|d| Expr::Var(Var::new(*d))).collect(),
-        )
+        Array::new(name, dims.iter().map(|d| Expr::Var(Var::new(*d))).collect())
     }
 
     /// Number of dimensions.
@@ -127,10 +124,7 @@ impl ArrayRef {
     /// Affine normal form of every subscript after folding the given
     /// parameter bindings into the expressions (so `A[b * KLEV + k]` with a
     /// known `KLEV` is still affine in `b` and `k`).
-    pub fn affine_indices_with(
-        &self,
-        bindings: &BTreeMap<Var, i64>,
-    ) -> Option<Vec<AffineExpr>> {
+    pub fn affine_indices_with(&self, bindings: &BTreeMap<Var, i64>) -> Option<Vec<AffineExpr>> {
         self.indices
             .iter()
             .map(|e| e.fold_params(bindings).as_affine())
@@ -249,7 +243,9 @@ mod tests {
     use crate::expr::{cst, var};
 
     fn bindings() -> BTreeMap<Var, i64> {
-        [(Var::new("N"), 10), (Var::new("M"), 20)].into_iter().collect()
+        [(Var::new("N"), 10), (Var::new("M"), 20)]
+            .into_iter()
+            .collect()
     }
 
     #[test]

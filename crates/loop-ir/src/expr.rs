@@ -461,7 +461,11 @@ impl AffineExpr {
             return AffineExpr::constant(0);
         }
         AffineExpr {
-            terms: self.terms.iter().map(|(v, c)| (v.clone(), c * factor)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(v, c)| (v.clone(), c * factor))
+                .collect(),
             constant: self.constant * factor,
         }
     }
@@ -582,7 +586,10 @@ mod tests {
     #[test]
     fn simplify_constant_folds() {
         let e = (cst(2) + cst(3)) * var("i");
-        assert_eq!(e.simplify(), Expr::Mul(Box::new(cst(5)), Box::new(var("i"))));
+        assert_eq!(
+            e.simplify(),
+            Expr::Mul(Box::new(cst(5)), Box::new(var("i")))
+        );
     }
 
     #[test]

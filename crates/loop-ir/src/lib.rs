@@ -63,6 +63,7 @@ pub use expr::{AffineExpr, Expr, Var};
 pub use nest::{BlasCall, BlasKind, Computation, Loop, LoopSchedule, Node};
 pub use program::Program;
 pub use scalar::{BinOp, CmpOp, ScalarExpr, UnaryOp};
+pub use visit::{structural_hash_node, structural_hash_nodes, StructuralHasher};
 
 /// Commonly used items, intended for glob import in downstream crates,
 /// examples and tests.
@@ -76,5 +77,7 @@ pub mod prelude {
     };
     pub use crate::program::Program;
     pub use crate::scalar::{fconst, load, param, BinOp, CmpOp, ScalarExpr, UnaryOp};
-    pub use crate::visit::{walk_computations, walk_loops, CompContext};
+    pub use crate::visit::{
+        structural_hash_node, structural_hash_nodes, walk_computations, walk_loops, CompContext,
+    };
 }

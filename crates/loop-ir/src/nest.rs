@@ -199,12 +199,7 @@ impl Computation {
     /// value expression, plus a read of the target when the statement is a
     /// reduction, plus the write of the target.
     pub fn accesses(&self) -> Vec<Access> {
-        let mut out: Vec<Access> = self
-            .value
-            .loads()
-            .into_iter()
-            .map(Access::read)
-            .collect();
+        let mut out: Vec<Access> = self.value.loads().into_iter().map(Access::read).collect();
         if self.reduction.is_some() {
             out.push(Access::read(self.target.clone()));
         }
@@ -321,9 +316,7 @@ impl BlasCall {
         let dims: Option<Vec<i64>> = self.dims.iter().map(|d| d.eval(bindings)).collect();
         let dims = dims?;
         let count = match self.kind {
-            BlasKind::Gemm | BlasKind::Syr2k => {
-                2 * dims.iter().product::<i64>()
-            }
+            BlasKind::Gemm | BlasKind::Syr2k => 2 * dims.iter().product::<i64>(),
             BlasKind::Syrk => dims.iter().product::<i64>(),
             BlasKind::Gemv => 2 * dims.iter().product::<i64>(),
         };
@@ -470,7 +463,12 @@ mod tests {
                 "j",
                 cst(0),
                 var("NJ"),
-                vec![for_loop("k", cst(0), var("NK"), vec![Node::Computation(update)])],
+                vec![for_loop(
+                    "k",
+                    cst(0),
+                    var("NK"),
+                    vec![Node::Computation(update)],
+                )],
             )],
         )
     }
@@ -496,10 +494,7 @@ mod tests {
     fn nested_iterators_in_order() {
         let nest = gemm_nest();
         let iters = nest.nested_iterators();
-        assert_eq!(
-            iters,
-            vec![Var::new("i"), Var::new("j"), Var::new("k")]
-        );
+        assert_eq!(iters, vec![Var::new("i"), Var::new("j"), Var::new("k")]);
         assert_eq!(nest.depth(), 3);
     }
 

@@ -127,12 +127,7 @@ impl ArrayView {
             .ranges
             .iter()
             .enumerate()
-            .map(|(i, r)| {
-                by_dim
-                    .get(&i)
-                    .cloned()
-                    .unwrap_or_else(|| r.lower.clone())
-            })
+            .map(|(i, r)| by_dim.get(&i).cloned().unwrap_or_else(|| r.lower.clone()))
             .map(|e| e.simplify())
             .collect();
         ArrayRef::new(self.array.clone(), indices)
@@ -166,6 +161,9 @@ pub enum NpExpr {
     Sum(Box<NpExpr>, Option<usize>),
 }
 
+// The arithmetic method names deliberately mirror NumPy (`np.add`, …), not
+// the `std::ops` traits.
+#[allow(clippy::should_implement_trait)]
 impl NpExpr {
     /// Elementwise addition.
     pub fn add(self, rhs: NpExpr) -> NpExpr {
@@ -421,11 +419,7 @@ impl Lowering {
         }
     }
 
-    fn lower_stmt(
-        &mut self,
-        stmt: &NpStmt,
-        enclosing: &[(Var, Expr, Expr)],
-    ) -> Result<Vec<Node>> {
+    fn lower_stmt(&mut self, stmt: &NpStmt, enclosing: &[(Var, Expr, Expr)]) -> Result<Vec<Node>> {
         match stmt {
             NpStmt::For {
                 iter,
@@ -501,10 +495,10 @@ impl Lowering {
                     ),
                     (2, 1) => (
                         av.element(&[iter_exprs[0].clone(), k_expr.clone()]),
-                        bv.element(&[k_expr.clone()]),
+                        bv.element(std::slice::from_ref(&k_expr)),
                     ),
                     (1, 2) => (
-                        av.element(&[k_expr.clone()]),
+                        av.element(std::slice::from_ref(&k_expr)),
                         bv.element(&[k_expr.clone(), iter_exprs[0].clone()]),
                     ),
                     (ra, rb) => {
@@ -582,9 +576,7 @@ impl Lowering {
             other => {
                 let scalar = self.lower_elementwise(other, &iter_exprs)?;
                 let comp = match reduction {
-                    Some(op) => {
-                        Computation::reduction(self.fresh_name(), target_ref, op, scalar)
-                    }
+                    Some(op) => Computation::reduction(self.fresh_name(), target_ref, op, scalar),
                     None => Computation::assign(self.fresh_name(), target_ref, scalar),
                 };
                 nodes.push(self.wrap_loops(target, &iters, vec![Node::Computation(comp)]));

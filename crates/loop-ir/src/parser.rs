@@ -778,10 +778,7 @@ mod tests {
     #[test]
     fn semantic_errors_surface_from_validation() {
         let src = "program p { param N = 2; for i in 0..N { A[i] = 1.0; } }";
-        assert_eq!(
-            parse_program(src),
-            Err(IrError::UnknownArray("A".into()))
-        );
+        assert_eq!(parse_program(src), Err(IrError::UnknownArray("A".into())));
     }
 
     #[test]

@@ -120,7 +120,12 @@ mod tests {
                     "j",
                     cst(0),
                     var("NJ"),
-                    vec![for_loop("k", cst(0), var("NK"), vec![Node::Computation(s1)])],
+                    vec![for_loop(
+                        "k",
+                        cst(0),
+                        var("NK"),
+                        vec![Node::Computation(s1)],
+                    )],
                 )],
             ))
             .build()

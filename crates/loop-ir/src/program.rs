@@ -9,7 +9,7 @@ use crate::builder::ProgramBuilder;
 use crate::error::{IrError, Result};
 use crate::expr::Var;
 use crate::nest::{CompId, Computation, Loop, Node};
-use crate::visit::{walk_computations, CompContext};
+use crate::visit::{walk_computations, CompContext, StructuralHasher};
 
 /// A complete program: symbolic integer parameters with concrete bindings,
 /// symbolic scalar parameters, array declarations, and an ordered sequence of
@@ -78,7 +78,11 @@ impl Program {
 
     /// Maximum loop depth across all nests.
     pub fn max_depth(&self) -> usize {
-        self.body.iter().map(Node::max_loop_depth).max().unwrap_or(0)
+        self.body
+            .iter()
+            .map(Node::max_loop_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Concrete value of an integer parameter.
@@ -144,6 +148,61 @@ impl Program {
         for node in &mut self.body {
             visit(node, &mut next);
         }
+    }
+
+    /// Validates a hypothetical node sequence against this program's
+    /// declarations — the check [`validate`](Self::validate) would perform if
+    /// `nodes` replaced part of the body. Used by the scheduler to vet a
+    /// transformed nest without materializing the whole candidate program.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant.
+    pub fn validate_nodes(&self, nodes: &[Node]) -> Result<()> {
+        for node in nodes {
+            self.validate_node(node, &mut Vec::new())?;
+        }
+        Ok(())
+    }
+
+    /// Structural hash of the full program: environment
+    /// ([`environment_hash`](Self::environment_hash)) plus body structure.
+    ///
+    /// Two programs share a hash exactly when they have the same parameters,
+    /// array declarations and structurally identical bodies (statement names
+    /// and ids excluded — see [`crate::visit::structural_hash_nodes`]). The
+    /// scheduler uses this to recognize candidate programs it has already
+    /// evaluated.
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = StructuralHasher::default();
+        self.environment_hash().hash(&mut hasher);
+        crate::visit::structural_hash_nodes(&self.body).hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Hash of everything a body's cost can depend on *besides* the body:
+    /// integer parameters, scalar parameters and array declarations.
+    ///
+    /// Transformations only rewrite `body`, so all candidate programs of one
+    /// scheduling run share an environment hash; the cost model combines it
+    /// with per-nest structural hashes as its memoization key.
+    pub fn environment_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = StructuralHasher::default();
+        for (name, value) in &self.params {
+            name.hash(&mut hasher);
+            value.hash(&mut hasher);
+        }
+        for (name, value) in &self.scalar_params {
+            name.hash(&mut hasher);
+            value.to_bits().hash(&mut hasher);
+        }
+        for (name, array) in &self.arrays {
+            name.hash(&mut hasher);
+            array.dims.hash(&mut hasher);
+            array.elem_size.hash(&mut hasher);
+        }
+        hasher.finish()
     }
 
     /// Validates the structural invariants of the program:
@@ -290,11 +349,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_unknown_array() {
-        let s1 = Computation::assign(
-            "S1",
-            ArrayRef::new("Z", vec![var("i")]),
-            fconst(0.0),
-        );
+        let s1 = Computation::assign("S1", ArrayRef::new("Z", vec![var("i")]), fconst(0.0));
         let p = Program::builder("bad")
             .param("N", 4)
             .node(for_loop("i", cst(0), var("N"), vec![Node::Computation(s1)]))
@@ -319,11 +374,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_unbound_iterator() {
-        let s1 = Computation::assign(
-            "S1",
-            ArrayRef::new("A", vec![var("j")]),
-            fconst(0.0),
-        );
+        let s1 = Computation::assign("S1", ArrayRef::new("A", vec![var("j")]), fconst(0.0));
         let p = Program::builder("bad")
             .param("N", 4)
             .array("A", &["N"])
@@ -343,11 +394,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_unknown_scalar_param() {
-        let s1 = Computation::assign(
-            "S1",
-            ArrayRef::new("A", vec![var("i")]),
-            param("alpha"),
-        );
+        let s1 = Computation::assign("S1", ArrayRef::new("A", vec![var("i")]), param("alpha"));
         let p = Program::builder("bad")
             .param("N", 4)
             .array("A", &["N"])

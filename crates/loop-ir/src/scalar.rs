@@ -419,7 +419,9 @@ impl ScalarExpr {
                 then,
                 otherwise,
                 ..
-            } => 1 + lhs.flop_count() + rhs.flop_count() + then.flop_count() + otherwise.flop_count(),
+            } => {
+                1 + lhs.flop_count() + rhs.flop_count() + then.flop_count() + otherwise.flop_count()
+            }
         }
     }
 }

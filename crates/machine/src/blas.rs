@@ -12,7 +12,17 @@ const BLOCK: usize = 64;
 
 /// `C = beta * C + alpha * A * B` with `A` of shape `m×k`, `B` of shape
 /// `k×n`, `C` of shape `m×n`, all row-major.
-pub fn dgemm(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &mut [f64]) {
+#[allow(clippy::too_many_arguments)] // canonical BLAS signature
+pub fn dgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
     assert!(a.len() >= m * k, "A is too small");
     assert!(b.len() >= k * n, "B is too small");
     assert!(c.len() >= m * n, "C is too small");
@@ -107,7 +117,8 @@ pub fn dgemv(m: usize, n: usize, alpha: f64, a: &[f64], x: &[f64], beta: f64, y:
 /// unless memory streaming dominates.
 pub fn blas_call_time(machine: &MachineConfig, flops: f64, bytes: f64, threads: usize) -> f64 {
     let threads = threads.max(1).min(machine.cores);
-    let compute = flops / (machine.peak_flops_per_core() * machine.blas_efficiency * threads as f64);
+    let compute =
+        flops / (machine.peak_flops_per_core() * machine.blas_efficiency * threads as f64);
     let memory = bytes / machine.bandwidth_with_threads(threads);
     compute.max(memory) + machine.parallel_overhead * threads.saturating_sub(1) as f64
 }
@@ -116,7 +127,17 @@ pub fn blas_call_time(machine: &MachineConfig, flops: f64, bytes: f64, threads: 
 mod tests {
     use super::*;
 
-    fn naive_gemm(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &[f64]) -> Vec<f64> {
+    #[allow(clippy::too_many_arguments)]
+    fn naive_gemm(
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        b: &[f64],
+        beta: f64,
+        c: &[f64],
+    ) -> Vec<f64> {
         let mut out = c.to_vec();
         for v in out.iter_mut() {
             *v *= beta;

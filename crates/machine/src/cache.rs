@@ -4,6 +4,36 @@
 //! evicts on the L1 cache before and after normalization + fusion; this
 //! simulator reproduces those counters from the exact access stream of a
 //! program.
+//!
+//! # Layout and geometry
+//!
+//! Each level stores its tags and LRU timestamps in flat preallocated arrays
+//! (`set_count * assoc` entries each) and maps a line to its set by masking
+//! with `set_count - 1`. Two invariants make that indexing valid, both
+//! established by [`CacheLevel::new`]:
+//!
+//! * the line size is rounded to the nearest power of two (ties upward), so
+//!   the line number is `address >> line_shift`;
+//! * the set count is rounded to the *nearest* power of two (ties upward)
+//!   of `capacity / line_bytes / assoc`, so the set index is
+//!   `line & (set_count - 1)`. When `capacity / line_bytes` is not a
+//!   multiple of `assoc` times a power of two, the modeled capacity is
+//!   `set_count * assoc * line_bytes`, which can deviate from the configured
+//!   capacity by at most a factor of √2 — previously the quotient was
+//!   silently truncated, modeling caches up to 2× smaller than configured.
+//!
+//! # Streaming fast paths
+//!
+//! [`CacheHierarchy::access`] short-circuits an access to the same line as
+//! the immediately preceding access: that line is by construction the MRU
+//! entry of its set, so the access is a guaranteed hit and only the hit
+//! counter needs to move. [`CacheHierarchy::access_run`] extends this to a
+//! whole constant-stride run: for `|stride| <= line_bytes` the per-line
+//! access groups are consecutive in the stream, so the number of guaranteed
+//! hits is known in closed form (`count - distinct_lines`) and only one real
+//! access per distinct line is simulated. Both fast paths produce counters
+//! that are *bit-identical* to naively simulating every access (see
+//! [`reference`] and the equivalence tests).
 
 use std::collections::BTreeMap;
 
@@ -34,49 +64,104 @@ impl CacheStats {
     }
 }
 
-/// One level of a set-associative LRU cache.
+/// Sentinel marking an unused way. Valid only because a real line number
+/// would require an address of at least `u64::MAX * line_bytes`.
+const EMPTY: u64 = u64::MAX;
+
+/// Rounds to the nearest power of two, ties toward the larger one.
+fn nearest_pow2(n: u64) -> u64 {
+    let n = n.max(1);
+    if n.is_power_of_two() {
+        return n;
+    }
+    let above = n.next_power_of_two();
+    let below = above / 2;
+    if n - below < above - n {
+        below
+    } else {
+        above
+    }
+}
+
+/// One level of a set-associative LRU cache, tags and LRU timestamps in flat
+/// preallocated arrays.
 #[derive(Debug, Clone)]
 struct CacheLevel {
-    sets: Vec<Vec<u64>>, // per set: line tags in LRU order (front = MRU)
+    /// `set_count * assoc` line numbers, [`EMPTY`] when the way is unused.
+    tags: Box<[u64]>,
+    /// Timestamp of the last access per way; smallest = LRU victim.
+    stamps: Box<[u64]>,
+    clock: u64,
     assoc: usize,
-    line_bytes: u64,
-    set_count: u64,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `set_count - 1`.
+    set_mask: u64,
     stats: CacheStats,
 }
 
 impl CacheLevel {
     fn new(capacity: usize, assoc: usize, line_bytes: usize) -> Self {
         let assoc = assoc.max(1);
-        let lines = (capacity / line_bytes).max(assoc);
-        let set_count = (lines / assoc).max(1) as u64;
+        let line_bytes = nearest_pow2(line_bytes.max(1) as u64);
+        let lines = ((capacity as u64) / line_bytes).max(assoc as u64);
+        let set_count = nearest_pow2(lines / assoc as u64);
         CacheLevel {
-            sets: vec![Vec::with_capacity(assoc); set_count as usize],
+            tags: vec![EMPTY; (set_count as usize) * assoc].into_boxed_slice(),
+            stamps: vec![0; (set_count as usize) * assoc].into_boxed_slice(),
+            clock: 0,
             assoc,
-            line_bytes: line_bytes as u64,
-            set_count,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: set_count - 1,
             stats: CacheStats::default(),
         }
     }
 
-    /// Accesses the byte address; returns true on hit.
-    fn access(&mut self, address: u64) -> bool {
-        let line = address / self.line_bytes;
-        let set_idx = (line % self.set_count) as usize;
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|&t| t == line) {
-            set.remove(pos);
-            set.insert(0, line);
-            self.stats.hits += 1;
-            return true;
+    #[inline]
+    fn line_of(&self, address: u64) -> u64 {
+        address >> self.line_shift
+    }
+
+    /// Accesses one line; returns true on hit.
+    #[inline]
+    fn access_line(&mut self, line: u64) -> bool {
+        let base = ((line & self.set_mask) as usize) * self.assoc;
+        self.clock += 1;
+        let ways = base..base + self.assoc;
+        for w in ways.clone() {
+            if self.tags[w] == line {
+                self.stamps[w] = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
         }
         self.stats.misses += 1;
         self.stats.loads += 1;
-        if set.len() >= self.assoc {
-            set.pop();
+        // Victim: first empty way, else the smallest timestamp (LRU).
+        let mut victim = base;
+        let mut oldest = u64::MAX;
+        for w in ways {
+            if self.tags[w] == EMPTY {
+                victim = w;
+                break;
+            }
+            if self.stamps[w] < oldest {
+                oldest = self.stamps[w];
+                victim = w;
+            }
+        }
+        if self.tags[victim] != EMPTY {
             self.stats.evicts += 1;
         }
-        set.insert(0, line);
+        self.tags[victim] = line;
+        self.stamps[victim] = self.clock;
         false
+    }
+
+    /// Accesses the byte address; returns true on hit.
+    #[inline]
+    fn access(&mut self, address: u64) -> bool {
+        self.access_line(self.line_of(address))
     }
 }
 
@@ -86,24 +171,100 @@ pub struct CacheHierarchy {
     l1: CacheLevel,
     l2: CacheLevel,
     accesses: u64,
+    /// L1 line number of the previous access; a repeat is a guaranteed hit.
+    last_line: u64,
 }
 
 impl CacheHierarchy {
     /// Builds the hierarchy described by a [`MachineConfig`].
     pub fn from_machine(machine: &MachineConfig) -> Self {
-        CacheHierarchy {
+        let hierarchy = CacheHierarchy {
             l1: CacheLevel::new(machine.l1_bytes, machine.l1_assoc, machine.line_bytes),
             l2: CacheLevel::new(machine.l2_bytes, machine.l2_assoc, machine.line_bytes),
             accesses: 0,
-        }
+            last_line: EMPTY,
+        };
+        // The run fast path reconstructs line-aligned addresses; both levels
+        // sharing one line size keeps those addresses on the original lines.
+        debug_assert_eq!(hierarchy.l1.line_shift, hierarchy.l2.line_shift);
+        hierarchy
     }
 
     /// Simulates one access to the given byte address (reads and writes are
     /// treated alike: write-allocate).
+    #[inline]
     pub fn access(&mut self, address: u64) {
         self.accesses += 1;
-        if !self.l1.access(address) {
+        self.access_counted(address);
+    }
+
+    /// The access path without the total-access bookkeeping (used by the run
+    /// fast path, which counts accesses in bulk).
+    #[inline]
+    fn access_counted(&mut self, address: u64) {
+        let line = self.l1.line_of(address);
+        if line == self.last_line {
+            // The previous access touched this exact line, so it is the MRU
+            // entry of its set: a guaranteed hit whose recency update is a
+            // no-op. Identical counters to the full lookup.
+            self.l1.stats.hits += 1;
+            return;
+        }
+        self.last_line = line;
+        if !self.l1.access_line(line) {
             self.l2.access(address);
+        }
+    }
+
+    /// Simulates a batch of accesses; equivalent to calling
+    /// [`access`](Self::access) on every element in order.
+    pub fn access_batch(&mut self, addresses: &[u64]) {
+        self.accesses += addresses.len() as u64;
+        for &address in addresses {
+            self.access_counted(address);
+        }
+    }
+
+    /// Simulates `count` accesses at `start, start + stride, …` — the access
+    /// stream of one array reference inside a constant-stride innermost loop.
+    ///
+    /// For `|stride| <= line_bytes` the per-line groups of the run are
+    /// consecutive, so all but the first access to each line are guaranteed
+    /// hits; the hit count is added in closed form and only one access per
+    /// distinct line is simulated. Counters are bit-identical to calling
+    /// [`access`](Self::access) `count` times.
+    pub fn access_run(&mut self, start: u64, stride: i64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let line_bytes = 1u64 << self.l1.line_shift;
+        let end = start as i64 + stride * (count as i64 - 1);
+        if stride.unsigned_abs() > line_bytes || end < 0 {
+            // Super-line strides land every access on a fresh line (nothing
+            // to collapse); runs that would walk below address zero wrap the
+            // same way the per-access path does.
+            self.accesses += count;
+            let mut address = start as i64;
+            for _ in 0..count {
+                self.access_counted(address as u64);
+                address += stride;
+            }
+            return;
+        }
+        self.accesses += count;
+        let first = self.l1.line_of(start);
+        let last = self.l1.line_of(end as u64);
+        let distinct = first.abs_diff(last) + 1;
+        self.l1.stats.hits += count - distinct;
+        let shift = self.l1.line_shift;
+        if last >= first {
+            for line in first..=last {
+                self.access_counted(line << shift);
+            }
+        } else {
+            for line in (last..=first).rev() {
+                self.access_counted(line << shift);
+            }
         }
     }
 
@@ -120,6 +281,104 @@ impl CacheHierarchy {
     /// Counters of the L2 cache.
     pub fn l2(&self) -> CacheStats {
         self.l2.stats
+    }
+}
+
+/// The pre-refactor simulator: per-set `Vec<u64>` in LRU order, one full
+/// lookup per access. Kept as the ground truth for equivalence tests and as
+/// the baseline the criterion benches measure the streaming simulator
+/// against. Uses the same (rounded) geometry as [`CacheHierarchy`].
+pub mod reference {
+    use super::{nearest_pow2, CacheStats};
+    use crate::config::MachineConfig;
+
+    /// One level of the reference simulator.
+    #[derive(Debug, Clone)]
+    struct ReferenceLevel {
+        sets: Vec<Vec<u64>>, // per set: line tags in LRU order (front = MRU)
+        assoc: usize,
+        line_bytes: u64,
+        set_count: u64,
+        stats: CacheStats,
+    }
+
+    impl ReferenceLevel {
+        fn new(capacity: usize, assoc: usize, line_bytes: usize) -> Self {
+            let assoc = assoc.max(1);
+            let line_bytes = nearest_pow2(line_bytes.max(1) as u64);
+            let lines = ((capacity as u64) / line_bytes).max(assoc as u64);
+            let set_count = nearest_pow2(lines / assoc as u64);
+            ReferenceLevel {
+                sets: vec![Vec::with_capacity(assoc); set_count as usize],
+                assoc,
+                line_bytes,
+                set_count,
+                stats: CacheStats::default(),
+            }
+        }
+
+        fn access(&mut self, address: u64) -> bool {
+            let line = address / self.line_bytes;
+            let set_idx = (line % self.set_count) as usize;
+            let set = &mut self.sets[set_idx];
+            if let Some(pos) = set.iter().position(|&t| t == line) {
+                set.remove(pos);
+                set.insert(0, line);
+                self.stats.hits += 1;
+                return true;
+            }
+            self.stats.misses += 1;
+            self.stats.loads += 1;
+            if set.len() >= self.assoc {
+                set.pop();
+                self.stats.evicts += 1;
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+
+    /// The naive two-level hierarchy the streaming simulator must match
+    /// counter-for-counter.
+    #[derive(Debug, Clone)]
+    pub struct ReferenceCacheHierarchy {
+        l1: ReferenceLevel,
+        l2: ReferenceLevel,
+        accesses: u64,
+    }
+
+    impl ReferenceCacheHierarchy {
+        /// Builds the hierarchy described by a [`MachineConfig`].
+        pub fn from_machine(machine: &MachineConfig) -> Self {
+            ReferenceCacheHierarchy {
+                l1: ReferenceLevel::new(machine.l1_bytes, machine.l1_assoc, machine.line_bytes),
+                l2: ReferenceLevel::new(machine.l2_bytes, machine.l2_assoc, machine.line_bytes),
+                accesses: 0,
+            }
+        }
+
+        /// Simulates one access.
+        pub fn access(&mut self, address: u64) {
+            self.accesses += 1;
+            if !self.l1.access(address) {
+                self.l2.access(address);
+            }
+        }
+
+        /// Total number of simulated accesses.
+        pub fn accesses(&self) -> u64 {
+            self.accesses
+        }
+
+        /// Counters of the L1 cache.
+        pub fn l1(&self) -> CacheStats {
+            self.l1.stats
+        }
+
+        /// Counters of the L2 cache.
+        pub fn l2(&self) -> CacheStats {
+            self.l2.stats
+        }
     }
 }
 
@@ -149,11 +408,19 @@ impl AddressMap {
             .get(array)
             .map(|base| base + (offset.max(0) as u64) * elem_size as u64)
     }
+
+    /// The base byte address of an array, if it is laid out.
+    pub fn base(&self, array: &str) -> Option<u64> {
+        self.bases.get(array).copied()
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferenceCacheHierarchy;
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn tiny() -> CacheHierarchy {
         CacheHierarchy::from_machine(&MachineConfig::tiny_for_tests())
@@ -216,7 +483,7 @@ mod tests {
     fn lru_replacement_order() {
         // Direct construction: 4 lines capacity, assoc 4, one set.
         let mut level = CacheLevel::new(256, 4, 64);
-        assert_eq!(level.set_count, 1);
+        assert_eq!(level.set_mask, 0);
         for addr in [0u64, 64, 128, 192] {
             level.access(addr);
         }
@@ -226,6 +493,20 @@ mod tests {
         level.access(256);
         assert!(level.access(0));
         assert!(!level.access(64));
+    }
+
+    #[test]
+    fn geometry_rounds_to_nearest_power_of_two() {
+        assert_eq!(nearest_pow2(1), 1);
+        assert_eq!(nearest_pow2(12), 16); // equidistant from 8 and 16: ties up
+        assert_eq!(nearest_pow2(11), 8);
+        assert_eq!(nearest_pow2(13), 16);
+        assert_eq!(nearest_pow2(64), 64);
+        // A 96-line capacity at assoc 4 is 24 ideal sets; the nearest valid
+        // power of two is 32 sets, not the truncated 16 the old geometry
+        // produced (which modeled a 2/3-sized cache).
+        let level = CacheLevel::new(96 * 64, 4, 64);
+        assert_eq!(level.set_mask + 1, 32);
     }
 
     #[test]
@@ -242,10 +523,108 @@ mod tests {
         let b_first = map.address("B", 0, 8).unwrap();
         assert!(a_last < b_first);
         assert!(map.address("Z", 0, 8).is_none());
+        assert_eq!(map.base("A"), Some(0x1000));
     }
 
     #[test]
     fn hit_rate_of_empty_stats_is_zero() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    fn assert_same_stats(fast: &CacheHierarchy, slow: &ReferenceCacheHierarchy, label: &str) {
+        assert_eq!(fast.accesses(), slow.accesses(), "{label}: access counts");
+        assert_eq!(fast.l1(), slow.l1(), "{label}: L1 counters");
+        assert_eq!(fast.l2(), slow.l2(), "{label}: L2 counters");
+    }
+
+    #[test]
+    fn flat_simulator_matches_reference_on_random_streams() {
+        let machine = MachineConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(0xCAC4E);
+        for round in 0..8 {
+            let mut fast = CacheHierarchy::from_machine(&machine);
+            let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+            for _ in 0..20_000 {
+                // Mix of hot lines (set conflicts) and a long tail.
+                let address = if rng.gen_bool(0.5) {
+                    rng.gen_range(0..4096u64)
+                } else {
+                    rng.gen_range(0..1 << 20)
+                };
+                fast.access(address);
+                slow.access(address);
+            }
+            assert_same_stats(&fast, &slow, &format!("random round {round}"));
+        }
+    }
+
+    #[test]
+    fn batch_matches_reference() {
+        let machine = MachineConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(7);
+        let addresses: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..1 << 18)).collect();
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+        fast.access_batch(&addresses);
+        for &a in &addresses {
+            slow.access(a);
+        }
+        assert_same_stats(&fast, &slow, "batch");
+    }
+
+    #[test]
+    fn strided_runs_match_reference_exactly() {
+        let machine = MachineConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(0x57E1DE);
+        // Strides spanning sub-line, exactly-line, super-line, zero and
+        // negative; starts unaligned on purpose.
+        for &stride in &[0i64, 4, 8, 24, 63, 64, 65, 128, 1000, -8, -64, -24] {
+            for _ in 0..4 {
+                let count = rng.gen_range(1..800u64);
+                let start = rng.gen_range(100_000..200_000u64);
+                let mut fast = CacheHierarchy::from_machine(&machine);
+                let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+                // Pre-warm both with a shared random prefix so runs start
+                // from a non-trivial cache state.
+                for _ in 0..500 {
+                    let a = rng.gen_range(0..1 << 18);
+                    fast.access(a);
+                    slow.access(a);
+                }
+                fast.access_run(start, stride, count);
+                let mut address = start as i64;
+                for _ in 0..count {
+                    slow.access(address as u64);
+                    address += stride;
+                }
+                assert_same_stats(&fast, &slow, &format!("stride {stride} count {count}"));
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_runs_and_accesses_match_reference() {
+        let machine = MachineConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+        for _ in 0..200 {
+            if rng.gen_bool(0.5) {
+                let start = rng.gen_range(0..1 << 16);
+                let stride = *[8i64, 16, 64, -8].get(rng.gen_range(0..4usize)).unwrap();
+                let count = rng.gen_range(1..200u64);
+                fast.access_run(start, stride, count);
+                let mut address = start as i64;
+                for _ in 0..count {
+                    slow.access(address as u64);
+                    address += stride;
+                }
+            } else {
+                let address = rng.gen_range(0..1 << 16);
+                fast.access(address);
+                slow.access(address);
+            }
+        }
+        assert_same_stats(&fast, &slow, "interleaved");
     }
 }

@@ -18,15 +18,36 @@
 //! Absolute seconds are indicative only; the model's purpose is to rank
 //! schedules the same way the paper's Xeon does (who wins, by what factor,
 //! where the crossovers are).
+//!
+//! # Memoization
+//!
+//! The evolutionary search prices thousands of candidate programs that differ
+//! in a single nest; re-deriving the working-set analysis for the unchanged
+//! nests dominated its runtime. [`CostModel`] therefore memoizes per-nest
+//! costs behind a structural hash. The contract: a nest's cost is a pure
+//! function of *(machine, thread count, program environment, nest
+//! structure)*, where the environment is the parameter bindings and array
+//! declarations ([`Program::environment_hash`]) and the structure is
+//! everything [`loop_ir::structural_hash_node`] covers (bounds, steps,
+//! schedule annotations, subscripts, values — statement names excluded).
+//! The cache is shared across clones of a model, so worker threads costing
+//! candidates in parallel populate one table; it can be disabled with
+//! [`CostModel::without_memoization`] for baseline measurements.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 use loop_ir::expr::Var;
 use loop_ir::nest::{BlasCall, Loop, Node};
 use loop_ir::program::Program;
+use loop_ir::structural_hash_node;
 
 use crate::blas::blas_call_time;
 use crate::config::MachineConfig;
+
+/// Shared memo table of a [`CostModel`]: per-nest costs keyed by
+/// `(environment hash, nest structural hash)`.
+type CostMemo = Arc<Mutex<HashMap<(u64, u64), NestCost>>>;
 
 /// Loop-control overhead in cycles per executed loop iteration (increment,
 /// compare, branch). Negligible for large loop bodies, but it is what makes
@@ -76,6 +97,9 @@ impl CostReport {
 pub struct CostModel {
     machine: MachineConfig,
     threads: usize,
+    /// Per-nest memo, shared across clones so parallel workers fill one
+    /// table; `None` disables memoization.
+    memo: Option<CostMemo>,
 }
 
 #[derive(Debug, Clone)]
@@ -93,17 +117,34 @@ struct LoopInfo {
 }
 
 impl CostModel {
-    /// Creates a cost model for `threads` worker threads on `machine`.
+    /// Creates a cost model for `threads` worker threads on `machine`,
+    /// with per-nest memoization enabled.
     pub fn new(machine: MachineConfig, threads: usize) -> Self {
         CostModel {
             threads: threads.max(1),
             machine,
+            memo: Some(Arc::new(Mutex::new(HashMap::new()))),
         }
     }
 
     /// Creates a sequential cost model for the paper's machine.
     pub fn sequential() -> Self {
         CostModel::new(MachineConfig::default(), 1)
+    }
+
+    /// Returns this model with memoization disabled — every nest is priced
+    /// from scratch. The pre-refactor behavior, kept for baseline benches.
+    pub fn without_memoization(mut self) -> Self {
+        self.memo = None;
+        self
+    }
+
+    /// Number of distinct nests currently memoized.
+    pub fn memo_entries(&self) -> usize {
+        self.memo
+            .as_ref()
+            .map(|memo| memo.lock().expect("cost memo poisoned").len())
+            .unwrap_or(0)
     }
 
     /// The machine description used by the model.
@@ -118,24 +159,61 @@ impl CostModel {
 
     /// Estimates the execution cost of a program.
     pub fn estimate(&self, program: &Program) -> CostReport {
+        let env = self.memo.as_ref().map(|_| program.environment_hash());
         let mut report = CostReport::default();
         for node in &program.body {
-            let cost = match node {
-                Node::Loop(l) => self.estimate_nest(program, l),
-                Node::Call(call) => self.estimate_call(program, call),
-                Node::Computation(c) => NestCost {
-                    description: c.name.clone(),
-                    seconds: c.flops() as f64 / self.machine.frequency_hz,
-                    flops: c.flops() as f64,
-                    dram_bytes: 0.0,
-                },
-            };
+            let cost = self.node_cost_with_env(program, node, env);
             report.seconds += cost.seconds;
             report.flops += cost.flops;
             report.dram_bytes += cost.dram_bytes;
             report.per_nest.push(cost);
         }
         report
+    }
+
+    /// Cost of a single top-level node under the program's environment
+    /// (parameters, scalar parameters, arrays). `node` does not have to be
+    /// part of `program.body`: the scheduler prices transformed nests this
+    /// way without materializing candidate programs. Memoized per
+    /// `(environment, node structure)` exactly like [`estimate`](Self::estimate).
+    pub fn node_cost(&self, program: &Program, node: &Node) -> NestCost {
+        let env = self.memo.as_ref().map(|_| program.environment_hash());
+        self.node_cost_with_env(program, node, env)
+    }
+
+    fn node_cost_with_env(&self, program: &Program, node: &Node, env: Option<u64>) -> NestCost {
+        match node {
+            Node::Loop(l) => self.nest_cost_memoized(program, node, l, env),
+            Node::Call(call) => self.estimate_call(program, call),
+            Node::Computation(c) => NestCost {
+                description: c.name.clone(),
+                seconds: c.flops() as f64 / self.machine.frequency_hz,
+                flops: c.flops() as f64,
+                dram_bytes: 0.0,
+            },
+        }
+    }
+
+    /// Per-nest cost with memo lookup; `env` is `Some` iff memoization is on.
+    fn nest_cost_memoized(
+        &self,
+        program: &Program,
+        node: &Node,
+        nest: &Loop,
+        env: Option<u64>,
+    ) -> NestCost {
+        let (Some(env), Some(memo)) = (env, self.memo.as_ref()) else {
+            return self.estimate_nest(program, nest);
+        };
+        let key = (env, structural_hash_node(node));
+        if let Some(hit) = memo.lock().expect("cost memo poisoned").get(&key) {
+            return hit.clone();
+        }
+        let cost = self.estimate_nest(program, nest);
+        memo.lock()
+            .expect("cost memo poisoned")
+            .insert(key, cost.clone());
+        cost
     }
 
     /// Estimates one BLAS library call.
@@ -175,13 +253,7 @@ impl CostModel {
         total
     }
 
-    fn walk(
-        &self,
-        program: &Program,
-        l: &Loop,
-        stack: &mut Vec<LoopInfo>,
-        total: &mut NestCost,
-    ) {
+    fn walk(&self, program: &Program, l: &Loop, stack: &mut Vec<LoopInfo>, total: &mut NestCost) {
         let (trip, mid_value) = self.average_trip(program, l, stack);
         // Loop-control overhead for every dynamic iteration of this loop,
         // amortized over the threads executing it when a parallel loop
@@ -258,7 +330,8 @@ impl CostModel {
         let mut flops_per_cycle = self.machine.scalar_flops_per_cycle;
         if let Some(inner) = innermost {
             if inner.vectorize && self.vectorizable(program, comp, &inner.iter) {
-                flops_per_cycle *= self.machine.vector_width as f64 * self.machine.vector_efficiency;
+                flops_per_cycle *=
+                    self.machine.vector_width as f64 * self.machine.vector_efficiency;
             }
         }
         // Very large loop bodies (heavily unrolled physics code) suffer from
@@ -281,7 +354,11 @@ impl CostModel {
                 .min(self.machine.cores)
                 .min(stack[level].trip.round() as usize)
                 .max(1);
-            let outer_regions: f64 = stack[..level].iter().map(|s| s.trip).product::<f64>().max(1.0);
+            let outer_regions: f64 = stack[..level]
+                .iter()
+                .map(|s| s.trip)
+                .product::<f64>()
+                .max(1.0);
             overhead = self.machine.parallel_overhead * threads as f64 * outer_regions;
             // A reduction whose target does not vary with the parallel loop
             // must be updated atomically. "Varies" includes indirect
@@ -440,15 +517,15 @@ impl CostModel {
             // bound-driven loops (tile loops) fall back to the globally
             // smallest stride because consecutive tiles are adjacent.
             let mut min_stride = f64::INFINITY;
-            for l in level..depth {
-                if c[l] > 0.0 {
-                    min_stride = min_stride.min(c[l]);
+            for &stride in &c[level..depth] {
+                if stride > 0.0 {
+                    min_stride = min_stride.min(stride);
                 }
             }
             if min_stride.is_infinite() {
-                for l in 0..depth {
-                    if c[l] > 0.0 {
-                        min_stride = min_stride.min(c[l]);
+                for &stride in &c[..depth] {
+                    if stride > 0.0 {
+                        min_stride = min_stride.min(stride);
                     }
                 }
             }
@@ -489,7 +566,11 @@ impl CostModel {
         let l1_level = fit_level(self.machine.l1_bytes as f64 * 0.8);
 
         let executions_outside = |level: usize| -> f64 {
-            stack[..level].iter().map(|s| s.trip).product::<f64>().max(1.0)
+            stack[..level]
+                .iter()
+                .map(|s| s.trip)
+                .product::<f64>()
+                .max(1.0)
         };
 
         // Traffic through a cache boundary: once the sub-nest one level above
@@ -615,8 +696,12 @@ mod tests {
         let mut parallel = p.clone();
         parallel.body = recipe.apply_to_nest(&nest).unwrap();
         let machine = MachineConfig::xeon_e5_2680v3();
-        let t1 = CostModel::new(machine.clone(), 1).estimate(&parallel).seconds;
-        let t4 = CostModel::new(machine.clone(), 4).estimate(&parallel).seconds;
+        let t1 = CostModel::new(machine.clone(), 1)
+            .estimate(&parallel)
+            .seconds;
+        let t4 = CostModel::new(machine.clone(), 4)
+            .estimate(&parallel)
+            .seconds;
         let t12 = CostModel::new(machine, 12).estimate(&parallel).seconds;
         assert!(t4 < t1);
         assert!(t12 <= t4);
@@ -641,7 +726,10 @@ mod tests {
         let machine = MachineConfig::xeon_e5_2680v3();
         let par = CostModel::new(machine.clone(), 12).estimate(&p).seconds;
         let seq = CostModel::new(machine, 1).estimate(&serial).seconds;
-        assert!(par > seq, "atomic reduction ({par}) must not beat serial ({seq})");
+        assert!(
+            par > seq,
+            "atomic reduction ({par}) must not beat serial ({seq})"
+        );
     }
 
     #[test]
@@ -663,10 +751,7 @@ mod tests {
         let blas_time = model.estimate(&blas_program).seconds;
         assert!(blas_time < naive_time / 2.0);
         // Same flops either way.
-        assert!(
-            (model.estimate(&blas_program).flops - model.estimate(&naive).flops).abs()
-                < 1.0
-        );
+        assert!((model.estimate(&blas_program).flops - model.estimate(&naive).flops).abs() < 1.0);
     }
 
     #[test]
@@ -690,5 +775,59 @@ mod tests {
     #[test]
     fn count_flops_helper() {
         assert!((count_flops(&gemm("ijk", 10)) - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_estimates_are_identical() {
+        let memoized = CostModel::new(MachineConfig::xeon_e5_2680v3(), 12);
+        let plain = memoized.clone().without_memoization();
+        for order in ["ijk", "ikj", "jki"] {
+            let p = gemm(order, 128);
+            let a = memoized.estimate(&p);
+            let b = plain.estimate(&p);
+            // Repeat with a warm memo: must still be bit-identical.
+            let c = memoized.estimate(&p);
+            assert_eq!(a, b, "order {order}");
+            assert_eq!(a, c, "order {order} warm");
+        }
+        assert_eq!(memoized.memo_entries(), 3);
+        assert_eq!(plain.memo_entries(), 0);
+    }
+
+    #[test]
+    fn memo_distinguishes_problem_sizes_and_structures() {
+        let model = CostModel::sequential();
+        let small = model.estimate(&gemm("ijk", 32)).seconds;
+        let large = model.estimate(&gemm("ijk", 64)).seconds;
+        assert!(
+            large > small,
+            "different params must not share memo entries"
+        );
+        assert_eq!(model.memo_entries(), 2);
+        // A schedule annotation changes the structure, hence the entry.
+        let mut annotated = gemm("ijk", 32);
+        annotated.body[0].as_loop_mut().unwrap().schedule.vectorize = true;
+        model.estimate(&annotated);
+        assert_eq!(model.memo_entries(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_memo_across_threads() {
+        let model = CostModel::sequential();
+        let programs: Vec<Program> = ["ijk", "ikj", "kij", "jik"]
+            .iter()
+            .map(|o| gemm(o, 96))
+            .collect();
+        std::thread::scope(|scope| {
+            for chunk in programs.chunks(2) {
+                let worker = model.clone();
+                scope.spawn(move || {
+                    for p in chunk {
+                        worker.estimate(p);
+                    }
+                });
+            }
+        });
+        assert_eq!(model.memo_entries(), 4);
     }
 }

@@ -49,7 +49,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(MachineError::UnknownArray("A".into()).to_string().contains('A'));
+        assert!(MachineError::UnknownArray("A".into())
+            .to_string()
+            .contains('A'));
         assert!(MachineError::OutOfBounds {
             array: "B".into(),
             index: 9

@@ -116,7 +116,11 @@ impl ProgramData {
         )
     }
 
-    fn flat_index(&self, array_ref: &ArrayRef, bindings: &BTreeMap<Var, i64>) -> Result<(Var, usize)> {
+    fn flat_index(
+        &self,
+        array_ref: &ArrayRef,
+        bindings: &BTreeMap<Var, i64>,
+    ) -> Result<(Var, usize)> {
         let storage = self
             .arrays
             .get(&array_ref.array)
@@ -153,7 +157,12 @@ impl ProgramData {
         Ok(self.arrays[&name].data[flat])
     }
 
-    fn store(&mut self, array_ref: &ArrayRef, bindings: &BTreeMap<Var, i64>, value: f64) -> Result<()> {
+    fn store(
+        &mut self,
+        array_ref: &ArrayRef,
+        bindings: &BTreeMap<Var, i64>,
+        value: f64,
+    ) -> Result<()> {
         let (name, flat) = self.flat_index(array_ref, bindings)?;
         self.arrays.get_mut(&name).expect("checked").data[flat] = value;
         Ok(())
@@ -366,16 +375,13 @@ mod tests {
                for i in 0..N { B[i] = A[i] * 2.0; } }",
         )
         .unwrap();
-        let mut data = ProgramData::new_with(&p, |name, i| {
-            if name == "A" {
-                i as f64
-            } else {
-                0.0
-            }
-        })
-        .unwrap();
+        let mut data =
+            ProgramData::new_with(&p, |name, i| if name == "A" { i as f64 } else { 0.0 }).unwrap();
         Interpreter::new().run(&p, &mut data).unwrap();
-        assert_eq!(data.array("B").unwrap(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+        assert_eq!(
+            data.array("B").unwrap(),
+            &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]
+        );
     }
 
     #[test]
@@ -517,7 +523,9 @@ mod tests {
 
     #[test]
     fn seeded_data_is_deterministic() {
-        let p = parse_program("program d { param N = 4; array A[N]; for i in 0..N { A[i] = A[i]; } }").unwrap();
+        let p =
+            parse_program("program d { param N = 4; array A[N]; for i in 0..N { A[i] = A[i]; } }")
+                .unwrap();
         let d1 = ProgramData::seeded(&p).unwrap();
         let d2 = ProgramData::seeded(&p).unwrap();
         assert_eq!(d1, d2);

@@ -14,6 +14,31 @@
 //!   ([`config::MachineConfig`]), the quantity all figures compare,
 //! * [`blas`] — reference BLAS kernels and the near-peak cost of a library
 //!   call, the target of the idiom-detection recipes.
+//!
+//! # The evaluation stack
+//!
+//! Every experiment funnels through one hot path:
+//!
+//! ```text
+//! program ─▶ access stream ─▶ cache simulator ─▶ cost model ─▶ search
+//!           (trace, streamed)  (cache, flat LRU)   (cost, memoized)  (daisy)
+//! ```
+//!
+//! The stack is streaming end to end. [`trace::stream_accesses`] walks the
+//! iteration space and pushes accesses into an [`trace::AccessSink`] as it
+//! goes — no trace is ever materialized — compiling innermost affine loops
+//! into incremental address arithmetic and emitting single-access loops as
+//! constant-stride *runs*. [`cache::CacheHierarchy`] consumes runs in closed
+//! form and keeps tags/LRU timestamps in flat power-of-two-masked arrays; its
+//! counters are bit-identical to the naive per-access reference simulator
+//! ([`cache::reference`]), which is retained for equivalence tests and as the
+//! bench baseline.
+//!
+//! [`cost::CostModel`] memoizes per-nest costs behind structural hashes. The
+//! contract: a nest's cost is a pure function of *(machine, thread count,
+//! program environment, nest structure)* — see the [`cost`] module docs —
+//! which is what lets the `daisy` evolutionary search re-price only the nest
+//! a candidate recipe rewrote.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,9 +51,12 @@ pub mod error;
 pub mod interp;
 pub mod trace;
 
-pub use cache::{CacheHierarchy, CacheStats};
+pub use cache::{reference::ReferenceCacheHierarchy, CacheHierarchy, CacheStats};
 pub use config::MachineConfig;
 pub use cost::{count_flops, CostModel, CostReport, NestCost};
 pub use error::{MachineError, Result};
 pub use interp::{run_seeded, Interpreter, ProgramData};
-pub use trace::{simulate_cache, walk_accesses, TraceEntry};
+pub use trace::{
+    simulate_cache, simulate_cache_reference, stream_accesses, walk_accesses, AccessSink,
+    TraceEntry,
+};

@@ -81,12 +81,7 @@ fn fission_node(node: &Node, graph: &DependenceGraph, split_count: &mut usize) -
             for child in &l.body {
                 new_body.extend(fission_node(child, graph, split_count));
             }
-            let mut rebuilt = Loop::new(
-                l.iter.clone(),
-                l.lower.clone(),
-                l.upper.clone(),
-                new_body,
-            );
+            let mut rebuilt = Loop::new(l.iter.clone(), l.lower.clone(), l.upper.clone(), new_body);
             rebuilt.step = l.step;
             rebuilt.schedule = l.schedule;
 

@@ -148,9 +148,7 @@ impl StrideMinimization {
             .body
             .iter()
             .map(|node| match node {
-                Node::Loop(sub) => {
-                    Node::Loop(self.minimize_nest(program, graph, sub, stats))
-                }
+                Node::Loop(sub) => Node::Loop(self.minimize_nest(program, graph, sub, stats)),
                 other => other.clone(),
             })
             .collect();
@@ -252,7 +250,7 @@ fn heap_permute(k: usize, items: &mut Vec<Var>, out: &mut Vec<Vec<Var>>) {
     }
     for i in 0..k {
         heap_permute(k - 1, items, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             items.swap(i, k - 1);
         } else {
             items.swap(0, k - 1);
@@ -400,7 +398,15 @@ mod tests {
             "S1",
             ArrayRef::new(
                 "A",
-                vec![var("a"), var("b"), var("c"), var("d"), var("e"), var("f"), var("g")],
+                vec![
+                    var("a"),
+                    var("b"),
+                    var("c"),
+                    var("d"),
+                    var("e"),
+                    var("f"),
+                    var("g"),
+                ],
             ),
             fconst(1.0),
         );
@@ -420,10 +426,7 @@ mod tests {
         let (n, stats) = pass.run(&p);
         assert_eq!(stats.approximated, 1);
         // Grouped sorting orders by descending stride weight: a, b, …, g.
-        assert_eq!(
-            order_of(&n, 0),
-            vec!["a", "b", "c", "d", "e", "f", "g"]
-        );
+        assert_eq!(order_of(&n, 0), vec!["a", "b", "c", "d", "e", "f", "g"]);
     }
 
     #[test]

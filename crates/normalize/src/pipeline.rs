@@ -131,11 +131,19 @@ mod tests {
         let nests = normalized.program.loop_nests();
         assert_eq!(nests.len(), 2);
         // First nest keeps (i, j) for the row-major access B[i][j] = A[i][j].
-        let first: Vec<String> = nests[0].nested_iterators().iter().map(|v| v.to_string()).collect();
+        let first: Vec<String> = nests[0]
+            .nested_iterators()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         assert_eq!(first, vec!["i", "j"]);
         // Second nest is permuted to (j, i) so that D[j][i] = C[j][i] becomes
         // unit-stride innermost (Figure 3c).
-        let second: Vec<String> = nests[1].nested_iterators().iter().map(|v| v.to_string()).collect();
+        let second: Vec<String> = nests[1]
+            .nested_iterators()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         assert_eq!(second, vec!["j", "i"]);
         assert!(normalized.stats.fission.loops_split >= 1);
         assert_eq!(normalized.stats.permutation.nests_permuted, 1);
@@ -201,8 +209,12 @@ mod tests {
               }
             }
         "#;
-        let a = Normalizer::new().run(&parse_program(FIGURE3).unwrap()).unwrap();
-        let b = Normalizer::new().run(&parse_program(variant).unwrap()).unwrap();
+        let a = Normalizer::new()
+            .run(&parse_program(FIGURE3).unwrap())
+            .unwrap();
+        let b = Normalizer::new()
+            .run(&parse_program(variant).unwrap())
+            .unwrap();
         // Compare canonical structure: the set of (iterator order, statement
         // target array) pairs per nest.
         let shape = |p: &loop_ir::Program| {

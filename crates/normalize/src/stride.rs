@@ -83,7 +83,13 @@ pub fn out_of_order_cost(nest: &Loop, order: &[Var]) -> f64 {
                 .array_ref
                 .indices
                 .iter()
-                .map(|idx| idx.vars().iter().filter_map(|v| position.get(v)).max().copied())
+                .map(|idx| {
+                    idx.vars()
+                        .iter()
+                        .filter_map(|v| position.get(v))
+                        .max()
+                        .copied()
+                })
                 .collect();
             for a in 0..dim_positions.len() {
                 for b in (a + 1)..dim_positions.len() {
@@ -153,7 +159,12 @@ mod tests {
                     "j",
                     cst(0),
                     var("NJ"),
-                    vec![for_loop("k", cst(0), var("NK"), vec![Node::Computation(update)])],
+                    vec![for_loop(
+                        "k",
+                        cst(0),
+                        var("NK"),
+                        vec![Node::Computation(update)],
+                    )],
                 )],
             ))
             .build()
@@ -182,8 +193,7 @@ mod tests {
         // (jki, kji).
         let p = gemm_program();
         let nest = p.loop_nests()[0];
-        let cost =
-            |names: &[&str]| sum_of_strides(&p, nest, &order(names));
+        let cost = |names: &[&str]| sum_of_strides(&p, nest, &order(names));
         let best = cost(&["i", "k", "j"]).min(cost(&["k", "i", "j"]));
         let worst = cost(&["j", "k", "i"]).min(cost(&["k", "j", "i"]));
         assert!(best < worst);

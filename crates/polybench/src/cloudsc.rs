@@ -325,8 +325,14 @@ mod tests {
         let nest = p.loop_nests()[0];
         assert!(nest.schedule.parallel);
         let graph = dependence::analyze(&p);
-        assert!(dependence::is_parallel_loop(&graph, &loop_ir::expr::Var::new("IBL")));
-        assert!(!dependence::is_parallel_loop(&graph, &loop_ir::expr::Var::new("JK")));
+        assert!(dependence::is_parallel_loop(
+            &graph,
+            &loop_ir::expr::Var::new("IBL")
+        ));
+        assert!(!dependence::is_parallel_loop(
+            &graph,
+            &loop_ir::expr::Var::new("JK")
+        ));
     }
 
     #[test]

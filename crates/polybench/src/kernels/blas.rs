@@ -429,7 +429,10 @@ pub fn syrk_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
     let row_slice = || {
         ArrayView::sliced(
             "C",
-            vec![Range::index(var("i")), Range::new(cst(0), var("i") + cst(1))],
+            vec![
+                Range::index(var("i")),
+                Range::new(cst(0), var("i") + cst(1)),
+            ],
         )
     };
     let scale = NpStmt::AugAssign {
@@ -451,7 +454,10 @@ pub fn syrk_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
                 )))
                 .mul(NpExpr::View(ArrayView::sliced(
                     "A",
-                    vec![Range::new(cst(0), var("i") + cst(1)), Range::index(var("k"))],
+                    vec![
+                        Range::new(cst(0), var("i") + cst(1)),
+                        Range::index(var("k")),
+                    ],
                 ))),
         }],
     };
@@ -539,7 +545,10 @@ pub fn syr2k_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
     let row_slice = || {
         ArrayView::sliced(
             "C",
-            vec![Range::index(var("i")), Range::new(cst(0), var("i") + cst(1))],
+            vec![
+                Range::index(var("i")),
+                Range::new(cst(0), var("i") + cst(1)),
+            ],
         )
     };
     let scale = NpStmt::AugAssign {
@@ -550,7 +559,10 @@ pub fn syr2k_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
     let col = |name: &str| {
         NpExpr::View(ArrayView::sliced(
             name,
-            vec![Range::new(cst(0), var("i") + cst(1)), Range::index(var("k"))],
+            vec![
+                Range::new(cst(0), var("i") + cst(1)),
+                Range::index(var("k")),
+            ],
         ))
     };
     let elem = |name: &str| {
@@ -569,7 +581,11 @@ pub fn syr2k_py(dataset: Dataset) -> (Program, Vec<FrameworkOp>) {
             value: col("A")
                 .mul(NpExpr::Param(Var::new("alpha")))
                 .mul(elem("B"))
-                .add(col("B").mul(NpExpr::Param(Var::new("alpha"))).mul(elem("A"))),
+                .add(
+                    col("B")
+                        .mul(NpExpr::Param(Var::new("alpha")))
+                        .mul(elem("A")),
+                ),
         }],
     };
     p.stmt(NpStmt::For {

@@ -33,7 +33,10 @@ mod tests {
 
     #[test]
     fn build_parses_valid_sources() {
-        let p = build("t", "program t { param N = 4; array A[N]; for i in 0..N { A[i] = 1.0; } }");
+        let p = build(
+            "t",
+            "program t { param N = 4; array A[N]; for i in 0..N { A[i] = 1.0; } }",
+        );
         assert_eq!(p.name, "t");
     }
 

@@ -1,9 +1,10 @@
 //! Stencil kernels: fdtd-2d, heat-3d, jacobi-2d.
 
 use loop_ir::expr::{cst, var, Var};
-use loop_ir::numpy::{ArrayView, FrameworkOp, FrameworkOpKind, NpExpr, NpStmt, NumpyProgram, Range};
+use loop_ir::numpy::{
+    ArrayView, FrameworkOp, FrameworkOpKind, NpExpr, NpStmt, NumpyProgram, Range,
+};
 use loop_ir::program::Program;
-
 
 use crate::kernels::build;
 use crate::sizes::{stencil2d_sizes, stencil3d_sizes, Dataset};

@@ -199,8 +199,16 @@ mod tests {
     #[test]
     fn every_benchmark_builds_at_large_size() {
         for b in all_benchmarks() {
-            assert!((b.a)(Dataset::Large).validate().is_ok(), "{} A large", b.name);
-            assert!((b.b)(Dataset::Large).validate().is_ok(), "{} B large", b.name);
+            assert!(
+                (b.a)(Dataset::Large).validate().is_ok(),
+                "{} A large",
+                b.name
+            );
+            assert!(
+                (b.b)(Dataset::Large).validate().is_ok(),
+                "{} B large",
+                b.name
+            );
         }
     }
 }

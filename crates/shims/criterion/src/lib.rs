@@ -1,0 +1,200 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! `criterion_group!` / `criterion_main!` / `benchmark_group` /
+//! `bench_function` / `Bencher::iter` surface on top of `std::time::Instant`.
+//! Each benchmark is warmed up, calibrated to a target sample duration, then
+//! measured for `sample_size` samples; the mean, minimum and throughput-ready
+//! per-iteration times are printed in a criterion-like format.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, one JSON
+//! object per benchmark (`{"group", "name", "mean_ns", "min_ns", "samples"}`)
+//! is appended to it — the `BENCH_PR1.json` snapshot harness consumes this.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported with criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`] whose
+    /// [`iter`](Bencher::iter) closure is the measured code.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        if let Some(m) = bencher.result {
+            report(&self.name, &name, &m);
+        }
+        self
+    }
+
+    /// Ends the group (provided for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Measurement result of one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+/// Runs and times the benchmarked closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures the closure: one warm-up call, calibration to roughly 25 ms
+    /// per sample, then `sample_size` timed samples.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up + calibration.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(25);
+        let iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min_ns = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.result = Some(Measurement {
+            mean_ns,
+            min_ns,
+            samples: samples.len(),
+        });
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(group: &str, name: &str, m: &Measurement) {
+    println!(
+        "{group}/{name}  time: [min {}  mean {}]  ({} samples)",
+        human(m.min_ns),
+        human(m.mean_ns),
+        m.samples
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"group\":\"{group}\",\"name\":\"{name}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{}}}\n",
+                m.mean_ns, m.min_ns, m.samples
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("µs"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+        assert!(human(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -56,7 +56,10 @@ pub fn distribute_all(nest: &Loop) -> Vec<Loop> {
 /// Wraps the distributed loops back into nodes, a convenience for rebuilding
 /// a parent body.
 pub fn distribute_to_nodes(nest: &Loop, groups: &[Vec<usize>]) -> Result<Vec<Node>> {
-    Ok(distribute(nest, groups)?.into_iter().map(Node::Loop).collect())
+    Ok(distribute(nest, groups)?
+        .into_iter()
+        .map(Node::Loop)
+        .collect())
 }
 
 #[cfg(test)]
@@ -123,7 +126,12 @@ mod tests {
                 fconst(0.0),
             ))
         };
-        let nest = match for_loop("i", cst(0), var("N"), vec![s("S1", "A"), s("S2", "B"), s("S3", "D")]) {
+        let nest = match for_loop(
+            "i",
+            cst(0),
+            var("N"),
+            vec![s("S1", "A"), s("S2", "B"), s("S3", "D")],
+        ) {
             Node::Loop(l) => l,
             _ => unreachable!(),
         };

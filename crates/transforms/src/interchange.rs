@@ -66,11 +66,7 @@ pub fn interchange(nest: &Loop, new_order: &[Var]) -> Result<Loop> {
         }
     }
 
-    let innermost_body = chain
-        .last()
-        .expect("chain is never empty")
-        .body
-        .clone();
+    let innermost_body = chain.last().expect("chain is never empty").body.clone();
     // Rebuild from the innermost loop outwards.
     let mut body = innermost_body;
     for iter in new_order.iter().rev() {
@@ -114,7 +110,12 @@ mod tests {
                 "j",
                 cst(0),
                 var("NJ"),
-                vec![for_loop("k", cst(0), var("NK"), vec![Node::Computation(update)])],
+                vec![for_loop(
+                    "k",
+                    cst(0),
+                    var("NK"),
+                    vec![Node::Computation(update)],
+                )],
             )],
         ) {
             Node::Loop(l) => l,
@@ -176,11 +177,7 @@ mod tests {
     #[test]
     fn identity_permutation_is_a_no_op() {
         let nest = gemm_nest();
-        let same = interchange(
-            &nest,
-            &[Var::new("i"), Var::new("j"), Var::new("k")],
-        )
-        .unwrap();
+        let same = interchange(&nest, &[Var::new("i"), Var::new("j"), Var::new("k")]).unwrap();
         assert_eq!(same, nest);
     }
 
@@ -189,11 +186,7 @@ mod tests {
         let nest = gemm_nest();
         let err = interchange(&nest, &[Var::new("i"), Var::new("j")]).unwrap_err();
         assert!(matches!(err, TransformError::NotAPermutation { .. }));
-        let err = interchange(
-            &nest,
-            &[Var::new("i"), Var::new("j"), Var::new("z")],
-        )
-        .unwrap_err();
+        let err = interchange(&nest, &[Var::new("i"), Var::new("j"), Var::new("z")]).unwrap_err();
         assert!(matches!(err, TransformError::NotAPermutation { .. }));
     }
 
@@ -209,7 +202,12 @@ mod tests {
             "i",
             cst(0),
             var("N"),
-            vec![for_loop("j", cst(0), var("i") + cst(1), vec![Node::Computation(s)])],
+            vec![for_loop(
+                "j",
+                cst(0),
+                var("i") + cst(1),
+                vec![Node::Computation(s)],
+            )],
         ) {
             Node::Loop(l) => l,
             _ => unreachable!(),

@@ -256,7 +256,12 @@ mod tests {
                 "j",
                 cst(0),
                 var("NJ"),
-                vec![for_loop("k", cst(0), var("NK"), vec![Node::Computation(update)])],
+                vec![for_loop(
+                    "k",
+                    cst(0),
+                    var("NK"),
+                    vec![Node::Computation(update)],
+                )],
             )],
         ) {
             Node::Loop(l) => l,
@@ -330,9 +335,7 @@ mod tests {
         let out = recipe.apply_to_nest(&nest).unwrap();
         assert_eq!(out.len(), 2);
         // the vectorize step applies to every resulting nest containing i.
-        assert!(out
-            .iter()
-            .all(|n| n.as_loop().unwrap().schedule.vectorize));
+        assert!(out.iter().all(|n| n.as_loop().unwrap().schedule.vectorize));
     }
 
     #[test]
@@ -384,6 +387,9 @@ mod tests {
         assert!(text.contains("interchange(i, k, j)"));
         assert!(text.contains("tile(i:16)"));
         assert!(text.contains("unroll(k, 4)"));
-        assert_eq!(Recipe::blas(BlasKind::Syrk).to_string(), "replace-with-dsyrk");
+        assert_eq!(
+            Recipe::blas(BlasKind::Syrk).to_string(),
+            "replace-with-dsyrk"
+        );
     }
 }

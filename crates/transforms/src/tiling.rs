@@ -109,7 +109,12 @@ mod tests {
                 "j",
                 cst(0),
                 var("NJ"),
-                vec![for_loop("k", cst(0), var("NK"), vec![Node::Computation(update)])],
+                vec![for_loop(
+                    "k",
+                    cst(0),
+                    var("NK"),
+                    vec![Node::Computation(update)],
+                )],
             )],
         ) {
             Node::Loop(l) => l,
@@ -118,7 +123,10 @@ mod tests {
     }
 
     fn iter_chain(l: &Loop) -> Vec<String> {
-        perfect_chain(l).iter().map(|x| x.iter.to_string()).collect()
+        perfect_chain(l)
+            .iter()
+            .map(|x| x.iter.to_string())
+            .collect()
     }
 
     #[test]
@@ -133,10 +141,7 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(
-            iter_chain(&tiled),
-            vec!["i_t", "j_t", "k_t", "i", "j", "k"]
-        );
+        assert_eq!(iter_chain(&tiled), vec!["i_t", "j_t", "k_t", "i", "j", "k"]);
         // Tile loops step by the tile size.
         assert_eq!(tiled.step, 32);
         // Point loops are bounded by min(start + tile, upper).
@@ -221,7 +226,12 @@ mod tests {
             "i",
             cst(0),
             var("N"),
-            vec![for_loop("j", cst(0), var("i") + cst(1), vec![Node::Computation(s)])],
+            vec![for_loop(
+                "j",
+                cst(0),
+                var("i") + cst(1),
+                vec![Node::Computation(s)],
+            )],
         ) {
             Node::Loop(l) => l,
             _ => unreachable!(),

@@ -44,9 +44,8 @@ fn main() {
     // --- the full proxy model (Figure 11 / 12) ---------------------------
     let fortran = full_model(CloudscVariant::Fortran, sizes);
     let dace = full_model(CloudscVariant::Dace, sizes);
-    let daisy_prog = fuse_producer_consumers(
-        &Normalizer::new().run(&dace).expect("normalizes").program,
-    );
+    let daisy_prog =
+        fuse_producer_consumers(&Normalizer::new().run(&dace).expect("normalizes").program);
     for threads in [1usize, 6, 12] {
         let model = CostModel::new(machine.clone(), threads);
         let f = model.estimate(&fortran).seconds;

@@ -27,16 +27,26 @@ fn main() {
           for j in 0..NJ { for i in 0..NI { C[i][j] *= beta; } }
         }";
     let program = parse_program(source).expect("the DSL source parses");
-    println!("parsed `{}` with {} computations", program.name, program.computations().len());
+    println!(
+        "parsed `{}` with {} computations",
+        program.name,
+        program.computations().len()
+    );
 
     // 1. A priori loop nest normalization.
-    let normalized = Normalizer::new().run(&program).expect("normalization succeeds");
+    let normalized = Normalizer::new()
+        .run(&program)
+        .expect("normalization succeeds");
     println!(
         "normalization: {} nest(s) split, {} nest(s) permuted",
         normalized.stats.fission.loops_split, normalized.stats.permutation.nests_permuted
     );
     for nest in normalized.program.loop_nests() {
-        let order: Vec<String> = nest.nested_iterators().iter().map(|v| v.to_string()).collect();
+        let order: Vec<String> = nest
+            .nested_iterators()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         println!("  canonical nest order: {}", order.join(", "));
     }
 

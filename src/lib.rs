@@ -1,0 +1,26 @@
+//! Umbrella crate for the *A Priori Loop Nest Normalization* reproduction.
+//!
+//! Re-exports the workspace crates under one roof so downstream users (and
+//! the repository-level integration tests under `tests/`) can depend on a
+//! single package. See the individual crates for the actual machinery:
+//!
+//! * [`loop_ir`] — the symbolic loop-nest intermediate representation,
+//! * [`dependence`] — affine data-dependence analysis and legality queries,
+//! * [`transforms`] — loop transformations and optimization recipes,
+//! * [`normalize`] — the paper's a priori normalization passes,
+//! * [`machine`] — interpreter, streaming cache simulator and cost model,
+//! * [`polybench`] — the benchmark suite (PolyBench + CLOUDSC proxy),
+//! * [`daisy`] — the normalized auto-scheduler,
+//! * [`baselines`] — the schedulers the paper compares against.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use baselines;
+pub use daisy;
+pub use dependence;
+pub use loop_ir;
+pub use machine;
+pub use normalize;
+pub use polybench;
+pub use transforms;

@@ -29,13 +29,15 @@ fn daisy_pipeline_on_cloudsc_is_equivalent_and_not_slower() {
     let paper = CloudscSizes::paper();
     let fortran_large = full_model(CloudscVariant::Fortran, paper);
     let dace_large = full_model(CloudscVariant::Dace, paper);
-    let daisy_large =
-        fuse_producer_consumers(&Normalizer::new().run(&dace_large).unwrap().program);
+    let daisy_large = fuse_producer_consumers(&Normalizer::new().run(&dace_large).unwrap().program);
     let model = CostModel::sequential();
     let t_fortran = model.estimate(&fortran_large).seconds;
     let t_dace = model.estimate(&dace_large).seconds;
     let t_daisy = model.estimate(&daisy_large).seconds;
-    assert!(t_daisy < t_dace, "daisy {t_daisy} should beat DaCe {t_dace}");
+    assert!(
+        t_daisy < t_dace,
+        "daisy {t_daisy} should beat DaCe {t_dace}"
+    );
     assert!(
         t_daisy <= t_fortran * 1.05,
         "daisy {t_daisy} should be competitive with Fortran {t_fortran}"

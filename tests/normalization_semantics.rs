@@ -75,7 +75,12 @@ fn baseline_schedulers_do_not_change_program_results() {
             ("icc", icc_schedule(&program)),
             ("polly", polly_schedule(&program)),
         ] {
-            assert_equivalent(&format!("{} {label}", b.name), &program, &scheduled, b.outputs);
+            assert_equivalent(
+                &format!("{} {label}", b.name),
+                &program,
+                &scheduled,
+                b.outputs,
+            );
         }
     }
 }

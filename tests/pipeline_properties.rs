@@ -12,11 +12,11 @@ use proptest::prelude::*;
 /// operation choice.
 fn arbitrary_program() -> impl Strategy<Value = Program> {
     (
-        0..2usize, // loop order: (i,j) or (j,i)
+        0..2usize,       // loop order: (i,j) or (j,i)
         prop::bool::ANY, // transpose the second statement's accesses
         prop::bool::ANY, // second statement reads the first statement's output
-        2..6i64,   // extent N
-        3..7i64,   // extent M
+        2..6i64,         // extent N
+        3..7i64,         // extent M
     )
         .prop_map(|(order, transpose, chained, n, m)| {
             let s1 = Computation::assign(
@@ -44,25 +44,41 @@ fn arbitrary_program() -> impl Strategy<Value = Program> {
             );
             let body = vec![Node::Computation(s1), Node::Computation(s2)];
             let nest = if order == 0 {
-                for_loop("i", cst(0), var("N"), vec![for_loop("j", cst(0), var("M"), body)])
+                for_loop(
+                    "i",
+                    cst(0),
+                    var("N"),
+                    vec![for_loop("j", cst(0), var("M"), body)],
+                )
             } else {
-                for_loop("j", cst(0), var("M"), vec![for_loop("i", cst(0), var("N"), body)])
+                for_loop(
+                    "j",
+                    cst(0),
+                    var("M"),
+                    vec![for_loop("i", cst(0), var("N"), body)],
+                )
             };
             Program::builder("random")
                 .param("N", n)
                 .param("M", m)
                 .array("A", &["N", "M"])
                 .array("B", &["N", "M"])
-                .array_with_dims("C", if transpose && !chained {
-                    vec![var("M"), var("N")]
-                } else {
-                    vec![var("N"), var("M")]
-                })
-                .array_with_dims("D", if transpose {
-                    vec![var("M"), var("N")]
-                } else {
-                    vec![var("N"), var("M")]
-                })
+                .array_with_dims(
+                    "C",
+                    if transpose && !chained {
+                        vec![var("M"), var("N")]
+                    } else {
+                        vec![var("N"), var("M")]
+                    },
+                )
+                .array_with_dims(
+                    "D",
+                    if transpose {
+                        vec![var("M"), var("N")]
+                    } else {
+                        vec![var("N"), var("M")]
+                    },
+                )
                 .node(nest)
                 .build()
                 .expect("generated program is well-formed")
@@ -71,7 +87,9 @@ fn arbitrary_program() -> impl Strategy<Value = Program> {
 
 fn outputs_of(program: &Program) -> ProgramData {
     let mut data = ProgramData::seeded(program).expect("storage allocates");
-    Interpreter::new().run(program, &mut data).expect("program executes");
+    Interpreter::new()
+        .run(program, &mut data)
+        .expect("program executes");
     data
 }
 
