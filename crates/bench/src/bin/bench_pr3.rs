@@ -1,0 +1,145 @@
+//! Cold-seed vs warm-start snapshot of the persistent tuning store (PR 3):
+//! how long seeding the transfer-tuning database from the A variants takes,
+//! how long loading the persisted `tunestore` snapshot takes instead, and
+//! proof that the warm-started scheduler is bit-identical to the cold one
+//! on the Table 1 CLOUDSC workloads and all PolyBench A/B variants. Writes
+//! `BENCH_PR3.json` into the current directory and prints the same numbers
+//! as a table.
+//!
+//! Run with `cargo run --release -p bench --bin bench_pr3` (add `--smoke`
+//! for tiny problem sizes).
+
+use std::time::Instant;
+
+use bench::figures::{verify_scheduler_against_store, ReproContext, ReproOptions, SchedulerKind};
+use bench::{daisy_seeded_from_a_variants, print_table};
+use daisy::DaisyScheduler;
+
+struct Row {
+    config: &'static str,
+    entries: usize,
+    store_bytes: u64,
+    cold_seed_seconds: f64,
+    warm_start_seconds: f64,
+    outcomes_checked: usize,
+    identical: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.cold_seed_seconds / self.warm_start_seconds
+    }
+}
+
+fn measure(kind: SchedulerKind, options: &ReproOptions) -> Row {
+    let ctx = ReproContext::new(options.clone());
+    let path = ctx.store_path(kind).expect("options carry a store dir");
+
+    let start = Instant::now();
+    let cold = daisy_seeded_from_a_variants(ctx.dataset(), kind.config());
+    let cold_seed_seconds = start.elapsed().as_secs_f64();
+    cold.persist(&path).expect("persist the seeded database");
+    let store_bytes = std::fs::metadata(&path).expect("store file exists").len();
+
+    let start = Instant::now();
+    let mut warm = DaisyScheduler::new(kind.config());
+    let entries = warm.warm_start(&path).expect("warm start from the store");
+    let warm_start_seconds = start.elapsed().as_secs_f64();
+    drop(warm);
+
+    // The acceptance check — bit-identical databases and ScheduleOutcomes
+    // on the Table 1 CLOUDSC workloads and all PolyBench A/B variants — is
+    // the same one `reproduce --verify` runs, fed the scheduler whose
+    // seeding was just timed so seeding is not paid twice.
+    let report =
+        verify_scheduler_against_store(&cold, options, kind).expect("store was just persisted");
+
+    Row {
+        config: kind.stem(),
+        entries,
+        store_bytes,
+        cold_seed_seconds,
+        warm_start_seconds,
+        outcomes_checked: report.outcomes_checked,
+        identical: report.identical,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let dir = std::env::temp_dir().join(format!("bench-pr3-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let options = ReproOptions {
+        smoke,
+        store: Some(dir.clone()),
+        warm: false,
+    };
+
+    let rows: Vec<Row> = SchedulerKind::ALL
+        .iter()
+        .map(|&kind| measure(kind, &options))
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+
+    print_table(
+        "warm_start (seeding cost eliminated by the persistent store)",
+        &[
+            "config",
+            "entries",
+            "store [B]",
+            "cold seed [s]",
+            "warm start [s]",
+            "speedup",
+            "bit-identical",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.config.to_string(),
+                    r.entries.to_string(),
+                    r.store_bytes.to_string(),
+                    format!("{:.4}", r.cold_seed_seconds),
+                    format!("{:.6}", r.warm_start_seconds),
+                    format!("{:.0}x", r.speedup()),
+                    r.identical.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let all_identical = rows.iter().all(|r| r.identical);
+    println!(
+        "\nacceptance: cold/warm ScheduleOutcomes bit-identical on the Table 1 + A/B workloads: {all_identical}"
+    );
+
+    let dataset = if smoke { "mini" } else { "large" };
+    let mut json = String::from("{\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p bench --bin bench_pr3\",\n");
+    json.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    json.push_str("  \"warm_start\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"entries\": {}, \"store_bytes\": {}, \
+             \"cold_seed_seconds\": {:.4}, \"warm_start_seconds\": {:.6}, \
+             \"seeding_speedup\": {:.1}, \"outcomes_checked\": {}, \
+             \"cold_warm_bit_identical\": {}}}{}\n",
+            r.config,
+            r.entries,
+            r.store_bytes,
+            r.cold_seed_seconds,
+            r.warm_start_seconds,
+            r.speedup(),
+            r.outcomes_checked,
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    println!("wrote BENCH_PR3.json");
+
+    if !all_identical {
+        std::process::exit(1);
+    }
+}

@@ -1,59 +1,13 @@
 //! Figure 11: sequential runtime of the full CLOUDSC proxy for the Fortran,
 //! C, DaCe and daisy versions (normalized to Fortran), plus the achieved
 //! FLOP/s of Fortran and daisy against the machine peak (§5.2).
+//!
+//! Thin wrapper around [`bench::figures::fig11_cloudsc_full`]; the unified
+//! `reproduce` binary batches all figures behind one entry point.
 
-use bench::{paper_machine_model, print_table, ratio};
-use normalize::Normalizer;
-use polybench::cloudsc::{full_model, CloudscSizes, CloudscVariant};
-use transforms::fuse_producer_consumers;
+use bench::figures::{fig11_cloudsc_full, ReproContext, ReproOptions};
 
 fn main() {
-    let sizes = CloudscSizes::paper();
-    let sequential = paper_machine_model(1);
-
-    let fortran = full_model(CloudscVariant::Fortran, sizes);
-    let c = full_model(CloudscVariant::C, sizes);
-    let dace = full_model(CloudscVariant::Dace, sizes);
-    // daisy: the DaCe-produced structure normalized and producer-consumer
-    // fused (§5.1).
-    let daisy_prog = {
-        let normalized = Normalizer::new().run(&dace).expect("normalizes").program;
-        fuse_producer_consumers(&normalized)
-    };
-
-    let reports = [
-        ("CloudSC Fortran", sequential.estimate(&fortran)),
-        ("CloudSC C", sequential.estimate(&c)),
-        ("DaCe", sequential.estimate(&dace)),
-        ("daisy", sequential.estimate(&daisy_prog)),
-    ];
-    let baseline = reports[0].1.seconds;
-    let rows: Vec<Vec<String>> = reports
-        .iter()
-        .map(|(name, r)| {
-            vec![
-                name.to_string(),
-                format!("{:.3}", r.seconds),
-                ratio(Some(r.seconds), baseline),
-                format!("{:.1}", r.flops_per_second() / 1e9),
-            ]
-        })
-        .collect();
-    print_table(
-        "Figure 11: CLOUDSC sequential execution (NPROMA=128, NBLOCKS=512)",
-        &["version", "seconds", "normalized", "GFLOP/s"],
-        &rows,
-    );
-    let daisy_seconds = reports[3].1.seconds;
-    println!(
-        "\ndaisy vs hand-tuned Fortran: {:.1}% faster",
-        100.0 * (baseline - daisy_seconds) / baseline
-    );
-    let peak = sequential.machine().peak_flops_per_core() / 1e9;
-    println!(
-        "peak (1 core, FMA+AVX): {:.1} GFLOP/s; Fortran reaches {:.1}%, daisy {:.1}% of peak",
-        peak,
-        100.0 * reports[0].1.flops_per_second() / 1e9 / peak,
-        100.0 * reports[3].1.flops_per_second() / 1e9 / peak
-    );
+    let ctx = ReproContext::new(ReproOptions::default());
+    fig11_cloudsc_full(&ctx);
 }

@@ -1,106 +1,18 @@
 //! Figure 12: strong scaling (fixed workload, 1-12 threads) and weak scaling
 //! (workload grows with the thread count) of the CLOUDSC proxy for the
 //! Fortran, C, DaCe and daisy versions.
+//!
+//! Thin wrapper around [`bench::figures::fig12_cloudsc_scaling`]; the
+//! unified `reproduce` binary batches all figures behind one entry point.
 
-use bench::{paper_machine_model, print_table};
-use normalize::Normalizer;
-use polybench::cloudsc::{full_model, CloudscSizes, CloudscVariant};
-use transforms::fuse_producer_consumers;
-
-fn versions(sizes: CloudscSizes) -> Vec<(&'static str, loop_ir::Program)> {
-    let fortran = full_model(CloudscVariant::Fortran, sizes);
-    let c = full_model(CloudscVariant::C, sizes);
-    let dace = full_model(CloudscVariant::Dace, sizes);
-    let daisy_prog = {
-        let normalized = Normalizer::new().run(&dace).expect("normalizes").program;
-        fuse_producer_consumers(&normalized)
-    };
-    vec![
-        ("Fortran", fortran),
-        ("C", c),
-        ("DaCe", dace),
-        ("daisy", daisy_prog),
-    ]
-}
-
-fn strong_scaling() {
-    let sizes = CloudscSizes::paper();
-    let programs = versions(sizes);
-    let mut rows = Vec::new();
-    for threads in [1usize, 2, 4, 6, 8, 10, 12] {
-        let model = paper_machine_model(threads);
-        let times: Vec<f64> = programs
-            .iter()
-            .map(|(_, p)| model.estimate(p).seconds)
-            .collect();
-        let gain = 100.0 * (times[0] - times[3]) / times[0];
-        rows.push(vec![
-            threads.to_string(),
-            format!("{:.3}", times[0]),
-            format!("{:.3}", times[1]),
-            format!("{:.3}", times[2]),
-            format!("{:.3}", times[3]),
-            format!("{gain:.2}%"),
-        ]);
-    }
-    print_table(
-        "Figure 12a: strong scaling (seconds per run)",
-        &[
-            "threads",
-            "Fortran",
-            "C",
-            "DaCe",
-            "daisy",
-            "daisy vs Fortran",
-        ],
-        &rows,
-    );
-}
-
-fn weak_scaling() {
-    let mut rows = Vec::new();
-    for (columns, threads) in [(65536i64, 1usize), (131072, 2), (262144, 4), (524288, 8)] {
-        let sizes = CloudscSizes::with_columns(columns);
-        let programs = versions(sizes);
-        let model = paper_machine_model(threads);
-        let times: Vec<f64> = programs
-            .iter()
-            .map(|(_, p)| model.estimate(p).seconds)
-            .collect();
-        let gain = 100.0 * (times[0] - times[3]) / times[0];
-        rows.push(vec![
-            format!("{columns} / {threads}"),
-            format!("{:.3}", times[0]),
-            format!("{:.3}", times[1]),
-            format!("{:.3}", times[2]),
-            format!("{:.3}", times[3]),
-            format!("{gain:.2}%"),
-        ]);
-    }
-    print_table(
-        "Figure 12b: weak scaling (seconds per run)",
-        &[
-            "columns/threads",
-            "Fortran",
-            "C",
-            "DaCe",
-            "daisy",
-            "daisy vs Fortran",
-        ],
-        &rows,
-    );
-}
+use bench::figures::{fig12_cloudsc_scaling, ReproContext, ReproOptions, ScalingMode};
 
 fn main() {
-    let mode = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "both".to_string());
-    match mode.as_str() {
-        "strong" => strong_scaling(),
-        "weak" => weak_scaling(),
-        _ => {
-            strong_scaling();
-            weak_scaling();
-        }
-    }
+    let mode = match std::env::args().nth(1).as_deref() {
+        Some("strong") => ScalingMode::Strong,
+        Some("weak") => ScalingMode::Weak,
+        _ => ScalingMode::Both,
+    };
+    let ctx = ReproContext::new(ReproOptions::default());
+    fig12_cloudsc_scaling(&ctx, mode);
 }

@@ -1,76 +1,13 @@
 //! Figure 1: structurally different GEMM kernels yield significantly
 //! different performance under a baseline compiler and under Polly, while the
 //! normalized pipeline maps them all to the same canonical form.
+//!
+//! Thin wrapper around [`bench::figures::fig1_gemm_variants`]; the unified
+//! `reproduce` binary batches all figures behind one entry point.
 
-use baselines::{clang_schedule, polly_schedule};
-use bench::{paper_machine_model, print_table, THREADS};
-use loop_ir::parser::parse_program;
-use normalize::Normalizer;
-
-fn gemm_with_order(order: &str) -> loop_ir::Program {
-    let l: Vec<char> = order.chars().collect();
-    let bound = |c: char| match c {
-        'i' => "NI",
-        'j' => "NJ",
-        _ => "NK",
-    };
-    parse_program(&format!(
-        "program gemm_{order} {{
-           param NI = 1000; param NJ = 1100; param NK = 1200;
-           scalar alpha = 1.5; scalar beta = 1.2;
-           array A[NI][NK]; array B[NK][NJ]; array C[NI][NJ];
-           for {a} in 0..{ab} {{ for {b} in 0..{bb} {{ for {c} in 0..{cb} {{
-             C[i][j] += alpha * A[i][k] * B[k][j];
-           }} }} }}
-         }}",
-        a = l[0],
-        b = l[1],
-        c = l[2],
-        ab = bound(l[0]),
-        bb = bound(l[1]),
-        cb = bound(l[2]),
-    ))
-    .expect("gemm variant parses")
-}
+use bench::figures::{fig1_gemm_variants, ReproContext, ReproOptions};
 
 fn main() {
-    let model = paper_machine_model(THREADS);
-    let sequential = paper_machine_model(1);
-    let mut rows = Vec::new();
-    let mut clang_times = Vec::new();
-    let mut polly_times = Vec::new();
-    for order in ["ijk", "ikj", "jik", "jki", "kij", "kji"] {
-        let p = gemm_with_order(order);
-        let clang = sequential.estimate(&clang_schedule(&p)).seconds;
-        let polly = model.estimate(&polly_schedule(&p)).seconds;
-        let normalized = Normalizer::new().run(&p).expect("normalizes").program;
-        let canonical: Vec<String> = normalized.loop_nests()[0]
-            .nested_iterators()
-            .iter()
-            .map(|v| v.to_string())
-            .collect();
-        clang_times.push(clang);
-        polly_times.push(polly);
-        rows.push(vec![
-            order.to_string(),
-            format!("{clang:.3}"),
-            format!("{polly:.3}"),
-            canonical.join(""),
-        ]);
-    }
-    print_table(
-        "Figure 1: GEMM loop-order variants (estimated seconds, LARGE size)",
-        &["order", "clang -O3", "Polly", "normalized order"],
-        &rows,
-    );
-    let spread = |times: &[f64]| {
-        times.iter().cloned().fold(f64::MIN, f64::max)
-            / times.iter().cloned().fold(f64::MAX, f64::min)
-    };
-    println!(
-        "\nclang worst/best ratio: {:.1}x   Polly worst/best ratio: {:.1}x",
-        spread(&clang_times),
-        spread(&polly_times)
-    );
-    println!("after normalization every variant maps to the same canonical loop order");
+    let ctx = ReproContext::new(ReproOptions::default());
+    fig1_gemm_variants(&ctx);
 }

@@ -2,100 +2,13 @@
 //! and B variants of the 15 PolyBench benchmarks (LARGE size). Runtimes are
 //! normalized to the daisy A variant; `X` marks benchmarks the Tiramisu
 //! adapter cannot convert.
+//!
+//! Thin wrapper around [`bench::figures::fig6_autoschedulers`]; the unified
+//! `reproduce` binary batches all figures (and adds warm-start flags).
 
-use baselines::{icc_schedule, polly_schedule, tiramisu_schedule};
-use bench::{
-    daisy_seeded_from_a_variants, geometric_mean, paper_machine_model, print_table, ratio, THREADS,
-};
-use daisy::DaisyConfig;
-use polybench::{all_benchmarks, Dataset};
+use bench::figures::{fig6_autoschedulers, ReproContext, ReproOptions};
 
 fn main() {
-    let dataset = Dataset::Large;
-    let model = paper_machine_model(THREADS);
-    let scheduler = daisy_seeded_from_a_variants(dataset, DaisyConfig::default());
-
-    let mut rows = Vec::new();
-    let mut ab_gaps = Vec::new();
-    let mut speedup_polly_a = Vec::new();
-    let mut speedup_icc_a = Vec::new();
-    let mut speedup_tiramisu_a = Vec::new();
-    let mut speedup_polly_b = Vec::new();
-    let mut speedup_icc_b = Vec::new();
-    let mut speedup_tiramisu_b = Vec::new();
-
-    for b in all_benchmarks() {
-        let a_prog = (b.a)(dataset);
-        let b_prog = (b.b)(dataset);
-        let daisy_a = scheduler.schedule(&a_prog).seconds();
-        let daisy_b = scheduler.schedule(&b_prog).seconds();
-        let polly_a = model.estimate(&polly_schedule(&a_prog)).seconds;
-        let polly_b = model.estimate(&polly_schedule(&b_prog)).seconds;
-        let icc_a = model.estimate(&icc_schedule(&a_prog)).seconds;
-        let icc_b = model.estimate(&icc_schedule(&b_prog)).seconds;
-        let tira_a = tiramisu_schedule(&a_prog, THREADS)
-            .ok()
-            .map(|p| model.estimate(&p).seconds);
-        let tira_b = tiramisu_schedule(&b_prog, THREADS)
-            .ok()
-            .map(|p| model.estimate(&p).seconds);
-
-        ab_gaps.push((daisy_b / daisy_a - 1.0).abs());
-        speedup_polly_a.push(polly_a / daisy_a);
-        speedup_icc_a.push(icc_a / daisy_a);
-        speedup_polly_b.push(polly_b / daisy_b);
-        speedup_icc_b.push(icc_b / daisy_b);
-        if let Some(t) = tira_a {
-            speedup_tiramisu_a.push(t / daisy_a);
-        }
-        if let Some(t) = tira_b {
-            speedup_tiramisu_b.push(t / daisy_b);
-        }
-
-        rows.push(vec![
-            b.name.to_string(),
-            format!("{daisy_a:.4}"),
-            ratio(Some(daisy_a), daisy_a),
-            ratio(Some(daisy_b), daisy_a),
-            ratio(Some(polly_a), daisy_a),
-            ratio(Some(polly_b), daisy_a),
-            ratio(Some(icc_a), daisy_a),
-            ratio(Some(icc_b), daisy_a),
-            ratio(tira_a, daisy_a),
-            ratio(tira_b, daisy_a),
-        ]);
-    }
-    print_table(
-        "Figure 6: normalized runtime (baseline = daisy A, lower is better)",
-        &[
-            "benchmark",
-            "daisy A [s]",
-            "daisy A",
-            "daisy B",
-            "Polly A",
-            "Polly B",
-            "icc A",
-            "icc B",
-            "Tiramisu A",
-            "Tiramisu B",
-        ],
-        &rows,
-    );
-    println!(
-        "\ndaisy A/B robustness: mean gap {:.1}%  max gap {:.1}%",
-        100.0 * ab_gaps.iter().sum::<f64>() / ab_gaps.len() as f64,
-        100.0 * ab_gaps.iter().cloned().fold(0.0, f64::max)
-    );
-    println!(
-        "geo-mean speedup of daisy on A variants: {:.2}x vs Polly, {:.2}x vs icc, {:.2}x vs Tiramisu",
-        geometric_mean(&speedup_polly_a),
-        geometric_mean(&speedup_icc_a),
-        geometric_mean(&speedup_tiramisu_a)
-    );
-    println!(
-        "geo-mean speedup of daisy on B variants: {:.2}x vs Polly, {:.2}x vs icc, {:.2}x vs Tiramisu",
-        geometric_mean(&speedup_polly_b),
-        geometric_mean(&speedup_icc_b),
-        geometric_mean(&speedup_tiramisu_b)
-    );
+    let mut ctx = ReproContext::new(ReproOptions::default());
+    fig6_autoschedulers(&mut ctx);
 }

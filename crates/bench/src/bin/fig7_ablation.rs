@@ -2,69 +2,13 @@
 //! normalization (Opt), normalization without transfer tuning (Norm), and
 //! the full pipeline (Norm + Opt), on the A and B variants of every
 //! benchmark. Runtimes are normalized to clang on the A variant.
+//!
+//! Thin wrapper around [`bench::figures::fig7_ablation`]; the unified
+//! `reproduce` binary batches all figures (and adds warm-start flags).
 
-use baselines::clang_schedule;
-use bench::{daisy_seeded_from_a_variants, paper_machine_model, print_table, ratio};
-use daisy::DaisyConfig;
-use normalize::Normalizer;
-use polybench::{all_benchmarks, Dataset};
+use bench::figures::{fig7_ablation, ReproContext, ReproOptions};
 
 fn main() {
-    let dataset = Dataset::Large;
-    let sequential = paper_machine_model(1);
-
-    // Full pipeline and the "Opt only" (no normalization) scheduler.
-    let full = daisy_seeded_from_a_variants(dataset, DaisyConfig::default());
-    let opt_only = daisy_seeded_from_a_variants(
-        dataset,
-        DaisyConfig {
-            normalize: false,
-            ..DaisyConfig::default()
-        },
-    );
-
-    let mut rows = Vec::new();
-    for b in all_benchmarks() {
-        let a_prog = (b.a)(dataset);
-        let b_prog = (b.b)(dataset);
-        let clang_a = sequential.estimate(&clang_schedule(&a_prog)).seconds;
-        let clang_b = sequential.estimate(&clang_schedule(&b_prog)).seconds;
-        let norm_only = |p: &loop_ir::Program| {
-            let normalized = Normalizer::new().run(p).expect("normalizes").program;
-            sequential.estimate(&clang_schedule(&normalized)).seconds
-        };
-        let row = vec![
-            b.name.to_string(),
-            format!("{clang_a:.4}"),
-            ratio(Some(clang_a), clang_a),
-            ratio(Some(opt_only.schedule(&a_prog).seconds()), clang_a),
-            ratio(Some(norm_only(&a_prog)), clang_a),
-            ratio(Some(full.schedule(&a_prog).seconds()), clang_a),
-            ratio(Some(clang_b), clang_a),
-            ratio(Some(opt_only.schedule(&b_prog).seconds()), clang_a),
-            ratio(Some(norm_only(&b_prog)), clang_a),
-            ratio(Some(full.schedule(&b_prog).seconds()), clang_a),
-        ];
-        rows.push(row);
-    }
-    print_table(
-        "Figure 7: ablation (baseline = clang A, lower is better)",
-        &[
-            "benchmark",
-            "clang A [s]",
-            "clang A",
-            "Opt A",
-            "Norm A",
-            "Norm+Opt A",
-            "clang B",
-            "Opt B",
-            "Norm B",
-            "Norm+Opt B",
-        ],
-        &rows,
-    );
-    println!(
-        "\nBoth normalization and transfer tuning are required for consistently low runtimes;"
-    );
-    println!("without normalization the database recipes fail to apply to the B variants.");
+    let mut ctx = ReproContext::new(ReproOptions::default());
+    fig7_ablation(&mut ctx);
 }

@@ -1,55 +1,14 @@
 //! Figure 9: the NPBench (Python) variants optimized by daisy (with and
 //! without normalization) compared against the NumPy, Numba and DaCe
 //! framework models. Runtimes are normalized to daisy (lower is better).
+//!
+//! Thin wrapper around [`bench::figures::fig9_python_frameworks`]; the
+//! unified `reproduce` binary batches all figures (and adds warm-start
+//! flags).
 
-use baselines::python_framework_times;
-use bench::{daisy_seeded_from_a_variants, paper_machine_model, print_table, ratio, THREADS};
-use daisy::DaisyConfig;
-use machine::MachineConfig;
-use polybench::{all_benchmarks, Dataset};
+use bench::figures::{fig9_python_frameworks, ReproContext, ReproOptions};
 
 fn main() {
-    let dataset = Dataset::Large;
-    let machine = MachineConfig::xeon_e5_2680v3();
-    let _model = paper_machine_model(THREADS);
-    // The same database-based auto-scheduler as in Figure 6, seeded from the
-    // normalized C A variants, applied to the Python-frontend programs.
-    let daisy_full = daisy_seeded_from_a_variants(dataset, DaisyConfig::default());
-    let daisy_wo_norm = daisy_seeded_from_a_variants(
-        dataset,
-        DaisyConfig {
-            normalize: false,
-            ..DaisyConfig::default()
-        },
-    );
-
-    let mut rows = Vec::new();
-    for b in all_benchmarks() {
-        let (py_prog, ops) = (b.py)(dataset);
-        let daisy_t = daisy_full.schedule(&py_prog).seconds();
-        let daisy_wo = daisy_wo_norm.schedule(&py_prog).seconds();
-        let frameworks = python_framework_times(&py_prog, &ops, &machine, THREADS);
-        rows.push(vec![
-            b.name.to_string(),
-            format!("{daisy_t:.4}"),
-            ratio(Some(daisy_t), daisy_t),
-            ratio(Some(daisy_wo), daisy_t),
-            ratio(Some(frameworks.numpy), daisy_t),
-            ratio(Some(frameworks.numba), daisy_t),
-            ratio(Some(frameworks.dace), daisy_t),
-        ]);
-    }
-    print_table(
-        "Figure 9: Python-frontend variants (baseline = daisy, lower is better)",
-        &[
-            "benchmark",
-            "daisy [s]",
-            "daisy",
-            "daisy w/o norm",
-            "NumPy",
-            "Numba",
-            "DaCe",
-        ],
-        &rows,
-    );
+    let mut ctx = ReproContext::new(ReproOptions::default());
+    fig9_python_frameworks(&mut ctx);
 }

@@ -1,63 +1,13 @@
 //! Table 1: the erosion-of-clouds loop nest before and after normalization +
 //! producer-consumer fusion — runtime for a single vertical iteration and for
 //! all KLEV iterations, plus the absolute number of L1 loads and evicts.
+//!
+//! Thin wrapper around [`bench::figures::table1_cloudsc_erosion`]; the
+//! unified `reproduce` binary batches all figures behind one entry point.
 
-use bench::{paper_machine_model, print_table};
-use machine::{simulate_cache, MachineConfig};
-use polybench::cloudsc::{erosion_optimized, erosion_original, erosion_single_level, CloudscSizes};
+use bench::figures::{table1_cloudsc_erosion, ReproContext, ReproOptions};
 
 fn main() {
-    let sizes = CloudscSizes::paper();
-    let model = paper_machine_model(1);
-    let machine = MachineConfig::xeon_e5_2680v3();
-
-    let original_single = erosion_single_level(sizes, false);
-    let optimized_single = erosion_single_level(sizes, true);
-    let original_full = erosion_original(sizes);
-    let optimized_full = erosion_optimized(sizes);
-
-    let t = |p: &loop_ir::Program| model.estimate(p).seconds * 1000.0;
-    let cache = |p: &loop_ir::Program| simulate_cache(p, &machine).expect("trace runs");
-    let orig_cache = cache(&original_single);
-    let opt_cache = cache(&optimized_single);
-
-    let rows = vec![
-        vec![
-            "Single Iteration [ms]".to_string(),
-            format!("{:.3}", t(&original_single)),
-            format!("{:.3}", t(&optimized_single)),
-        ],
-        vec![
-            "KLEV Iterations [ms]".to_string(),
-            format!("{:.3}", t(&original_full)),
-            format!("{:.3}", t(&optimized_full)),
-        ],
-        vec![
-            "L1 Loads (single iteration)".to_string(),
-            format!("{}", orig_cache.l1().loads),
-            format!("{}", opt_cache.l1().loads),
-        ],
-        vec![
-            "L1 Evicts (single iteration)".to_string(),
-            format!("{}", orig_cache.l1().evicts),
-            format!("{}", opt_cache.l1().evicts),
-        ],
-        vec![
-            "L1 accesses (single iteration)".to_string(),
-            format!("{}", orig_cache.accesses()),
-            format!("{}", opt_cache.accesses()),
-        ],
-    ];
-    print_table(
-        "Table 1: erosion of clouds, NPROMA=128, KLEV=137",
-        &["metric", "Original", "Optimized"],
-        &rows,
-    );
-    println!(
-        "\nruntime speedup: single iteration {:.2}x, KLEV iterations {:.2}x",
-        t(&original_single) / t(&optimized_single),
-        t(&original_full) / t(&optimized_full)
-    );
-    println!("note: the paper's lower L1 load/evict counts stem from removed register spills,");
-    println!("which the IR-level cache simulation cannot observe (see EXPERIMENTS.md).");
+    let ctx = ReproContext::new(ReproOptions::default());
+    table1_cloudsc_erosion(&ctx);
 }

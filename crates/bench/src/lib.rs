@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod figures;
+
 use daisy::{DaisyConfig, DaisyScheduler};
 use loop_ir::program::Program;
 use machine::{CostModel, MachineConfig};

@@ -1,9 +1,46 @@
 //! The transfer-tuning database: embeddings mapped to optimization recipes.
+//!
+//! Entries are keyed by the run-stable structural hash of their source nest
+//! ([`loop_ir::structural_hash_node`]): insertion dedupes on that key keeping
+//! the better-cost recipe, [`TuningDatabase::lookup`] answers exact-match
+//! queries in O(1) before the k-NN fallback runs, and the whole database
+//! round-trips through the `tunestore` snapshot format preserving entry
+//! order (so nearest-neighbour tie-breaking is identical warm and cold).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use loop_ir::expr::Var;
+use loop_ir::nest::Node;
+use loop_ir::program::Program;
+use loop_ir::{structural_hash_node, StructuralHasher};
 use transforms::{Recipe, Transform};
+use tunestore::{Snapshot, StoreError, StoredEntry};
 
-use crate::embedding::PerformanceEmbedding;
+use crate::embedding::{PerformanceEmbedding, EMBEDDING_DIM};
+
+/// The database key of a nest: its structural hash combined with the
+/// program's integer parameter bindings.
+///
+/// The structural hash alone treats `for i in 0..N` identically at every
+/// value of `N` (bounds are symbolic), but a recipe tuned for one problem
+/// size is not an *exact* match for another — tile sizes and
+/// parallelization pay-offs shift with the iteration space. Folding the
+/// parameter values in keeps exact-match lookups size-faithful while the
+/// k-NN fallback still generalizes across sizes. Parameters come from an
+/// ordered map and the hasher is the run-stable FNV used everywhere else,
+/// so keys are stable across runs, platforms and Rust versions — safe to
+/// persist.
+pub fn nest_key(program: &Program, node: &Node) -> u64 {
+    let mut hasher = StructuralHasher::default();
+    structural_hash_node(node).hash(&mut hasher);
+    program.params.len().hash(&mut hasher);
+    for (name, value) in &program.params {
+        name.hash(&mut hasher);
+        value.hash(&mut hasher);
+    }
+    hasher.finish()
+}
 
 /// One database entry: the embedding of a (normalized) loop nest, the
 /// transformation recipe found for it, and the perfect-chain iterators the
@@ -11,6 +48,12 @@ use crate::embedding::PerformanceEmbedding;
 /// with different iterator names).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatabaseEntry {
+    /// Structural hash of the source loop nest, the database key.
+    pub key: u64,
+    /// Nest-scoped cost-model seconds of the recipe on the seeding nest
+    /// (whole-program cost minus the other nodes' baseline); ranks
+    /// duplicate keys (lower wins) comparably across seeding programs.
+    pub cost: f64,
     /// Embedding of the source loop nest.
     pub embedding: PerformanceEmbedding,
     /// The optimization recipe.
@@ -21,12 +64,51 @@ pub struct DatabaseEntry {
     pub source: String,
 }
 
+impl DatabaseEntry {
+    /// Converts the entry to its persisted form.
+    pub fn to_stored(&self) -> StoredEntry {
+        StoredEntry {
+            key: self.key,
+            cost: self.cost,
+            embedding: self.embedding.features().to_vec(),
+            recipe: self.recipe.clone(),
+            chain: self.chain.clone(),
+            source: self.source.clone(),
+        }
+    }
+
+    /// Rebuilds an entry from its persisted form. Fails when the stored
+    /// embedding does not have this build's [`EMBEDDING_DIM`] features.
+    pub fn from_stored(stored: &StoredEntry) -> Result<Self, StoreError> {
+        let embedding = PerformanceEmbedding::from_slice(&stored.embedding).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "entry {:016x} has {} embedding features, this build uses {}",
+                stored.key,
+                stored.embedding.len(),
+                EMBEDDING_DIM
+            ))
+        })?;
+        Ok(DatabaseEntry {
+            key: stored.key,
+            cost: stored.cost,
+            embedding,
+            recipe: stored.recipe.clone(),
+            chain: stored.chain.clone(),
+            source: stored.source.clone(),
+        })
+    }
+}
+
 /// The database queried by the daisy scheduler: pairs of performance
 /// embeddings and transformation sequences (§4, "Seeding a Scheduling
 /// Database").
 #[derive(Debug, Clone, Default)]
 pub struct TuningDatabase {
+    /// Entries in insertion order; replacement happens in place so order is
+    /// independent of how many duplicates were folded in.
     entries: Vec<DatabaseEntry>,
+    /// Structural-hash key -> position in `entries`.
+    index: HashMap<u64, usize>,
 }
 
 impl TuningDatabase {
@@ -35,9 +117,48 @@ impl TuningDatabase {
         TuningDatabase::default()
     }
 
-    /// Adds an entry.
+    /// Adds an entry, deduping by structural-hash key: a new key is
+    /// appended, an existing key is replaced in place only when the new
+    /// entry's cost is strictly lower. Repeated seeding therefore converges
+    /// instead of accumulating duplicates.
     pub fn insert(&mut self, entry: DatabaseEntry) {
-        self.entries.push(entry);
+        match self.index.get(&entry.key) {
+            Some(&pos) => {
+                if entry.cost < self.entries[pos].cost {
+                    self.entries[pos] = entry;
+                }
+            }
+            None => {
+                self.index.insert(entry.key, self.entries.len());
+                self.entries.push(entry);
+            }
+        }
+    }
+
+    /// O(1) exact-match lookup by the structural hash of a nest. The fast
+    /// path of scheduling: a hit means the database already holds a recipe
+    /// tuned for a structurally identical nest, no similarity search needed.
+    pub fn lookup(&self, key: u64) -> Option<&DatabaseEntry> {
+        self.index.get(&key).map(|&pos| &self.entries[pos])
+    }
+
+    /// Converts the database to a persistable snapshot (entry order is
+    /// preserved).
+    pub fn to_snapshot(&self) -> Snapshot {
+        let mut snapshot = Snapshot::new();
+        snapshot.entries = self.entries.iter().map(DatabaseEntry::to_stored).collect();
+        snapshot
+    }
+
+    /// Rebuilds a database from a snapshot, re-applying the dedupe rule
+    /// (snapshots written by [`TuningDatabase::to_snapshot`] are already
+    /// deduped, so this reproduces them exactly, entry for entry).
+    pub fn from_snapshot(snapshot: &Snapshot) -> Result<Self, StoreError> {
+        let mut db = TuningDatabase::new();
+        for stored in &snapshot.entries {
+            db.insert(DatabaseEntry::from_stored(stored)?);
+        }
+        Ok(db)
     }
 
     /// Number of entries.
@@ -139,6 +260,8 @@ mod tests {
         let p = gemm(n, "ikj");
         let nest = p.loop_nests()[0];
         DatabaseEntry {
+            key: nest_key(&p, &p.body[0]),
+            cost: n as f64 * 1e-6,
             embedding: PerformanceEmbedding::of_nest(&p, nest),
             recipe: Recipe::new(vec![
                 Transform::Tile {
@@ -181,6 +304,80 @@ mod tests {
         let q = gemm(64, "ikj");
         let q_emb = PerformanceEmbedding::of_nest(&q, q.loop_nests()[0]);
         assert!(db.nearest(&q_emb, 3).is_empty());
+    }
+
+    #[test]
+    fn insert_dedupes_by_key_keeping_better_cost() {
+        let mut db = TuningDatabase::new();
+        let base = entry("first", 64);
+        db.insert(base.clone());
+        // Same nest, same size -> same key; repeated seeding must not grow
+        // the database.
+        db.insert(entry("duplicate", 64));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.entries()[0].source, "first");
+        // A better-cost entry for the same key replaces in place.
+        let mut better = entry("better", 64);
+        better.cost = base.cost / 2.0;
+        db.insert(better);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.entries()[0].source, "better");
+        // A worse one is ignored.
+        let mut worse = entry("worse", 64);
+        worse.cost = base.cost * 2.0;
+        db.insert(worse);
+        assert_eq!(db.entries()[0].source, "better");
+    }
+
+    #[test]
+    fn nest_key_distinguishes_problem_sizes() {
+        let small = gemm(64, "ikj");
+        let large = gemm(1024, "ikj");
+        assert_ne!(
+            nest_key(&small, &small.body[0]),
+            nest_key(&large, &large.body[0]),
+            "same structure at different sizes must not collide"
+        );
+        // Same structure and size under a different program name: equal keys
+        // (the name is a label, not structure).
+        let mut renamed = gemm(64, "ikj");
+        renamed.name = "other".to_string();
+        assert_eq!(
+            nest_key(&small, &small.body[0]),
+            nest_key(&renamed, &renamed.body[0])
+        );
+    }
+
+    #[test]
+    fn lookup_finds_exact_matches_in_o1() {
+        let mut db = TuningDatabase::new();
+        let e = entry("gemm", 64);
+        let key = e.key;
+        db.insert(e);
+        db.insert(entry("gemm-large", 1024));
+        assert_eq!(db.lookup(key).unwrap().source, "gemm");
+        assert!(db.lookup(key ^ 1).is_none());
+    }
+
+    #[test]
+    fn database_round_trips_through_a_snapshot() {
+        let mut db = TuningDatabase::new();
+        db.insert(entry("gemm-small", 32));
+        db.insert(entry("gemm-large", 1024));
+        let snapshot = db.to_snapshot();
+        let restored = TuningDatabase::from_snapshot(&snapshot).unwrap();
+        assert_eq!(restored.entries(), db.entries());
+        // Byte-level: decode(encode(snapshot)) reproduces the same database.
+        let decoded = tunestore::Snapshot::decode(&snapshot.encode()).unwrap();
+        let restored = TuningDatabase::from_snapshot(&decoded).unwrap();
+        assert_eq!(restored.entries(), db.entries());
+    }
+
+    #[test]
+    fn from_stored_rejects_wrong_embedding_dimension() {
+        let mut stored = entry("gemm", 64).to_stored();
+        stored.embedding.pop();
+        assert!(DatabaseEntry::from_stored(&stored).is_err());
     }
 
     #[test]

@@ -109,6 +109,14 @@ impl PerformanceEmbedding {
         PerformanceEmbedding { features }
     }
 
+    /// Rebuilds an embedding from a slice; `None` unless the slice has
+    /// exactly [`EMBEDDING_DIM`] features (a store produced by a build with
+    /// a different feature set must not be silently reinterpreted).
+    pub fn from_slice(features: &[f64]) -> Option<Self> {
+        let features: [f64; EMBEDDING_DIM] = features.try_into().ok()?;
+        Some(PerformanceEmbedding { features })
+    }
+
     /// The raw feature vector.
     pub fn features(&self) -> &[f64; EMBEDDING_DIM] {
         &self.features

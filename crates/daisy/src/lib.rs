@@ -14,7 +14,11 @@
 //!    vectorization) are applied and the result is costed on the machine
 //!    model.
 //!
-//! The entry point is [`scheduler::DaisyScheduler`].
+//! The entry point is [`scheduler::DaisyScheduler`]. A seeded database can
+//! be persisted to disk ([`DaisyScheduler::persist`]) and reloaded
+//! ([`DaisyScheduler::warm_start`]) through the `tunestore` snapshot
+//! format, skipping the seeding search entirely while producing
+//! bit-identical schedules.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,8 +29,10 @@ pub mod idiom;
 pub mod scheduler;
 pub mod search;
 
-pub use database::{DatabaseEntry, TuningDatabase};
+pub use database::{nest_key, DatabaseEntry, TuningDatabase};
 pub use embedding::PerformanceEmbedding;
 pub use idiom::detect_blas_idiom;
 pub use scheduler::{DaisyConfig, DaisyScheduler, ScheduleOutcome};
-pub use search::{EvolutionarySearch, SearchConfig};
+pub use search::{
+    nest_scoped_graph, recipe_is_semantically_legal, EvolutionarySearch, SearchConfig,
+};

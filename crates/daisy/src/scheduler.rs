@@ -2,6 +2,7 @@
 //! tuning (§4, "Optimization Algorithm").
 
 use std::collections::HashSet;
+use std::path::Path;
 
 use loop_ir::expr::Var;
 use loop_ir::nest::Node;
@@ -9,11 +10,15 @@ use loop_ir::program::Program;
 use machine::{CostModel, CostReport, MachineConfig};
 use normalize::{Normalizer, NormalizerConfig};
 use transforms::{perfect_chain, Recipe};
+use tunestore::{Snapshot, StoreError};
 
-use crate::database::{DatabaseEntry, TuningDatabase};
+use crate::database::{nest_key, DatabaseEntry, TuningDatabase};
 use crate::embedding::PerformanceEmbedding;
 use crate::idiom::detect_blas_idiom;
-use crate::search::{apply_recipe_to_program, EvolutionarySearch, SearchConfig};
+use crate::search::{
+    apply_recipe_to_program, nest_scoped_graph, recipe_is_semantically_legal, EvolutionarySearch,
+    SearchConfig,
+};
 
 /// Configuration of the daisy scheduler. The ablation study (Fig. 7) toggles
 /// `normalize` and `transfer_tuning` independently.
@@ -48,7 +53,12 @@ impl Default for DaisyConfig {
 }
 
 /// The result of scheduling a program.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the optimized program, the full cost report and the
+/// decision log — the cold/warm equivalence guarantee of the persistent
+/// tuning store is checked with exactly this comparison (costs are `f64`s,
+/// so equality is bit-identity, not tolerance).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleOutcome {
     /// The optimized program (normalized, idiom-replaced, recipes applied).
     pub program: Program,
@@ -119,12 +129,27 @@ impl DaisyScheduler {
         }
         let search = self.search.clone().with_parallel(false);
         let entries = crate::search::parallel_map(&jobs, |&(program, index)| {
-            let (recipe, _) = search.search(program, index, &model, &[]);
+            // Keep the winning recipe's *nest-scoped* cost: the search
+            // returns whole-program seconds (a sum over node costs), so
+            // subtracting the other nodes' baseline isolates what the
+            // recipe achieved on this nest. Whole-program cost would make
+            // duplicate-key ranking depend on which seeding program the
+            // entry happened to come from (e.g. under `tunedb merge`).
+            let (recipe, cost) = search.search(program, index, &model, &[]);
+            let others: f64 = program
+                .body
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != index)
+                .map(|(_, node)| model.node_cost(program, node).seconds)
+                .sum();
             let nest = program.body[index]
                 .as_loop()
                 .expect("job indices point at loops");
             let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
             DatabaseEntry {
+                key: nest_key(program, &program.body[index]),
+                cost: cost - others,
                 embedding: PerformanceEmbedding::of_nest(program, nest),
                 recipe,
                 chain,
@@ -134,6 +159,118 @@ impl DaisyScheduler {
         for entry in entries {
             self.database.insert(entry);
         }
+    }
+
+    /// The fingerprint this scheduler stamps on persisted stores: the
+    /// `tunestore` environment fingerprint extended with the machine model
+    /// and thread count the costs were produced under. Two schedulers can
+    /// exchange stores exactly when their fingerprints are equal — stored
+    /// costs decide duplicate-key ranking, and costs from a different cost
+    /// model are not comparable.
+    pub fn store_fingerprint(&self) -> String {
+        // Every machine parameter is encoded explicitly through the store
+        // codec (not via Debug formatting, whose output is not a stability
+        // guarantee). The exhaustive destructure (no `..`) turns a new
+        // MachineConfig field into a compile error here, so a model change
+        // can never silently keep old fingerprints valid.
+        let machine::MachineConfig {
+            name,
+            frequency_hz,
+            cores,
+            scalar_flops_per_cycle,
+            vector_width,
+            vector_efficiency,
+            l1_bytes,
+            l1_assoc,
+            l2_bytes,
+            l2_assoc,
+            l3_bytes,
+            line_bytes,
+            dram_bandwidth,
+            bandwidth_scalability,
+            l2_bandwidth,
+            l1_bandwidth,
+            blas_efficiency,
+            parallel_overhead,
+            atomic_penalty,
+        } = &self.config.machine;
+        let mut w = tunestore::codec::ByteWriter::new();
+        w.string(name);
+        for f in [
+            frequency_hz,
+            scalar_flops_per_cycle,
+            vector_efficiency,
+            dram_bandwidth,
+            bandwidth_scalability,
+            l2_bandwidth,
+            l1_bandwidth,
+            blas_efficiency,
+            parallel_overhead,
+            atomic_penalty,
+        ] {
+            w.f64(*f);
+        }
+        for n in [
+            cores,
+            vector_width,
+            l1_bytes,
+            l1_assoc,
+            l2_bytes,
+            l2_assoc,
+            l3_bytes,
+            line_bytes,
+        ] {
+            w.u64(*n as u64);
+        }
+        let machine = tunestore::codec::checksum(&w.into_bytes());
+        format!(
+            "{}-m{machine:016x}-t{}",
+            tunestore::environment_fingerprint(),
+            self.config.threads
+        )
+    }
+
+    /// Replaces the database with one loaded from a persisted store,
+    /// skipping seeding entirely. Returns the number of entries loaded.
+    ///
+    /// The store must carry this scheduler's [`store_fingerprint`]
+    /// (environment + machine model + thread count: costs from a different
+    /// cost model are not comparable) — otherwise
+    /// [`StoreError::FingerprintMismatch`] is returned and the database is
+    /// left untouched. A warm-started scheduler is guaranteed to produce
+    /// bit-identical [`ScheduleOutcome`]s to the scheduler that persisted
+    /// the store: entry order, keys, costs and recipes all round-trip
+    /// exactly.
+    ///
+    /// [`store_fingerprint`]: DaisyScheduler::store_fingerprint
+    ///
+    /// # Errors
+    /// Any [`StoreError`] from reading or decoding the snapshot.
+    pub fn warm_start(&mut self, path: impl AsRef<Path>) -> Result<usize, StoreError> {
+        let snapshot = Snapshot::load(path)?;
+        let expected = self.store_fingerprint();
+        if snapshot.fingerprint != expected {
+            return Err(StoreError::FingerprintMismatch {
+                found: snapshot.fingerprint,
+                expected,
+            });
+        }
+        self.database = TuningDatabase::from_snapshot(&snapshot)?;
+        Ok(self.database.len())
+    }
+
+    /// Persists the current database to a store file (atomically), stamped
+    /// with this scheduler's [`store_fingerprint`], so later runs can
+    /// [`DaisyScheduler::warm_start`] instead of re-seeding.
+    ///
+    /// [`store_fingerprint`]: DaisyScheduler::store_fingerprint
+    ///
+    /// # Errors
+    /// Any [`StoreError`] from writing the snapshot.
+    pub fn persist(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let mut snapshot = self.database.to_snapshot();
+        snapshot.fingerprint = self.store_fingerprint();
+        snapshot.save(path)
     }
 
     fn normalized(&self, program: &Program) -> Program {
@@ -178,37 +315,72 @@ impl DaisyScheduler {
                     continue;
                 }
             }
-            // 2. Transfer tuning: try the recipes of the nearest neighbours
-            //    and keep the best one that applies and improves the cost.
-            //    Neighbours whose retargeted recipes produce structurally
-            //    identical candidates are priced once.
+            // 2. Transfer tuning: an O(1) exact-match lookup by the nest's
+            //    structural-hash key first — a hit means the database holds
+            //    a recipe tuned for a structurally identical nest at the
+            //    same problem size — then the recipes of the nearest
+            //    neighbours; the best candidate that is legal, applies and
+            //    improves the cost wins. Neighbours whose retargeted
+            //    recipes produce structurally identical candidates are
+            //    priced once.
             let mut best: Option<(f64, Recipe, String)> = None;
             let baseline = model.estimate(&current).seconds;
             if self.config.transfer_tuning && !self.database.is_empty() {
-                let embedding = PerformanceEmbedding::of_nest(&current, &nest);
                 let chain: Vec<Var> = perfect_chain(&nest)
                     .iter()
                     .map(|l| l.iter.clone())
                     .collect();
+                // Dependences of this nest, for the same semantic gate the
+                // seeding search applies (a recipe tuned on a structurally
+                // similar but differently-constrained nest must not smuggle
+                // in an illegal parallelization).
+                let graph = nest_scoped_graph(&current, &nest);
+                let consider =
+                    |entry: &DatabaseEntry,
+                     exact: bool,
+                     tried: &mut HashSet<u64>,
+                     best: &mut Option<(f64, Recipe, String)>| {
+                        let Some(recipe) = TuningDatabase::retarget(entry, &chain) else {
+                            return;
+                        };
+                        if !recipe_is_semantically_legal(&graph, &nest, &recipe) {
+                            return;
+                        }
+                        let Some(candidate) = apply_recipe_to_program(&current, index, &recipe)
+                        else {
+                            return;
+                        };
+                        if !tried.insert(candidate.structural_hash()) {
+                            return;
+                        }
+                        let time = model.estimate(&candidate).seconds;
+                        let better = match &*best {
+                            None => time < baseline,
+                            Some((t, _, _)) => time < *t,
+                        };
+                        if better {
+                            let source = if exact {
+                                format!("{} [exact]", entry.source)
+                            } else {
+                                entry.source.clone()
+                            };
+                            *best = Some((time, recipe, source));
+                        }
+                    };
                 let mut tried: HashSet<u64> = HashSet::new();
+                let key = nest_key(&current, &current.body[index]);
+                if let Some(entry) = self.database.lookup(key) {
+                    consider(entry, true, &mut tried, &mut best);
+                }
+                // The exact match is a candidate, not a short-circuit: a
+                // neighbour's recipe can still beat the recipe seeded on
+                // this very nest (the seeding search is heuristic), so the
+                // k-NN scan always runs. The `tried` set keeps a neighbour
+                // whose retargeted recipe rewrites the nest identically
+                // from being priced twice.
+                let embedding = PerformanceEmbedding::of_nest(&current, &nest);
                 for entry in self.database.nearest(&embedding, self.config.neighbors) {
-                    let Some(recipe) = TuningDatabase::retarget(entry, &chain) else {
-                        continue;
-                    };
-                    let Some(candidate) = apply_recipe_to_program(&current, index, &recipe) else {
-                        continue;
-                    };
-                    if !tried.insert(candidate.structural_hash()) {
-                        continue;
-                    }
-                    let time = model.estimate(&candidate).seconds;
-                    let better = match &best {
-                        None => time < baseline,
-                        Some((t, _, _)) => time < *t,
-                    };
-                    if better {
-                        best = Some((time, recipe, entry.source.clone()));
-                    }
+                    consider(entry, false, &mut tried, &mut best);
                 }
             }
             match best {
@@ -365,5 +537,118 @@ mod tests {
         let scheduler = DaisyScheduler::new(DaisyConfig::default());
         assert!(scheduler.config().normalize);
         assert!(scheduler.database().is_empty());
+    }
+
+    #[test]
+    fn repeated_seeding_does_not_grow_the_database() {
+        let mut scheduler = DaisyScheduler::new(DaisyConfig {
+            idiom_detection: false,
+            ..DaisyConfig::default()
+        });
+        let a = gemm_a(128);
+        scheduler.seed_from_programs(std::slice::from_ref(&a));
+        let len = scheduler.database().len();
+        assert!(len > 0);
+        scheduler.seed_from_programs(std::slice::from_ref(&a));
+        assert_eq!(
+            scheduler.database().len(),
+            len,
+            "re-seeding the same programs must dedupe, not accumulate"
+        );
+    }
+
+    #[test]
+    fn exact_match_fast_path_is_used_for_seeded_nests() {
+        let config = DaisyConfig {
+            idiom_detection: false,
+            ..DaisyConfig::default()
+        };
+        let mut scheduler = DaisyScheduler::new(config);
+        let a = gemm_a(256);
+        scheduler.seed_from_programs(std::slice::from_ref(&a));
+        let outcome = scheduler.schedule(&a);
+        assert!(
+            outcome.decisions.iter().any(|d| d.contains("[exact]")),
+            "scheduling a seeded program should hit the exact-match path: {:?}",
+            outcome.decisions
+        );
+    }
+
+    #[test]
+    fn warm_started_scheduler_is_bit_identical_to_cold() {
+        let dir = std::env::temp_dir().join(format!("daisy-warm-{}", std::process::id()));
+        let path = dir.join("gemm.tunedb");
+        let config = DaisyConfig {
+            idiom_detection: false,
+            ..DaisyConfig::default()
+        };
+        let a = gemm_a(256);
+        let b = gemm_b(256);
+
+        let mut cold = DaisyScheduler::new(config.clone());
+        cold.seed_from_programs(std::slice::from_ref(&a));
+        cold.persist(&path).unwrap();
+
+        let mut warm = DaisyScheduler::new(config);
+        let loaded = warm.warm_start(&path).unwrap();
+        assert_eq!(loaded, cold.database().len());
+        assert_eq!(warm.database().entries(), cold.database().entries());
+
+        for program in [&a, &b] {
+            let cold_outcome = cold.schedule(program);
+            let warm_outcome = warm.schedule(program);
+            assert_eq!(
+                cold_outcome, warm_outcome,
+                "cold and warm outcomes must be bit-identical"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_start_rejects_stores_from_a_different_cost_model() {
+        let dir = std::env::temp_dir().join(format!("daisy-warmfp-{}", std::process::id()));
+        let path = dir.join("model.tunedb");
+        let mut seeder = DaisyScheduler::new(DaisyConfig::default());
+        seeder.seed_from_programs(std::slice::from_ref(&gemm_a(64)));
+        seeder.persist(&path).unwrap();
+
+        // Different machine model and different thread count: the persisted
+        // costs come from another cost model, so the fingerprint must veto
+        // the warm start and leave the database untouched.
+        for config in [
+            DaisyConfig {
+                machine: machine::MachineConfig::tiny_for_tests(),
+                ..DaisyConfig::default()
+            },
+            DaisyConfig {
+                threads: 1,
+                ..DaisyConfig::default()
+            },
+        ] {
+            let mut other = DaisyScheduler::new(config);
+            assert!(matches!(
+                other.warm_start(&path),
+                Err(StoreError::FingerprintMismatch { .. })
+            ));
+            assert!(other.database().is_empty());
+        }
+        // The matching configuration still loads.
+        let mut same = DaisyScheduler::new(DaisyConfig::default());
+        assert_eq!(same.warm_start(&path).unwrap(), seeder.database().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_start_rejects_corrupt_and_missing_stores() {
+        let dir = std::env::temp_dir().join(format!("daisy-warmerr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut scheduler = DaisyScheduler::new(DaisyConfig::default());
+        assert!(scheduler.warm_start(dir.join("missing.tunedb")).is_err());
+        let path = dir.join("corrupt.tunedb");
+        std::fs::write(&path, b"DAISYTDBgarbage").unwrap();
+        assert!(scheduler.warm_start(&path).is_err());
+        assert!(scheduler.database().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

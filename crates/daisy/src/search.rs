@@ -24,10 +24,14 @@
 //!    dynamics are unchanged — it is only never re-evaluated.) Distinct
 //!    recipes whose rewrites happen to be structurally identical are caught
 //!    one stage later by the cost model's structural-hash memo.
-//! 2. **Early reject.** A surviving recipe is *applied to the nest alone*
-//!    (cheap, structural — no program clone); recipes whose transform
-//!    legality check fails score `f64::INFINITY` without ever reaching the
-//!    cost model.
+//! 2. **Early reject.** A surviving recipe is checked against the nest's
+//!    dependence graph — parallelizing a loop that carries a dependence or
+//!    requesting a lexicographically negative permutation scores
+//!    `f64::INFINITY` outright (previously the cost model's atomic penalty
+//!    merely down-ranked such candidates) — and then *applied to the nest
+//!    alone* (cheap, structural — no program clone); recipes whose
+//!    transform legality check fails are likewise rejected without ever
+//!    reaching the cost model.
 //! 3. **Parallel costing.** The unique legal rewrites are priced on scoped
 //!    worker threads (adaptively — tiny batches stay on the calling
 //!    thread), each worker sharing the model's memo table.
@@ -35,9 +39,10 @@
 //! Results are deterministic: mutation draws happen on the single-threaded
 //! RNG before evaluation, and scores are written back by candidate index.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use dependence::{is_permutation_legal, DependenceGraph};
 use loop_ir::expr::Var;
 use loop_ir::nest::{Loop, Node};
 use loop_ir::program::Program;
@@ -173,6 +178,9 @@ impl EvolutionarySearch {
             return (Recipe::identity(), f64::INFINITY);
         };
         let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
+        // Dependences of the nest under search, computed once: the semantic
+        // gate consults them for every candidate.
+        let graph = nest_scoped_graph(program, nest);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         let mut population: Vec<Recipe> = Vec::new();
@@ -198,6 +206,7 @@ impl EvolutionarySearch {
             nest_index,
             nest,
             node_costs: &node_costs,
+            graph: &graph,
         };
 
         // Scores of every candidate evaluated anywhere in this search, keyed
@@ -257,10 +266,14 @@ impl EvolutionarySearch {
     ) -> Vec<f64> {
         if self.reference_eval {
             // Pre-refactor path: materialize and fully re-price every
-            // candidate program, one at a time.
+            // candidate program, one at a time. The semantic gate applies
+            // here too, so both paths still find identical recipes.
             return recipes
                 .iter()
                 .map(|recipe| {
+                    if !recipe_is_semantically_legal(context.graph, context.nest, recipe) {
+                        return f64::INFINITY;
+                    }
                     evaluate_recipe(context.program, context.nest_index, recipe, model)
                         .unwrap_or(f64::INFINITY)
                 })
@@ -288,6 +301,9 @@ impl EvolutionarySearch {
         // sequential; multi-nest programs like CLOUDSC fan out). Scores are
         // identical either way.
         let score_one = |recipe: &Recipe| -> f64 {
+            if !recipe_is_semantically_legal(context.graph, context.nest, recipe) {
+                return f64::INFINITY;
+            }
             match recipe.apply_to_nest(context.nest) {
                 Ok(rewrite) => context.score_rewrite(&rewrite, model),
                 Err(_) => f64::INFINITY,
@@ -439,6 +455,139 @@ impl EvolutionarySearch {
     }
 }
 
+/// Dependence graph of one top-level nest in isolation.
+///
+/// The whole-program graph would let an iterator name shared between
+/// unrelated top-level nests (ubiquitous in CLOUDSC, where every nest loops
+/// over `jl`/`jk`) leak dependences across nests and veto legal
+/// parallelizations; analyzing a single-nest copy of the program scopes
+/// every query to the nest under search.
+pub fn nest_scoped_graph(program: &Program, nest: &Loop) -> DependenceGraph {
+    // Clone only the environment and the nest under analysis — a whole
+    // program.clone() would deep-copy every other top-level nest just to
+    // throw it away, O(program) per query.
+    let sub = Program {
+        name: program.name.clone(),
+        params: program.params.clone(),
+        scalar_params: program.scalar_params.clone(),
+        arrays: program.arrays.clone(),
+        body: vec![Node::Loop(nest.clone())],
+    };
+    dependence::analyze(&sub)
+}
+
+/// Semantic legality gate for a recipe against a nest's dependence graph:
+///
+/// * `interchange(order)` is illegal when the permuted direction vector of
+///   any dependence becomes lexicographically negative,
+/// * `tile(x:..)` is illegal when any dependence direction on a tiled
+///   iterator admits `>`: `tile_band` hoists the tile loops outermost, and
+///   a hoisted `>` level can run sink iterations before their source while
+///   every other tile loop sits at "same tile" — the same reordering an
+///   `interchange` to that order would be rejected for,
+/// * `parallelize(x)` is illegal when `x` carries a dependence at its
+///   position in the *final* loop order — a parallel mark travels with its
+///   loop through later interchanges, so marks are validated after the
+///   whole recipe's order is known, not at the step that set them,
+/// * `parallelize(x_t)` (the hoisted tile loop of `x`) is illegal whenever
+///   any dependence admits `<` in `x`: the tile loop runs above the whole
+///   band, where no other loop can discharge the dependence (outer tile
+///   loops always admit "same tile").
+///
+/// Tile loops are handled conservatively throughout: an outer tile loop
+/// never discharges a dependence (the source and sink may fall into the
+/// same tile), so parallelizing a point loop whose iterator carries a
+/// dependence stays illegal even below its own tile loop.
+///
+/// Vectorization and unrolling are left to the cost model: the machine
+/// model prices them as in-order SIMD/ILP, which is semantics-preserving
+/// for the dependence patterns the IR can express.
+pub fn recipe_is_semantically_legal(graph: &DependenceGraph, nest: &Loop, recipe: &Recipe) -> bool {
+    let iters = nest.nested_iterators();
+    // The loop order as the recipe unfolds, original iterators only (tile
+    // loops are tracked through `tiled`: each `x_t` chunks `x` in place).
+    let mut order = iters.clone();
+    let mut tiled: BTreeSet<Var> = BTreeSet::new();
+    let mut parallel_points: BTreeSet<Var> = BTreeSet::new();
+    let mut parallel_tiles: BTreeSet<Var> = BTreeSet::new();
+    for step in &recipe.steps {
+        match step {
+            Transform::Parallelize { iter } => {
+                match iter.as_str().strip_suffix("_t") {
+                    Some(stripped) if !iters.contains(iter) => {
+                        parallel_tiles.insert(Var::new(stripped));
+                    }
+                    _ => {
+                        parallel_points.insert(iter.clone());
+                    }
+                };
+            }
+            Transform::Interchange { order: new_order } => {
+                let distinct: BTreeSet<&Var> = new_order.iter().collect();
+                let applies = new_order.iter().all(|v| iters.contains(v))
+                    && distinct.len() == new_order.len();
+                if !applies {
+                    continue;
+                }
+                if !is_permutation_legal(graph, nest, new_order) {
+                    return false;
+                }
+                // The step names the new absolute order; iterators it does
+                // not mention keep their previous relative order behind it.
+                let mut next = new_order.clone();
+                next.extend(order.iter().filter(|v| !new_order.contains(v)).cloned());
+                order = next;
+            }
+            Transform::Tile { tiles } => {
+                // The hoisted tile loop of `v` replays `v`'s direction
+                // above the whole band; a direction admitting `>` there
+                // makes some dependence vector lexicographically negative
+                // (outer tile loops can always sit at "same tile", i.e.
+                // `=`), so the reordering is illegal.
+                let hoisted_negative = graph.all().iter().any(|dep| {
+                    tiles.iter().any(|(v, _)| {
+                        iters.contains(v) && dep.direction_of(v).is_some_and(|d| d.may_be_gt())
+                    })
+                });
+                if hoisted_negative {
+                    return false;
+                }
+                tiled.extend(tiles.iter().map(|(v, _)| v.clone()));
+            }
+            _ => {}
+        }
+    }
+    // A tile loop sits above the whole band where nothing discharges a
+    // dependence, so any `<` direction in its base iterator is carried.
+    for base in &parallel_tiles {
+        let carried = graph
+            .all()
+            .iter()
+            .any(|dep| dep.direction_of(base).is_some_and(|d| d.may_be_lt()));
+        if carried {
+            return false;
+        }
+    }
+    // Point-loop marks are judged at their position in the final order:
+    // carried when the dependence can run in `base`'s direction while
+    // every outer non-tile loop admits `=`.
+    for base in &parallel_points {
+        let Some(pos) = order.iter().position(|v| v == base) else {
+            continue;
+        };
+        let carried = graph.all().iter().any(|dep| {
+            dep.direction_of(base).is_some_and(|d| d.may_be_lt())
+                && order[..pos]
+                    .iter()
+                    .all(|u| tiled.contains(u) || dep.direction_of(u).is_none_or(|d| d.may_be_eq()))
+        });
+        if carried {
+            return false;
+        }
+    }
+    true
+}
+
 /// Fingerprint of a recipe: a structural hash over its rendered steps and
 /// BLAS marker. Two recipes share a fingerprint exactly when they contain the
 /// same steps in the same order.
@@ -461,6 +610,8 @@ struct ScoreContext<'a> {
     nest: &'a Loop,
     /// Per-node seconds of the base program, aligned with `program.body`.
     node_costs: &'a [f64],
+    /// Dependences of `nest` in isolation, for the semantic legality gate.
+    graph: &'a DependenceGraph,
 }
 
 impl ScoreContext<'_> {
@@ -640,7 +791,11 @@ mod tests {
     }
 
     /// Builds a scoring context over the program's only nest.
-    fn context_of<'a>(p: &'a Program, node_costs: &'a [f64]) -> ScoreContext<'a> {
+    fn context_of<'a>(
+        p: &'a Program,
+        node_costs: &'a [f64],
+        graph: &'a DependenceGraph,
+    ) -> ScoreContext<'a> {
         let Node::Loop(nest) = &p.body[0] else {
             panic!("first node is a nest");
         };
@@ -649,6 +804,7 @@ mod tests {
             nest_index: 0,
             nest,
             node_costs,
+            graph,
         }
     }
 
@@ -664,13 +820,19 @@ mod tests {
             .collect();
         let search = EvolutionarySearch::default();
         let mut seen = HashMap::new();
+        let graph = nest_scoped_graph(&p, p.loop_nests()[0]);
         let batch = [
             Recipe::new(vec![Transform::Parallelize {
                 iter: Var::new("nope"),
             }]),
             Recipe::identity(),
         ];
-        let scores = search.score_batch(&context_of(&p, &node_costs), &batch, &model, &mut seen);
+        let scores = search.score_batch(
+            &context_of(&p, &node_costs, &graph),
+            &batch,
+            &model,
+            &mut seen,
+        );
         assert_eq!(scores[0], f64::INFINITY);
         assert!(scores[1].is_finite());
         // Both recipes were fingerprinted (the illegal one caches its
@@ -692,11 +854,17 @@ mod tests {
             .collect();
         let search = EvolutionarySearch::default();
         let mut seen = HashMap::new();
+        let graph = nest_scoped_graph(&p, p.loop_nests()[0]);
         let vectorize = Recipe::new(vec![Transform::Vectorize {
             iter: Var::new("j"),
         }]);
         let batch = [vectorize.clone(), vectorize.clone(), vectorize];
-        let scores = search.score_batch(&context_of(&p, &node_costs), &batch, &model, &mut seen);
+        let scores = search.score_batch(
+            &context_of(&p, &node_costs, &graph),
+            &batch,
+            &model,
+            &mut seen,
+        );
         assert_eq!(scores[0], scores[1]);
         assert_eq!(scores[1], scores[2]);
         assert_eq!(seen.len(), 1, "one structural hash, one evaluation");
@@ -728,6 +896,202 @@ mod tests {
             .search(&p, 1, &CostModel::sequential().without_memoization(), &[]);
         assert_eq!(r_new, r_ref);
         assert_eq!(s_new, s_ref, "scores must be bit-identical");
+    }
+
+    #[test]
+    fn carried_dependences_veto_parallelization_before_costing() {
+        // A[i][j] = A[i-1][j] + 1: the i loop carries a dependence, j does
+        // not. Parallelizing i (or its tile loop) must be rejected by the
+        // dependence gate without reaching the cost model; parallelizing j
+        // stays legal.
+        let p = parse_program(
+            "program stencil { param N = 64; array A[N][N];
+               for i in 1..N { for j in 0..N { A[i][j] = A[i - 1][j] + 1.0; } } }",
+        )
+        .unwrap();
+        let Node::Loop(nest) = &p.body[0] else {
+            panic!("first node is a nest");
+        };
+        let graph = nest_scoped_graph(&p, nest);
+        let par_i = Recipe::new(vec![Transform::Parallelize {
+            iter: Var::new("i"),
+        }]);
+        let par_j = Recipe::new(vec![Transform::Parallelize {
+            iter: Var::new("j"),
+        }]);
+        let tiled_par_i = Recipe::new(vec![
+            Transform::Tile {
+                tiles: vec![(Var::new("i"), 16), (Var::new("j"), 16)],
+            },
+            Transform::Parallelize {
+                iter: Var::new("i_t"),
+            },
+        ]);
+        assert!(!recipe_is_semantically_legal(&graph, nest, &par_i));
+        assert!(recipe_is_semantically_legal(&graph, nest, &par_j));
+        assert!(!recipe_is_semantically_legal(&graph, nest, &tiled_par_i));
+        // Tiling does not launder the carried dependence onto the point
+        // loop either: parallelize(i) below its own tile loop stays
+        // illegal (source and sink may share a tile).
+        let tiled_par_point_i = Recipe::new(vec![
+            Transform::Tile {
+                tiles: vec![(Var::new("i"), 16)],
+            },
+            Transform::Parallelize {
+                iter: Var::new("i"),
+            },
+        ]);
+        assert!(!recipe_is_semantically_legal(
+            &graph,
+            nest,
+            &tiled_par_point_i
+        ));
+
+        // The gate follows interchanges: after swapping to (j, i), the
+        // dependence A[i][j] = A[i-1][j] is carried by i at the *inner*
+        // level only while j stays `=` — so parallelizing the new
+        // outermost j is legal, and parallelizing i is still illegal
+        // (j admits `=`, letting the dependence run in i).
+        let swap_par_j = Recipe::new(vec![
+            Transform::Interchange {
+                order: vec![Var::new("j"), Var::new("i")],
+            },
+            Transform::Parallelize {
+                iter: Var::new("j"),
+            },
+        ]);
+        let swap_par_i = Recipe::new(vec![
+            Transform::Interchange {
+                order: vec![Var::new("j"), Var::new("i")],
+            },
+            Transform::Parallelize {
+                iter: Var::new("i"),
+            },
+        ]);
+        assert!(recipe_is_semantically_legal(&graph, nest, &swap_par_j));
+        assert!(!recipe_is_semantically_legal(&graph, nest, &swap_par_i));
+
+        // A diagonal dependence A[i][j] = A[i-1][j-1]: in the original
+        // order i carries it and j is parallel; after interchange to
+        // (j, i) the roles flip — j carries it, i becomes parallel. The
+        // pre-fix gate consulted the original order for both and got both
+        // post-interchange answers wrong.
+        let diag = parse_program(
+            "program diag { param N = 64; array A[N][N];
+               for i in 1..N { for j in 1..N { A[i][j] = A[i - 1][j - 1] + 1.0; } } }",
+        )
+        .unwrap();
+        let Node::Loop(diag_nest) = &diag.body[0] else {
+            panic!("first node is a nest");
+        };
+        let diag_graph = nest_scoped_graph(&diag, diag_nest);
+        assert!(recipe_is_semantically_legal(&diag_graph, diag_nest, &par_j));
+        assert!(!recipe_is_semantically_legal(
+            &diag_graph,
+            diag_nest,
+            &swap_par_j
+        ));
+        assert!(recipe_is_semantically_legal(
+            &diag_graph,
+            diag_nest,
+            &swap_par_i
+        ));
+
+        // tile_band hoists j_t above i, where nothing discharges the
+        // diagonal dependence — parallelize(j_t) must be illegal even
+        // though j's original position sits below the carrying i.
+        let tile_par_jt = Recipe::new(vec![
+            Transform::Tile {
+                tiles: vec![(Var::new("j"), 16)],
+            },
+            Transform::Parallelize {
+                iter: Var::new("j_t"),
+            },
+        ]);
+        assert!(!recipe_is_semantically_legal(
+            &diag_graph,
+            diag_nest,
+            &tile_par_jt
+        ));
+
+        // A parallel mark travels with its loop through a later
+        // interchange: parallelize(j) is legal in order (i, j), but the
+        // subsequent swap moves the marked j outermost where it carries
+        // the diagonal dependence.
+        let par_j_then_swap = Recipe::new(vec![
+            Transform::Parallelize {
+                iter: Var::new("j"),
+            },
+            Transform::Interchange {
+                order: vec![Var::new("j"), Var::new("i")],
+            },
+        ]);
+        assert!(!recipe_is_semantically_legal(
+            &diag_graph,
+            diag_nest,
+            &par_j_then_swap
+        ));
+
+        // The gate rejects before costing: the illegal candidate scores
+        // infinity and leaves no memo entry.
+        let model = CostModel::sequential();
+        let node_costs: Vec<f64> = model
+            .estimate(&p)
+            .per_nest
+            .iter()
+            .map(|c| c.seconds)
+            .collect();
+        let search = EvolutionarySearch::default();
+        let mut seen = HashMap::new();
+        let batch = [par_i.clone()];
+        let scores = search.score_batch(
+            &context_of(&p, &node_costs, &graph),
+            &batch,
+            &model,
+            &mut seen,
+        );
+        assert_eq!(scores[0], f64::INFINITY);
+        assert_eq!(
+            model.memo_entries(),
+            1,
+            "only the base estimate is memoized"
+        );
+
+        // And the full search never emits an illegal parallelization.
+        let (best, _) = search.search(&p, 0, &model, std::slice::from_ref(&par_i));
+        for step in &best.steps {
+            if let Transform::Parallelize { iter } = step {
+                assert_eq!(iter, &Var::new("j"), "only j may be parallelized");
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_interchange_is_gated() {
+        // A[i][j] = A[i-1][j+1]: direction (<, >); swapping i and j flips it
+        // to (>, <), lexicographically negative.
+        let p = parse_program(
+            "program skew { param N = 8; array A[N][N];
+               for i in 1..N { for j in 0..N - 1 { A[i][j] = A[i - 1][j + 1] + 1.0; } } }",
+        )
+        .unwrap();
+        let Node::Loop(nest) = &p.body[0] else {
+            panic!("first node is a nest");
+        };
+        let graph = nest_scoped_graph(&p, nest);
+        let swap = Recipe::new(vec![Transform::Interchange {
+            order: vec![Var::new("j"), Var::new("i")],
+        }]);
+        let keep = Recipe::new(vec![Transform::Interchange {
+            order: vec![Var::new("i"), Var::new("j")],
+        }]);
+        assert!(!recipe_is_semantically_legal(&graph, nest, &swap));
+        assert!(recipe_is_semantically_legal(&graph, nest, &keep));
+        // A recipe naming unknown iterators is left to the structural gate.
+        let unknown = Recipe::new(vec![Transform::Interchange {
+            order: vec![Var::new("x"), Var::new("y")],
+        }]);
+        assert!(recipe_is_semantically_legal(&graph, nest, &unknown));
     }
 
     #[test]

@@ -51,6 +51,82 @@ pub enum Transform {
     Fission,
 }
 
+/// Stable one-byte discriminants for [`Transform`] variants.
+///
+/// Binary codecs that persist recipes (the `tunestore` crate) write these
+/// values to disk, so they are part of the on-disk format: never renumber an
+/// existing tag, only append new variants at the end.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum TransformTag {
+    /// [`Transform::Interchange`].
+    Interchange = 0,
+    /// [`Transform::Tile`].
+    Tile = 1,
+    /// [`Transform::Parallelize`].
+    Parallelize = 2,
+    /// [`Transform::Vectorize`].
+    Vectorize = 3,
+    /// [`Transform::Unroll`].
+    Unroll = 4,
+    /// [`Transform::Fission`].
+    Fission = 5,
+}
+
+impl TransformTag {
+    /// Decodes a wire byte back into a tag. Returns `None` for bytes no
+    /// known variant uses (a corrupted or future-format file).
+    pub fn from_wire(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(TransformTag::Interchange),
+            1 => Some(TransformTag::Tile),
+            2 => Some(TransformTag::Parallelize),
+            3 => Some(TransformTag::Vectorize),
+            4 => Some(TransformTag::Unroll),
+            5 => Some(TransformTag::Fission),
+            _ => None,
+        }
+    }
+}
+
+impl Transform {
+    /// The stable wire tag of this variant.
+    pub fn tag(&self) -> TransformTag {
+        match self {
+            Transform::Interchange { .. } => TransformTag::Interchange,
+            Transform::Tile { .. } => TransformTag::Tile,
+            Transform::Parallelize { .. } => TransformTag::Parallelize,
+            Transform::Vectorize { .. } => TransformTag::Vectorize,
+            Transform::Unroll { .. } => TransformTag::Unroll,
+            Transform::Fission => TransformTag::Fission,
+        }
+    }
+}
+
+/// Stable byte encoding of a recipe's optional BLAS marker (`0` = none).
+/// Like [`TransformTag`], these values are persisted — never renumber.
+pub fn blas_to_wire(kind: Option<BlasKind>) -> u8 {
+    match kind {
+        None => 0,
+        Some(BlasKind::Gemm) => 1,
+        Some(BlasKind::Syrk) => 2,
+        Some(BlasKind::Syr2k) => 3,
+        Some(BlasKind::Gemv) => 4,
+    }
+}
+
+/// Decodes a BLAS marker byte. Returns `None` (outer) for unknown bytes.
+pub fn blas_from_wire(byte: u8) -> Option<Option<BlasKind>> {
+    match byte {
+        0 => Some(None),
+        1 => Some(Some(BlasKind::Gemm)),
+        2 => Some(Some(BlasKind::Syrk)),
+        3 => Some(Some(BlasKind::Syr2k)),
+        4 => Some(Some(BlasKind::Gemv)),
+        _ => None,
+    }
+}
+
 impl fmt::Display for Transform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -367,6 +443,40 @@ mod tests {
         let out = recipe.apply_to_nest(&gemm_nest()).unwrap();
         assert_eq!(out[0].as_loop().unwrap(), &gemm_nest());
         assert_eq!(recipe.to_string(), "identity");
+    }
+
+    #[test]
+    fn wire_tags_round_trip() {
+        let steps = [
+            Transform::Interchange { order: vec![] },
+            Transform::Tile { tiles: vec![] },
+            Transform::Parallelize {
+                iter: Var::new("i"),
+            },
+            Transform::Vectorize {
+                iter: Var::new("i"),
+            },
+            Transform::Unroll {
+                iter: Var::new("i"),
+                factor: 2,
+            },
+            Transform::Fission,
+        ];
+        for step in &steps {
+            let tag = step.tag();
+            assert_eq!(TransformTag::from_wire(tag as u8), Some(tag));
+        }
+        assert_eq!(TransformTag::from_wire(200), None);
+        for kind in [
+            None,
+            Some(BlasKind::Gemm),
+            Some(BlasKind::Syrk),
+            Some(BlasKind::Syr2k),
+            Some(BlasKind::Gemv),
+        ] {
+            assert_eq!(blas_from_wire(blas_to_wire(kind)), Some(kind));
+        }
+        assert_eq!(blas_from_wire(99), None);
     }
 
     #[test]

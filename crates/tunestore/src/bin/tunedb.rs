@@ -1,0 +1,135 @@
+//! `tunedb` — command-line inspector for persistent tuning stores.
+//!
+//! ```text
+//! tunedb stats  <store>             summary statistics
+//! tunedb inspect <store> [limit]    per-entry listing (default 20 entries)
+//! tunedb verify <store>             decode + checksum + fingerprint check
+//! tunedb merge  <out> <in> [<in>..] merge stores, best cost per key wins
+//! tunedb gc     <store>             drop identity recipes / duplicate keys
+//! ```
+
+use std::process::ExitCode;
+
+use tunestore::{Snapshot, StoreError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") if args.len() == 2 => stats(&args[1]),
+        Some("inspect") if args.len() == 2 || args.len() == 3 => {
+            let limit = match args.get(2).map(|s| s.parse::<usize>()) {
+                None => 20,
+                Some(Ok(limit)) => limit,
+                Some(Err(_)) => {
+                    eprintln!("tunedb: inspect limit {:?} is not a number", args[2]);
+                    return ExitCode::from(2);
+                }
+            };
+            inspect(&args[1], limit)
+        }
+        Some("verify") if args.len() == 2 => verify(&args[1]),
+        Some("merge") if args.len() >= 3 => merge(&args[1], &args[2..]),
+        Some("gc") if args.len() == 2 => gc(&args[1]),
+        _ => {
+            eprintln!(
+                "usage:\n  tunedb stats  <store>\n  tunedb inspect <store> [limit]\n  \
+                 tunedb verify <store>\n  tunedb merge  <out> <in> [<in>...]\n  tunedb gc     <store>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tunedb: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn stats(path: &str) -> Result<(), StoreError> {
+    let snapshot = Snapshot::load(path)?;
+    let stats = snapshot.stats();
+    println!("store:            {path}");
+    println!("fingerprint:      {}", snapshot.fingerprint);
+    println!("entries:          {}", stats.entries);
+    println!("distinct keys:    {}", stats.distinct_keys);
+    println!("identity recipes: {}", stats.identity_recipes);
+    println!("total steps:      {}", stats.total_steps);
+    if let (Some(min), Some(max)) = (stats.min_cost, stats.max_cost) {
+        println!("cost range:       {min:.6}s .. {max:.6}s");
+    }
+    Ok(())
+}
+
+fn inspect(path: &str, limit: usize) -> Result<(), StoreError> {
+    let snapshot = Snapshot::load(path)?;
+    println!(
+        "{} entries (fingerprint {}), showing up to {limit}:",
+        snapshot.entries.len(),
+        snapshot.fingerprint
+    );
+    for entry in snapshot.entries.iter().take(limit) {
+        let chain: Vec<&str> = entry.chain.iter().map(|v| v.as_str()).collect();
+        println!(
+            "  {:016x}  cost {:.6}s  chain [{}]  {}  <- {}",
+            entry.key,
+            entry.cost,
+            chain.join(", "),
+            entry.recipe,
+            entry.source
+        );
+    }
+    if snapshot.entries.len() > limit {
+        println!("  ... {} more", snapshot.entries.len() - limit);
+    }
+    Ok(())
+}
+
+fn verify(path: &str) -> Result<(), StoreError> {
+    // `load` already checks magic, version, both section checksums and
+    // decodes every entry; `load_compatible` adds the fingerprint check.
+    // Every failure — including a fingerprint mismatch — exits nonzero so
+    // `tunedb verify f && use f` is a sound gate in scripts.
+    let snapshot = Snapshot::load_compatible(path)?;
+    println!(
+        "{path}: OK ({} entries, fingerprint {})",
+        snapshot.entries.len(),
+        snapshot.fingerprint
+    );
+    Ok(())
+}
+
+fn merge(out: &str, inputs: &[String]) -> Result<(), StoreError> {
+    let mut merged = Snapshot::load(&inputs[0])?;
+    println!("{}: {} entries", inputs[0], merged.entries.len());
+    for path in &inputs[1..] {
+        let other = Snapshot::load(path)?;
+        if other.fingerprint != merged.fingerprint {
+            return Err(StoreError::FingerprintMismatch {
+                found: other.fingerprint,
+                expected: merged.fingerprint,
+            });
+        }
+        let changed = merged.merge(&other);
+        println!(
+            "{path}: {} entries, {changed} merged in",
+            other.entries.len()
+        );
+    }
+    merged.save(out)?;
+    println!("{out}: wrote {} entries", merged.entries.len());
+    Ok(())
+}
+
+fn gc(path: &str) -> Result<(), StoreError> {
+    let mut snapshot = Snapshot::load(path)?;
+    let before = snapshot.entries.len();
+    let removed = snapshot.gc();
+    snapshot.save(path)?;
+    println!(
+        "{path}: {before} -> {} entries ({removed} removed)",
+        snapshot.entries.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! The stored form of one tuning-database entry and its binary codec.
+
+use loop_ir::expr::Var;
+use transforms::{blas_from_wire, blas_to_wire, Recipe, Transform, TransformTag};
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::error::{Result, StoreError};
+
+/// One persisted tuning-database record: the structural-hash key of the
+/// (normalized) source nest, the nest-scoped cost-model seconds of the
+/// winning recipe, the performance embedding, the recipe, the perfect-chain
+/// iterators it refers to, and the provenance string.
+///
+/// This mirrors `daisy::DatabaseEntry` field for field; it lives here (with
+/// the embedding as a plain `Vec<f64>`) so the codec does not depend on the
+/// scheduler crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEntry {
+    /// Structural hash of the source loop nest (`loop_ir::structural_hash_node`).
+    pub key: u64,
+    /// Nest-scoped cost-model seconds of the winning recipe when it was
+    /// found (the seeding program's whole-program cost minus the other
+    /// nodes' baseline); used to rank duplicate keys during insert/merge,
+    /// comparably across seeding programs.
+    pub cost: f64,
+    /// Performance-embedding feature vector of the source nest.
+    pub embedding: Vec<f64>,
+    /// The optimization recipe.
+    pub recipe: Recipe,
+    /// Perfect-chain iterators of the source nest, outermost first.
+    pub chain: Vec<Var>,
+    /// Name of the benchmark / nest the entry was derived from.
+    pub source: String,
+}
+
+impl StoredEntry {
+    /// Encodes the entry onto a writer.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.key);
+        w.f64(self.cost);
+        w.u32(self.embedding.len() as u32);
+        for &f in &self.embedding {
+            w.f64(f);
+        }
+        encode_recipe(&self.recipe, w);
+        w.u32(self.chain.len() as u32);
+        for v in &self.chain {
+            w.string(v.as_str());
+        }
+        w.string(&self.source);
+    }
+
+    /// Decodes one entry from a reader. Never panics: corrupted or truncated
+    /// input yields an `Err`.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let key = r.u64("entry key")?;
+        let cost = r.f64("entry cost")?;
+        let dim = r.count(8, "embedding length")?;
+        let mut embedding = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            embedding.push(r.f64("embedding feature")?);
+        }
+        let recipe = decode_recipe(r)?;
+        let chain_len = r.count(4, "chain length")?;
+        let mut chain = Vec::with_capacity(chain_len);
+        for _ in 0..chain_len {
+            chain.push(Var::new(r.string("chain iterator")?));
+        }
+        let source = r.string("entry source")?;
+        Ok(StoredEntry {
+            key,
+            cost,
+            embedding,
+            recipe,
+            chain,
+            source,
+        })
+    }
+}
+
+/// Encodes a recipe: the BLAS marker byte, then the tagged step list.
+pub fn encode_recipe(recipe: &Recipe, w: &mut ByteWriter) {
+    w.u8(blas_to_wire(recipe.blas));
+    w.u32(recipe.steps.len() as u32);
+    for step in &recipe.steps {
+        w.u8(step.tag() as u8);
+        match step {
+            Transform::Interchange { order } => {
+                w.u32(order.len() as u32);
+                for v in order {
+                    w.string(v.as_str());
+                }
+            }
+            Transform::Tile { tiles } => {
+                w.u32(tiles.len() as u32);
+                for (v, size) in tiles {
+                    w.string(v.as_str());
+                    w.i64(*size);
+                }
+            }
+            Transform::Parallelize { iter } | Transform::Vectorize { iter } => {
+                w.string(iter.as_str());
+            }
+            Transform::Unroll { iter, factor } => {
+                w.string(iter.as_str());
+                w.u32(*factor);
+            }
+            Transform::Fission => {}
+        }
+    }
+}
+
+/// Decodes a recipe written by [`encode_recipe`].
+pub fn decode_recipe(r: &mut ByteReader<'_>) -> Result<Recipe> {
+    let blas_byte = r.u8("blas marker")?;
+    let blas = blas_from_wire(blas_byte)
+        .ok_or_else(|| StoreError::Corrupt(format!("unknown BLAS marker byte {blas_byte}")))?;
+    let step_count = r.count(1, "step count")?;
+    let mut steps = Vec::with_capacity(step_count);
+    for _ in 0..step_count {
+        let tag_byte = r.u8("step tag")?;
+        let tag = TransformTag::from_wire(tag_byte)
+            .ok_or_else(|| StoreError::Corrupt(format!("unknown transform tag {tag_byte}")))?;
+        steps.push(match tag {
+            TransformTag::Interchange => {
+                let n = r.count(4, "interchange order length")?;
+                let mut order = Vec::with_capacity(n);
+                for _ in 0..n {
+                    order.push(Var::new(r.string("interchange iterator")?));
+                }
+                Transform::Interchange { order }
+            }
+            TransformTag::Tile => {
+                let n = r.count(12, "tile count")?;
+                let mut tiles = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let v = Var::new(r.string("tile iterator")?);
+                    let size = r.i64("tile size")?;
+                    tiles.push((v, size));
+                }
+                Transform::Tile { tiles }
+            }
+            TransformTag::Parallelize => Transform::Parallelize {
+                iter: Var::new(r.string("parallelize iterator")?),
+            },
+            TransformTag::Vectorize => Transform::Vectorize {
+                iter: Var::new(r.string("vectorize iterator")?),
+            },
+            TransformTag::Unroll => Transform::Unroll {
+                iter: Var::new(r.string("unroll iterator")?),
+                factor: r.u32("unroll factor")?,
+            },
+            TransformTag::Fission => Transform::Fission,
+        });
+    }
+    Ok(Recipe { steps, blas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::nest::BlasKind;
+
+    fn sample_entry() -> StoredEntry {
+        StoredEntry {
+            key: 0x1234_5678_9ABC_DEF0,
+            cost: 0.0123,
+            embedding: vec![1.0, -2.5, 0.0, 3.25],
+            recipe: Recipe::new(vec![
+                Transform::Interchange {
+                    order: vec![Var::new("i"), Var::new("k"), Var::new("j")],
+                },
+                Transform::Tile {
+                    tiles: vec![(Var::new("i"), 32), (Var::new("j"), 64)],
+                },
+                Transform::Parallelize {
+                    iter: Var::new("i_t"),
+                },
+                Transform::Vectorize {
+                    iter: Var::new("j"),
+                },
+                Transform::Unroll {
+                    iter: Var::new("k"),
+                    factor: 4,
+                },
+                Transform::Fission,
+            ]),
+            chain: vec![Var::new("i"), Var::new("k"), Var::new("j")],
+            source: "gemm#0".to_string(),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let entry = sample_entry();
+        let mut w = ByteWriter::new();
+        entry.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = StoredEntry::decode(&mut r).unwrap();
+        assert_eq!(decoded, entry);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn blas_recipe_round_trips() {
+        let mut entry = sample_entry();
+        entry.recipe = Recipe::blas(BlasKind::Syr2k);
+        let mut w = ByteWriter::new();
+        entry.encode(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = StoredEntry::decode(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(decoded.recipe.blas, Some(BlasKind::Syr2k));
+        assert!(decoded.recipe.steps.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_point_errors() {
+        let entry = sample_entry();
+        let mut w = ByteWriter::new();
+        entry.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                StoredEntry::decode(&mut r).is_err(),
+                "decoding a {cut}-byte prefix must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_corrupt() {
+        let mut w = ByteWriter::new();
+        w.u8(77); // bogus BLAS marker
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            decode_recipe(&mut ByteReader::new(&bytes)),
+            Err(StoreError::Corrupt(_))
+        ));
+        let mut w = ByteWriter::new();
+        w.u8(0); // blas: none
+        w.u32(1); // one step
+        w.u8(250); // bogus transform tag
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            decode_recipe(&mut ByteReader::new(&bytes)),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,76 @@
+//! Errors of the tuning-store codec and file format.
+
+use std::fmt;
+
+/// Everything that can go wrong reading, writing or validating a store file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error while reading or writing the store file.
+    Io(std::io::Error),
+    /// The file does not start with the store magic — not a tuning store.
+    BadMagic,
+    /// The file uses a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The file ended in the middle of a field.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's stored checksum does not match its contents.
+    ChecksumMismatch {
+        /// Which section failed ("header" or "entries").
+        section: &'static str,
+    },
+    /// A field decoded to a value no encoder produces (bad tag, bad UTF-8,
+    /// an impossible length, …).
+    Corrupt(String),
+    /// The store was produced under a different environment fingerprint than
+    /// the caller requires (costs are not transferable between machines).
+    FingerprintMismatch {
+        /// Fingerprint recorded in the file.
+        found: String,
+        /// Fingerprint of the running environment.
+        expected: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a tuning store (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store format version {v}")
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "store file truncated while reading {context}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section} section")
+            }
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StoreError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "store fingerprint {found:?} does not match this environment ({expected:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,30 @@
+//! The machine/environment fingerprint recorded in store headers.
+
+/// Fingerprint of the running environment.
+///
+/// Recipes transfer across machines, but the *costs* stored alongside them
+/// come from the analytical machine model evaluated in this build, so a
+/// store is only trusted for warm starts when it was produced under the same
+/// fingerprint. The fingerprint deliberately excludes anything unstable
+/// (hostnames, core counts, clock speeds): it captures the facts that change
+/// the bit patterns a store round-trips — target architecture, operating
+/// system family, and the store format version itself.
+pub fn environment_fingerprint() -> String {
+    format!(
+        "{}-{}-fmt{}",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        crate::snapshot::FORMAT_VERSION
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_within_a_process() {
+        assert_eq!(environment_fingerprint(), environment_fingerprint());
+        assert!(environment_fingerprint().contains("fmt"));
+    }
+}
