@@ -1,0 +1,366 @@
+//! Compiled-execution and program-level-scheduling snapshot (PR 4).
+//!
+//! Two measurements back the PR's acceptance criteria:
+//!
+//! 1. **Interpreter throughput.** Paper-sized semantic checks run through
+//!    the retained tree-walking interpreter (`machine::interp::reference`)
+//!    and the compiled execution engine (`machine::exec`); outputs must be
+//!    bit-identical and the compiled engine must sustain at least 10x the
+//!    reference's statements/second.
+//! 2. **Program-level scheduling.** `DaisyScheduler::schedule` on the
+//!    multi-nest CLOUDSC proxies at scheduler parallelism 12 vs 1, cold and
+//!    warm-started from a persisted tunestore snapshot — all four
+//!    `ScheduleOutcome` sets must be bit-identical, and parallel scheduling
+//!    must be faster on the wall clock.
+//!
+//! Writes `BENCH_PR4.json` into the current directory and prints the same
+//! numbers as tables. Run with
+//! `cargo run --release -p bench --bin bench_pr4` (add `--smoke` for tiny
+//! problem sizes — the CI configuration).
+
+use std::time::Instant;
+
+use bench::{daisy_seeded_from_a_variants, geometric_mean, print_table};
+use daisy::{DaisyScheduler, ScheduleOutcome};
+use loop_ir::program::Program;
+use machine::exec::CompiledProgram;
+use machine::interp::{reference, ProgramData};
+use polybench::cloudsc::{
+    erosion_optimized, erosion_original, full_model, CloudscSizes, CloudscVariant,
+};
+use polybench::{all_benchmarks, Dataset};
+
+// ---------------------------------------------------------------------------
+// Part 1: interpreter throughput
+// ---------------------------------------------------------------------------
+
+struct InterpRow {
+    workload: String,
+    statements: u64,
+    reference_seconds: f64,
+    compiled_seconds: f64,
+    identical: bool,
+}
+
+impl InterpRow {
+    fn speedup(&self) -> f64 {
+        self.reference_seconds / self.compiled_seconds
+    }
+
+    fn compiled_rate(&self) -> f64 {
+        self.statements as f64 / self.compiled_seconds
+    }
+}
+
+/// Runs measured by each side; both take the minimum, so the protocol is
+/// symmetric — storage seeding sits outside both timers and only execution
+/// is compared.
+const INTERP_REPS: usize = 2;
+
+fn measure_interp(name: &str, program: &Program) -> InterpRow {
+    let mut reference_seconds = f64::INFINITY;
+    let mut slow_data = ProgramData::seeded(program).expect("storage allocates");
+    for _ in 0..INTERP_REPS {
+        slow_data = ProgramData::seeded(program).expect("storage allocates");
+        let mut slow = reference::Interpreter::new();
+        let start = Instant::now();
+        slow.run(program, &mut slow_data).expect("reference runs");
+        reference_seconds = reference_seconds.min(start.elapsed().as_secs_f64());
+    }
+
+    // Lowering is outside the timer: the evaluation pipeline lowers once and
+    // executes repeatedly (the reference has no lowering stage at all).
+    let compiled = CompiledProgram::lower(program).expect("program lowers");
+    let mut compiled_seconds = f64::INFINITY;
+    let mut fast_data = ProgramData::seeded(program).expect("storage allocates");
+    let mut statements = 0;
+    for _ in 0..INTERP_REPS {
+        fast_data = ProgramData::seeded(program).expect("storage allocates");
+        let start = Instant::now();
+        statements = compiled.execute(&mut fast_data).expect("compiled runs");
+        compiled_seconds = compiled_seconds.min(start.elapsed().as_secs_f64());
+    }
+
+    InterpRow {
+        workload: name.to_string(),
+        statements,
+        reference_seconds,
+        compiled_seconds,
+        identical: slow_data == fast_data,
+    }
+}
+
+fn interp_workloads(smoke: bool) -> Vec<(String, Program)> {
+    let sizes = if smoke {
+        CloudscSizes::mini()
+    } else {
+        CloudscSizes::paper()
+    };
+    // The full proxy at paper NPROMA/KLEV with enough blocks to stress the
+    // engine while keeping the *reference* interpreter's run affordable.
+    let model_sizes = CloudscSizes {
+        nblocks: if smoke { 2 } else { 8 },
+        ..sizes
+    };
+    let dataset = if smoke {
+        Dataset::Mini
+    } else {
+        Dataset::Medium
+    };
+    let mut workloads = vec![
+        (
+            "cloudsc_erosion_original".to_string(),
+            erosion_original(sizes),
+        ),
+        (
+            "cloudsc_erosion_optimized".to_string(),
+            erosion_optimized(sizes),
+        ),
+        (
+            "cloudsc_full_fortran".to_string(),
+            full_model(CloudscVariant::Fortran, model_sizes),
+        ),
+        (
+            "cloudsc_full_dace".to_string(),
+            full_model(CloudscVariant::Dace, model_sizes),
+        ),
+    ];
+    // A representative slice of PolyBench at semantic-check sizes.
+    for b in all_benchmarks() {
+        if ["2mm", "gemm", "jacobi-2d", "correlation"].contains(&b.name) {
+            workloads.push((format!("{}_a", b.name), (b.a)(dataset)));
+        }
+    }
+    workloads
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: program-level parallel scheduling
+// ---------------------------------------------------------------------------
+
+struct SchedResult {
+    label: &'static str,
+    parallelism: usize,
+    seconds: f64,
+    outcomes: Vec<ScheduleOutcome>,
+}
+
+fn schedule_all(
+    scheduler: &DaisyScheduler,
+    workloads: &[(String, Program)],
+    reps: usize,
+) -> (f64, Vec<ScheduleOutcome>) {
+    let mut best = f64::INFINITY;
+    let mut outcomes = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        outcomes = workloads
+            .iter()
+            .map(|(_, p)| scheduler.schedule(p))
+            .collect();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, outcomes)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let dataset_name = if smoke { "mini" } else { "paper" };
+
+    // -- Part 1 --------------------------------------------------------
+    let rows: Vec<InterpRow> = interp_workloads(smoke)
+        .iter()
+        .map(|(name, p)| measure_interp(name, p))
+        .collect();
+    print_table(
+        "interpreter throughput (compiled machine::exec vs interp::reference)",
+        &[
+            "workload",
+            "statements",
+            "reference [s]",
+            "compiled [s]",
+            "compiled [Mst/s]",
+            "speedup",
+            "bit-identical",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    r.statements.to_string(),
+                    format!("{:.4}", r.reference_seconds),
+                    format!("{:.6}", r.compiled_seconds),
+                    format!("{:.1}", r.compiled_rate() / 1e6),
+                    format!("{:.1}x", r.speedup()),
+                    r.identical.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let speedups: Vec<f64> = rows.iter().map(InterpRow::speedup).collect();
+    let interp_geo_mean = geometric_mean(&speedups);
+    let all_identical = rows.iter().all(|r| r.identical);
+    println!(
+        "\ngeo-mean interpreter speedup: {interp_geo_mean:.1}x (acceptance: >= 10x, bit-identical: {all_identical})"
+    );
+
+    // -- Part 2 --------------------------------------------------------
+    let dataset = if smoke { Dataset::Mini } else { Dataset::Large };
+    let sizes = if smoke {
+        CloudscSizes::mini()
+    } else {
+        CloudscSizes::paper()
+    };
+    let sched_workloads: Vec<(String, Program)> = [
+        CloudscVariant::Fortran,
+        CloudscVariant::C,
+        CloudscVariant::Dace,
+    ]
+    .into_iter()
+    .map(|v| {
+        let p = full_model(v, sizes);
+        (p.name.clone(), p)
+    })
+    .collect();
+
+    let dir = std::env::temp_dir().join(format!("bench-pr4-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = dir.join("daisy-full.tunedb");
+    // Seed once; the parallelism knob never changes outcomes, so the cold
+    // schedulers at every level share the same database.
+    let seeded = daisy_seeded_from_a_variants(dataset, daisy::DaisyConfig::default());
+    seeded.persist(&store).expect("store persists");
+
+    let reps = if smoke { 3 } else { 5 };
+    let mut results: Vec<SchedResult> = Vec::new();
+    for parallelism in [1usize, 12] {
+        // Cold: the seeded database under this parallelism.
+        let mut cold = seeded.clone();
+        cold.set_parallelism(parallelism);
+        let (seconds, outcomes) = schedule_all(&cold, &sched_workloads, reps);
+        results.push(SchedResult {
+            label: "cold",
+            parallelism,
+            seconds,
+            outcomes,
+        });
+        // Warm: started from the persisted snapshot.
+        let mut warm =
+            DaisyScheduler::new(daisy::DaisyConfig::default().with_parallelism(parallelism));
+        warm.warm_start(&store).expect("warm start");
+        let (seconds, outcomes) = schedule_all(&warm, &sched_workloads, reps);
+        results.push(SchedResult {
+            label: "warm",
+            parallelism,
+            seconds,
+            outcomes,
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let reference_outcomes = &results[0].outcomes;
+    let sched_identical = results.iter().all(|r| &r.outcomes == reference_outcomes);
+    let seconds_at = |label: &str, parallelism: usize| {
+        results
+            .iter()
+            .find(|r| r.label == label && r.parallelism == parallelism)
+            .map(|r| r.seconds)
+            .expect("measured")
+    };
+    let sched_speedup = seconds_at("cold", 1) / seconds_at("cold", 12);
+    let warm_speedup = seconds_at("warm", 1) / seconds_at("warm", 12);
+
+    print_table(
+        "program-level parallel scheduling (multi-nest CLOUDSC, 3 proxies per run)",
+        &["mode", "parallelism", "schedule [s]", "speedup vs par=1"],
+        &results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.to_string(),
+                    r.parallelism.to_string(),
+                    format!("{:.4}", r.seconds),
+                    format!("{:.2}x", seconds_at(r.label, 1) / r.seconds),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\ncold/warm x sequential/parallel ScheduleOutcomes bit-identical: {sched_identical}");
+    println!(
+        "schedule wall-clock speedup at parallelism 12 vs 1: cold {sched_speedup:.2}x, warm {warm_speedup:.2}x ({cores} cores available)"
+    );
+
+    // -- JSON ----------------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p bench --bin bench_pr4\",\n");
+    json.push_str(&format!("  \"dataset\": \"{dataset_name}\",\n"));
+    json.push_str("  \"interpreter\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"statements\": {}, \"reference_seconds\": {:.6}, \
+             \"compiled_seconds\": {:.6}, \"compiled_statements_per_second\": {:.0}, \
+             \"speedup\": {:.2}, \"bit_identical\": {}}}{}\n",
+            r.workload,
+            r.statements,
+            r.reference_seconds,
+            r.compiled_seconds,
+            r.compiled_rate(),
+            r.speedup(),
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"interpreter_geo_mean_speedup\": {interp_geo_mean:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"interpreter_bit_identical\": {all_identical},\n"
+    ));
+    json.push_str("  \"scheduling\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"parallelism\": {}, \"seconds\": {:.6}}}{}\n",
+            r.label,
+            r.parallelism,
+            r.seconds,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"schedule_speedup_cold\": {sched_speedup:.2},\n  \"schedule_speedup_warm\": {warm_speedup:.2},\n"
+    ));
+    json.push_str(&format!("  \"cores_available\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"schedule_outcomes_bit_identical\": {sched_identical}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    println!("wrote BENCH_PR4.json");
+
+    // Acceptance gates. Bit-identity must hold everywhere. The speedup
+    // gates only apply at paper sizes (mini workloads are overhead-bound by
+    // design), and the thread fan-out gate additionally needs a machine with
+    // more than one core to have anything to fan out onto.
+    let mut failed = false;
+    if !all_identical || !sched_identical {
+        eprintln!("bench_pr4: bit-identity acceptance FAILED");
+        failed = true;
+    }
+    if !smoke && interp_geo_mean < 10.0 {
+        eprintln!("bench_pr4: interpreter speedup acceptance FAILED ({interp_geo_mean:.2}x < 10x)");
+        failed = true;
+    }
+    if !smoke && cores > 1 && sched_speedup <= 1.0 {
+        eprintln!("bench_pr4: scheduling speedup acceptance FAILED ({sched_speedup:.2}x)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

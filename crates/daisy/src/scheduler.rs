@@ -31,12 +31,22 @@ pub struct DaisyConfig {
     pub transfer_tuning: bool,
     /// Replace recognized BLAS-3 loop nests with library calls.
     pub idiom_detection: bool,
-    /// Number of threads the generated schedule may use.
+    /// Number of threads the generated schedule may use. This is a cost
+    /// model parameter (it changes the estimated runtimes and therefore the
+    /// chosen schedules) and is part of the store fingerprint.
     pub threads: usize,
     /// Machine the schedules are costed on.
     pub machine: MachineConfig,
     /// How many nearest database entries to try per nest.
     pub neighbors: usize,
+    /// Worker threads used by the scheduler itself: database seeding fans
+    /// the per-nest searches out, and [`DaisyScheduler::schedule`] plans
+    /// independent top-level nests concurrently. `0` uses the machine's
+    /// available parallelism; `1` is fully sequential. Unlike
+    /// [`threads`](DaisyConfig::threads) this knob never changes results —
+    /// [`ScheduleOutcome`]s are bit-identical at any value — so it is *not*
+    /// part of the store fingerprint.
+    pub parallelism: usize,
 }
 
 impl Default for DaisyConfig {
@@ -48,7 +58,16 @@ impl Default for DaisyConfig {
             threads: 12,
             machine: MachineConfig::xeon_e5_2680v3(),
             neighbors: 3,
+            parallelism: 0,
         }
+    }
+}
+
+impl DaisyConfig {
+    /// Returns this configuration with the given scheduler parallelism.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -99,6 +118,14 @@ impl DaisyScheduler {
         &self.config
     }
 
+    /// Changes the scheduler's own worker-thread count
+    /// ([`DaisyConfig::parallelism`]) without touching the database or the
+    /// cost model. Outcomes are bit-identical at any value, so this is safe
+    /// to flip between runs — including on a warm-started scheduler.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.config.parallelism = parallelism;
+    }
+
     /// Read access to the transfer-tuning database.
     pub fn database(&self) -> &TuningDatabase {
         &self.database
@@ -128,34 +155,38 @@ impl DaisyScheduler {
             }
         }
         let search = self.search.clone().with_parallel(false);
-        let entries = crate::search::parallel_map(&jobs, |&(program, index)| {
-            // Keep the winning recipe's *nest-scoped* cost: the search
-            // returns whole-program seconds (a sum over node costs), so
-            // subtracting the other nodes' baseline isolates what the
-            // recipe achieved on this nest. Whole-program cost would make
-            // duplicate-key ranking depend on which seeding program the
-            // entry happened to come from (e.g. under `tunedb merge`).
-            let (recipe, cost) = search.search(program, index, &model, &[]);
-            let others: f64 = program
-                .body
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| i != index)
-                .map(|(_, node)| model.node_cost(program, node).seconds)
-                .sum();
-            let nest = program.body[index]
-                .as_loop()
-                .expect("job indices point at loops");
-            let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
-            DatabaseEntry {
-                key: nest_key(program, &program.body[index]),
-                cost: cost - others,
-                embedding: PerformanceEmbedding::of_nest(program, nest),
-                recipe,
-                chain,
-                source: format!("{}#{}", program.name, index),
-            }
-        });
+        let entries = crate::search::parallel_map_with(
+            self.config.parallelism,
+            &jobs,
+            |&(program, index)| {
+                // Keep the winning recipe's *nest-scoped* cost: the search
+                // returns whole-program seconds (a sum over node costs), so
+                // subtracting the other nodes' baseline isolates what the
+                // recipe achieved on this nest. Whole-program cost would make
+                // duplicate-key ranking depend on which seeding program the
+                // entry happened to come from (e.g. under `tunedb merge`).
+                let (recipe, cost) = search.search(program, index, &model, &[]);
+                let others: f64 = program
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != index)
+                    .map(|(_, node)| model.node_cost(program, node).seconds)
+                    .sum();
+                let nest = program.body[index]
+                    .as_loop()
+                    .expect("job indices point at loops");
+                let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
+                DatabaseEntry {
+                    key: nest_key(program, &program.body[index]),
+                    cost: cost - others,
+                    embedding: PerformanceEmbedding::of_nest(program, nest),
+                    recipe,
+                    chain,
+                    source: format!("{}#{}", program.name, index),
+                }
+            },
+        );
         for entry in entries {
             self.database.insert(entry);
         }
@@ -292,111 +323,60 @@ impl DaisyScheduler {
 
     /// Schedules a program: normalization (if enabled), then per top-level
     /// nest idiom detection and transfer-tuned recipe application.
+    ///
+    /// After normalization the top-level nests are independent: idiom
+    /// detection, database lookup, legality checks and candidate pricing for
+    /// one nest never read another nest's scheduling decision. The per-nest
+    /// planning therefore fans out across
+    /// [`DaisyConfig::parallelism`] worker threads; the resulting plans are
+    /// merged back sequentially in nest order, so the returned
+    /// [`ScheduleOutcome`] is bit-identical at any parallelism level
+    /// (including warm-started runs against a persisted store).
     pub fn schedule(&self, program: &Program) -> ScheduleOutcome {
         let model = CostModel::new(self.config.machine.clone(), self.config.threads);
         let normalized = self.normalized(program);
-        let mut decisions = Vec::new();
-        let mut current = normalized.clone();
+        // Whole-program baseline, priced once: candidates must beat it, and
+        // pricing it here also pre-populates the shared per-nest memo so the
+        // parallel planners do not redo it per worker.
+        let baseline = model.estimate(&normalized).seconds;
 
-        // Walk top-level nodes by index; recipes can change the number of
-        // nodes, so track an explicit cursor.
+        // Phase 1: plan every top-level node independently, in parallel.
+        let indices: Vec<usize> = (0..normalized.body.len()).collect();
+        let plans = crate::search::parallel_map_with(self.config.parallelism, &indices, |&i| {
+            self.plan_node(&normalized, i, &model, baseline)
+        });
+
+        // Phase 2: deterministic merge in nest order. Recipes can change the
+        // number of top-level nodes, so track an explicit cursor.
+        let mut current = normalized;
+        let mut decisions = Vec::new();
         let mut index = 0usize;
-        while index < current.body.len() {
-            let Node::Loop(nest) = current.body[index].clone() else {
-                index += 1;
-                continue;
-            };
-            // 1. BLAS idiom detection.
-            if self.config.idiom_detection {
-                if let Some(call) = detect_blas_idiom(&current, &nest) {
+        for plan in plans {
+            match plan {
+                NestPlan::Passthrough => index += 1,
+                NestPlan::Idiom(call) => {
                     decisions.push(format!("nest {index}: replaced with {call}"));
                     current.body[index] = Node::Call(call);
                     index += 1;
-                    continue;
                 }
-            }
-            // 2. Transfer tuning: an O(1) exact-match lookup by the nest's
-            //    structural-hash key first — a hit means the database holds
-            //    a recipe tuned for a structurally identical nest at the
-            //    same problem size — then the recipes of the nearest
-            //    neighbours; the best candidate that is legal, applies and
-            //    improves the cost wins. Neighbours whose retargeted
-            //    recipes produce structurally identical candidates are
-            //    priced once.
-            let mut best: Option<(f64, Recipe, String)> = None;
-            let baseline = model.estimate(&current).seconds;
-            if self.config.transfer_tuning && !self.database.is_empty() {
-                let chain: Vec<Var> = perfect_chain(&nest)
-                    .iter()
-                    .map(|l| l.iter.clone())
-                    .collect();
-                // Dependences of this nest, for the same semantic gate the
-                // seeding search applies (a recipe tuned on a structurally
-                // similar but differently-constrained nest must not smuggle
-                // in an illegal parallelization).
-                let graph = nest_scoped_graph(&current, &nest);
-                let consider =
-                    |entry: &DatabaseEntry,
-                     exact: bool,
-                     tried: &mut HashSet<u64>,
-                     best: &mut Option<(f64, Recipe, String)>| {
-                        let Some(recipe) = TuningDatabase::retarget(entry, &chain) else {
-                            return;
-                        };
-                        if !recipe_is_semantically_legal(&graph, &nest, &recipe) {
-                            return;
-                        }
-                        let Some(candidate) = apply_recipe_to_program(&current, index, &recipe)
-                        else {
-                            return;
-                        };
-                        if !tried.insert(candidate.structural_hash()) {
-                            return;
-                        }
-                        let time = model.estimate(&candidate).seconds;
-                        let better = match &*best {
-                            None => time < baseline,
-                            Some((t, _, _)) => time < *t,
-                        };
-                        if better {
-                            let source = if exact {
-                                format!("{} [exact]", entry.source)
-                            } else {
-                                entry.source.clone()
-                            };
-                            *best = Some((time, recipe, source));
-                        }
-                    };
-                let mut tried: HashSet<u64> = HashSet::new();
-                let key = nest_key(&current, &current.body[index]);
-                if let Some(entry) = self.database.lookup(key) {
-                    consider(entry, true, &mut tried, &mut best);
-                }
-                // The exact match is a candidate, not a short-circuit: a
-                // neighbour's recipe can still beat the recipe seeded on
-                // this very nest (the seeding search is heuristic), so the
-                // k-NN scan always runs. The `tried` set keeps a neighbour
-                // whose retargeted recipe rewrites the nest identically
-                // from being priced twice.
-                let embedding = PerformanceEmbedding::of_nest(&current, &nest);
-                for entry in self.database.nearest(&embedding, self.config.neighbors) {
-                    consider(entry, false, &mut tried, &mut best);
-                }
-            }
-            match best {
-                Some((time, recipe, source)) => {
+                NestPlan::Recipe {
+                    recipe,
+                    source,
+                    replacement,
+                } => {
+                    let added = replacement.len();
+                    current.body.splice(index..=index, replacement);
+                    // Log the whole-program estimate *with earlier decisions
+                    // applied*, as the sequential walk always did. The merge
+                    // is sequential and the estimate memoized, so this stays
+                    // cheap and bit-identical at any parallelism.
+                    let seconds = model.estimate(&current).seconds;
                     decisions.push(format!(
-                        "nest {index}: applied recipe from {source} ({recipe}), est. {time:.4}s"
+                        "nest {index}: applied recipe from {source} ({recipe}), est. {seconds:.4}s"
                     ));
-                    if let Some(next) = apply_recipe_to_program(&current, index, &recipe) {
-                        let added = next.body.len() + 1 - current.body.len();
-                        current = next;
-                        index += added.max(1);
-                    } else {
-                        index += 1;
-                    }
+                    index += added.max(1);
                 }
-                None => {
+                NestPlan::Unoptimized => {
                     decisions.push(format!("nest {index}: left unoptimized (-O3 only)"));
                     index += 1;
                 }
@@ -410,6 +390,123 @@ impl DaisyScheduler {
             decisions,
         }
     }
+
+    /// Plans one top-level node of the normalized program. Pure per-nest
+    /// work — everything it reads (`normalized`, the database, the memoized
+    /// cost model) is shared immutably — so plans can be computed on any
+    /// number of worker threads in any order without changing the result.
+    fn plan_node(
+        &self,
+        normalized: &Program,
+        index: usize,
+        model: &CostModel,
+        baseline: f64,
+    ) -> NestPlan {
+        let Node::Loop(nest) = &normalized.body[index] else {
+            return NestPlan::Passthrough;
+        };
+        // 1. BLAS idiom detection.
+        if self.config.idiom_detection {
+            if let Some(call) = detect_blas_idiom(normalized, nest) {
+                return NestPlan::Idiom(call);
+            }
+        }
+        // 2. Transfer tuning: an O(1) exact-match lookup by the nest's
+        //    structural-hash key first — a hit means the database holds
+        //    a recipe tuned for a structurally identical nest at the
+        //    same problem size — then the recipes of the nearest
+        //    neighbours; the best candidate that is legal, applies and
+        //    improves the cost wins. Neighbours whose retargeted
+        //    recipes produce structurally identical candidates are
+        //    priced once.
+        let mut best: Option<(f64, Recipe, String)> = None;
+        if self.config.transfer_tuning && !self.database.is_empty() {
+            let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
+            // Dependences of this nest, for the same semantic gate the
+            // seeding search applies (a recipe tuned on a structurally
+            // similar but differently-constrained nest must not smuggle
+            // in an illegal parallelization).
+            let graph = nest_scoped_graph(normalized, nest);
+            let consider = |entry: &DatabaseEntry,
+                            exact: bool,
+                            tried: &mut HashSet<u64>,
+                            best: &mut Option<(f64, Recipe, String)>| {
+                let Some(recipe) = TuningDatabase::retarget(entry, &chain) else {
+                    return;
+                };
+                if !recipe_is_semantically_legal(&graph, nest, &recipe) {
+                    return;
+                }
+                let Some(candidate) = apply_recipe_to_program(normalized, index, &recipe) else {
+                    return;
+                };
+                if !tried.insert(candidate.structural_hash()) {
+                    return;
+                }
+                let time = model.estimate(&candidate).seconds;
+                let better = match &*best {
+                    None => time < baseline,
+                    Some((t, _, _)) => time < *t,
+                };
+                if better {
+                    let source = if exact {
+                        format!("{} [exact]", entry.source)
+                    } else {
+                        entry.source.clone()
+                    };
+                    *best = Some((time, recipe, source));
+                }
+            };
+            let mut tried: HashSet<u64> = HashSet::new();
+            let key = nest_key(normalized, &normalized.body[index]);
+            if let Some(entry) = self.database.lookup(key) {
+                consider(entry, true, &mut tried, &mut best);
+            }
+            // The exact match is a candidate, not a short-circuit: a
+            // neighbour's recipe can still beat the recipe seeded on
+            // this very nest (the seeding search is heuristic), so the
+            // k-NN scan always runs. The `tried` set keeps a neighbour
+            // whose retargeted recipe rewrites the nest identically
+            // from being priced twice.
+            let embedding = PerformanceEmbedding::of_nest(normalized, nest);
+            for entry in self.database.nearest(&embedding, self.config.neighbors) {
+                consider(entry, false, &mut tried, &mut best);
+            }
+        }
+        match best {
+            Some((_, recipe, source)) => {
+                // The candidate applied during pricing, so it applies here.
+                let candidate = apply_recipe_to_program(normalized, index, &recipe)
+                    .expect("winning recipe applied during pricing");
+                let added = candidate.body.len() + 1 - normalized.body.len();
+                let replacement: Vec<Node> = candidate.body[index..index + added].to_vec();
+                NestPlan::Recipe {
+                    recipe,
+                    source,
+                    replacement,
+                }
+            }
+            None => NestPlan::Unoptimized,
+        }
+    }
+}
+
+/// The scheduling decision for one top-level node of the normalized
+/// program, computed independently per nest and merged in nest order.
+#[derive(Debug, Clone)]
+enum NestPlan {
+    /// Not a loop nest: the node is copied through unchanged.
+    Passthrough,
+    /// Replaced by a recognized BLAS library call.
+    Idiom(loop_ir::nest::BlasCall),
+    /// A transfer-tuned recipe improved the estimated cost.
+    Recipe {
+        recipe: Recipe,
+        source: String,
+        replacement: Vec<Node>,
+    },
+    /// No database candidate beat the baseline.
+    Unoptimized,
 }
 
 #[cfg(test)]
@@ -636,6 +733,66 @@ mod tests {
         // The matching configuration still loads.
         let mut same = DaisyScheduler::new(DaisyConfig::default());
         assert_eq!(same.warm_start(&path).unwrap(), seeder.database().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite of PR 4: `ScheduleOutcome`s must not depend on the
+    /// scheduler's own parallelism. Multi-nest CLOUDSC (the normalizer
+    /// splits the proxy into several independent top-level nests) is
+    /// scheduled at parallelism 1, 4 and 12, cold and warm-started, and
+    /// every outcome must be bit-identical — same optimized program, same
+    /// cost report, same decision log.
+    #[test]
+    fn schedule_outcomes_are_bit_identical_at_any_parallelism() {
+        use polybench::cloudsc::{full_model, CloudscSizes, CloudscVariant};
+
+        let dir = std::env::temp_dir().join(format!("daisy-par-{}", std::process::id()));
+        let path = dir.join("par.tunedb");
+        let base = DaisyConfig::default();
+        let a = gemm_a(128);
+
+        let mut cold = DaisyScheduler::new(base.clone());
+        cold.seed_from_programs(std::slice::from_ref(&a));
+        cold.persist(&path).unwrap();
+
+        let workloads: Vec<Program> = [
+            CloudscVariant::Fortran,
+            CloudscVariant::C,
+            CloudscVariant::Dace,
+        ]
+        .into_iter()
+        .map(|v| full_model(v, CloudscSizes::mini()))
+        .collect();
+
+        for program in &workloads {
+            let mut outcomes = Vec::new();
+            for parallelism in [1usize, 4, 12] {
+                let config = base.clone().with_parallelism(parallelism);
+                // Cold: reuse the seeded database under the new parallelism.
+                let mut cold_p = cold.clone();
+                cold_p.config = config.clone();
+                outcomes.push(("cold", parallelism, cold_p.schedule(program)));
+                // Warm: a fresh scheduler started from the persisted store.
+                let mut warm = DaisyScheduler::new(config);
+                warm.warm_start(&path).unwrap();
+                outcomes.push(("warm", parallelism, warm.schedule(program)));
+            }
+            let (mode0, par0, first) = &outcomes[0];
+            for (mode, parallelism, outcome) in &outcomes[1..] {
+                assert_eq!(
+                    outcome, first,
+                    "{}: {mode} parallelism {parallelism} diverged from {mode0} parallelism {par0}",
+                    program.name
+                );
+            }
+            // The workload really exercises program-level fan-out.
+            assert!(
+                first.decisions.len() >= 2,
+                "{} should have several top-level nests, got {:?}",
+                program.name,
+                first.decisions
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -54,10 +54,26 @@ use transforms::{perfect_chain, Recipe, Transform};
 
 /// Maps `f` over `items` on scoped worker threads, preserving order.
 pub(crate) fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
+    parallel_map_with(0, items, f)
+}
+
+/// Maps `f` over `items` on `workers` scoped worker threads, preserving
+/// order. `workers == 0` uses the machine's available parallelism; `1` runs
+/// on the calling thread. Results are written back by item index, so the
+/// output is independent of the worker count for any pure `f`.
+pub(crate) fn parallel_map_with<T: Sync, R: Send>(
+    workers: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }

@@ -1,32 +1,44 @@
-//! A reference interpreter for loop-nest programs.
+//! Program interpretation over concrete `f64` arrays.
 //!
-//! The interpreter executes programs over concrete `f64` arrays. It is the
-//! ground truth used by the test suite to check that transformations —
-//! fission, interchange, tiling, fusion, idiom replacement — preserve
-//! semantics, exactly the property normalization must have.
+//! The interpreter is the ground truth used by the test suite to check that
+//! transformations — fission, interchange, tiling, fusion, idiom replacement
+//! — preserve semantics, exactly the property normalization must have.
+//!
+//! Since PR 4 the default [`Interpreter`] drives the compiled execution
+//! engine ([`crate::exec`]): the program is lowered once (flat array
+//! storage, precomputed affine offset/stride plans for innermost loops,
+//! closed-form zero-trip and constant-bound handling) and then executed
+//! without any per-iteration symbolic evaluation. The pre-refactor
+//! tree-walking interpreter survives as [`reference`] and is the baseline of
+//! the differential tests and the `bench_pr4` throughput snapshot: both
+//! produce bit-identical array state on every valid program.
 
 use std::collections::BTreeMap;
 
-use loop_ir::array::ArrayRef;
 use loop_ir::expr::Var;
-use loop_ir::nest::{BlasCall, BlasKind, Node};
 use loop_ir::program::Program;
-use loop_ir::scalar::ScalarExpr;
 
-use crate::blas;
 use crate::error::{MachineError, Result};
+use crate::exec::CompiledProgram;
+
+pub mod reference;
 
 /// Concrete storage for every array of a program, laid out row-major.
+///
+/// Arrays are stored as a dense vector sorted by name, so the compiled
+/// execution engine resolves them to indices once at lowering time instead
+/// of per access.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ProgramData {
-    arrays: BTreeMap<Var, ArrayStorage>,
+    names: Vec<Var>,
+    arrays: Vec<ArrayStorage>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
-struct ArrayStorage {
-    dims: Vec<i64>,
-    strides: Vec<i64>,
-    data: Vec<f64>,
+pub(crate) struct ArrayStorage {
+    pub(crate) dims: Vec<i64>,
+    pub(crate) strides: Vec<i64>,
+    pub(crate) data: Vec<f64>,
 }
 
 impl ProgramData {
@@ -40,7 +52,8 @@ impl ProgramData {
         program: &Program,
         mut init: impl FnMut(&str, usize) -> f64,
     ) -> Result<ProgramData> {
-        let mut arrays = BTreeMap::new();
+        let mut names = Vec::with_capacity(program.arrays.len());
+        let mut arrays = Vec::with_capacity(program.arrays.len());
         for (name, array) in &program.arrays {
             let dims = array
                 .concrete_dims(&program.params)
@@ -53,16 +66,14 @@ impl ProgramData {
                 .ok_or_else(|| MachineError::UnboundSize(name.to_string()))?;
             let len: i64 = dims.iter().product();
             let data = (0..len as usize).map(|i| init(name.as_str(), i)).collect();
-            arrays.insert(
-                name.clone(),
-                ArrayStorage {
-                    dims,
-                    strides,
-                    data,
-                },
-            );
+            names.push(name.clone());
+            arrays.push(ArrayStorage {
+                dims,
+                strides,
+                data,
+            });
         }
-        Ok(ProgramData { arrays })
+        Ok(ProgramData { names, arrays })
     }
 
     /// Allocates zero-initialized storage.
@@ -85,19 +96,20 @@ impl ProgramData {
 
     /// Returns a flat view of an array's contents.
     pub fn array(&self, name: &str) -> Option<&[f64]> {
-        self.arrays.get(&Var::new(name)).map(|a| a.data.as_slice())
+        self.slot_by_str(name)
+            .map(|slot| self.arrays[slot].data.as_slice())
     }
 
     /// Returns a mutable flat view of an array's contents.
     pub fn array_mut(&mut self, name: &str) -> Option<&mut [f64]> {
-        self.arrays
-            .get_mut(&Var::new(name))
-            .map(|a| a.data.as_mut_slice())
+        self.slot_by_str(name)
+            .map(|slot| self.arrays[slot].data.as_mut_slice())
     }
 
     /// The concrete dimensions of an array.
     pub fn dims(&self, name: &str) -> Option<&[i64]> {
-        self.arrays.get(&Var::new(name)).map(|a| a.dims.as_slice())
+        self.slot_by_str(name)
+            .map(|slot| self.arrays[slot].dims.as_slice())
     }
 
     /// Maximum absolute difference between the same array in two data sets,
@@ -116,60 +128,33 @@ impl ProgramData {
         )
     }
 
-    fn flat_index(
-        &self,
-        array_ref: &ArrayRef,
-        bindings: &BTreeMap<Var, i64>,
-    ) -> Result<(Var, usize)> {
-        let storage = self
-            .arrays
-            .get(&array_ref.array)
-            .ok_or_else(|| MachineError::UnknownArray(array_ref.array.to_string()))?;
-        if storage.dims.len() != array_ref.indices.len() {
-            return Err(MachineError::OutOfBounds {
-                array: array_ref.array.to_string(),
-                index: -1,
-            });
-        }
-        let mut flat: i64 = 0;
-        for ((idx_expr, dim), stride) in array_ref
-            .indices
-            .iter()
-            .zip(&storage.dims)
-            .zip(&storage.strides)
-        {
-            let idx = idx_expr
-                .eval(bindings)
-                .ok_or_else(|| MachineError::UnboundVariable(idx_expr.to_string()))?;
-            if idx < 0 || idx >= *dim {
-                return Err(MachineError::OutOfBounds {
-                    array: array_ref.array.to_string(),
-                    index: idx,
-                });
-            }
-            flat += idx * stride;
-        }
-        Ok((array_ref.array.clone(), flat as usize))
+    /// Array names in storage (slot) order.
+    pub(crate) fn array_names(&self) -> &[Var] {
+        &self.names
     }
 
-    fn load(&self, array_ref: &ArrayRef, bindings: &BTreeMap<Var, i64>) -> Result<f64> {
-        let (name, flat) = self.flat_index(array_ref, bindings)?;
-        Ok(self.arrays[&name].data[flat])
+    /// Storage slot of an array, if allocated.
+    pub(crate) fn slot(&self, name: &Var) -> Option<usize> {
+        self.names.binary_search(name).ok()
     }
 
-    fn store(
-        &mut self,
-        array_ref: &ArrayRef,
-        bindings: &BTreeMap<Var, i64>,
-        value: f64,
-    ) -> Result<()> {
-        let (name, flat) = self.flat_index(array_ref, bindings)?;
-        self.arrays.get_mut(&name).expect("checked").data[flat] = value;
-        Ok(())
+    fn slot_by_str(&self, name: &str) -> Option<usize> {
+        self.names.binary_search_by(|n| n.as_str().cmp(name)).ok()
+    }
+
+    /// Storage of a slot.
+    pub(crate) fn storage(&self, slot: usize) -> &ArrayStorage {
+        &self.arrays[slot]
+    }
+
+    /// Mutable storage of a slot.
+    pub(crate) fn storage_mut(&mut self, slot: usize) -> &mut ArrayStorage {
+        &mut self.arrays[slot]
     }
 }
 
-/// The interpreter: executes a program over a [`ProgramData`] store.
+/// The interpreter: executes a program over a [`ProgramData`] store through
+/// the compiled execution engine.
 #[derive(Debug, Clone, Default)]
 pub struct Interpreter {
     /// Counts of executed computation instances, for test assertions.
@@ -184,173 +169,23 @@ impl Interpreter {
 
     /// Executes the program, mutating `data` in place.
     ///
+    /// The program is lowered with [`CompiledProgram::lower`] and executed
+    /// once; callers running the same program repeatedly should lower once
+    /// themselves and call [`CompiledProgram::execute`] directly.
+    ///
     /// # Errors
     /// Returns an error on out-of-bounds accesses, unbound variables or
-    /// non-evaluable loop bounds.
+    /// non-evaluable loop bounds. Lowering errors are reported before any
+    /// array is mutated.
     pub fn run(&mut self, program: &Program, data: &mut ProgramData) -> Result<()> {
-        let mut bindings: BTreeMap<Var, i64> = program.params.clone();
-        for node in &program.body {
-            self.run_node(program, node, &mut bindings, data)?;
-        }
-        Ok(())
-    }
-
-    fn run_node(
-        &mut self,
-        program: &Program,
-        node: &Node,
-        bindings: &mut BTreeMap<Var, i64>,
-        data: &mut ProgramData,
-    ) -> Result<()> {
-        match node {
-            Node::Loop(l) => {
-                let lower = l
-                    .lower
-                    .eval(bindings)
-                    .ok_or_else(|| MachineError::UnboundVariable(l.lower.to_string()))?;
-                let upper = l
-                    .upper
-                    .eval(bindings)
-                    .ok_or_else(|| MachineError::UnboundVariable(l.upper.to_string()))?;
-                if l.step <= 0 {
-                    return Err(MachineError::InvalidLoop(l.iter.to_string()));
-                }
-                let previous = bindings.get(&l.iter).copied();
-                let mut v = lower;
-                while v < upper {
-                    bindings.insert(l.iter.clone(), v);
-                    for child in &l.body {
-                        self.run_node(program, child, bindings, data)?;
-                    }
-                    v += l.step;
-                }
-                match previous {
-                    Some(p) => {
-                        bindings.insert(l.iter.clone(), p);
-                    }
-                    None => {
-                        bindings.remove(&l.iter);
-                    }
-                }
-                Ok(())
-            }
-            Node::Computation(c) => {
-                self.executed_statements += 1;
-                let value = eval_scalar(&c.value, program, bindings, data)?;
-                let result = match c.reduction {
-                    Some(op) => {
-                        let current = data.load(&c.target, bindings)?;
-                        op.apply(current, value)
-                    }
-                    None => value,
-                };
-                data.store(&c.target, bindings, result)
-            }
-            Node::Call(call) => self.run_blas(program, call, bindings, data),
-        }
-    }
-
-    fn run_blas(
-        &mut self,
-        program: &Program,
-        call: &BlasCall,
-        bindings: &BTreeMap<Var, i64>,
-        data: &mut ProgramData,
-    ) -> Result<()> {
-        let dims: Option<Vec<i64>> = call.dims.iter().map(|d| d.eval(bindings)).collect();
-        let dims = dims.ok_or_else(|| MachineError::UnboundVariable("blas dims".to_string()))?;
-        let alpha = eval_scalar(&call.alpha, program, bindings, data)?;
-        let beta = eval_scalar(&call.beta, program, bindings, data)?;
-        let input = |i: usize| -> Result<Vec<f64>> {
-            let name = call
-                .inputs
-                .get(i)
-                .ok_or_else(|| MachineError::UnknownArray(format!("blas input {i}")))?;
-            data.array(name.as_str())
-                .map(|s| s.to_vec())
-                .ok_or_else(|| MachineError::UnknownArray(name.to_string()))
-        };
-        match call.kind {
-            BlasKind::Gemm => {
-                let (m, n, k) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
-                let a = input(0)?;
-                let b = input(1)?;
-                let c = data
-                    .array_mut(call.output.as_str())
-                    .ok_or_else(|| MachineError::UnknownArray(call.output.to_string()))?;
-                blas::dgemm(m, n, k, alpha, &a, &b, beta, c);
-            }
-            BlasKind::Syrk => {
-                let (n, k) = (dims[0] as usize, dims[1] as usize);
-                let a = input(0)?;
-                let c = data
-                    .array_mut(call.output.as_str())
-                    .ok_or_else(|| MachineError::UnknownArray(call.output.to_string()))?;
-                blas::dsyrk(n, k, alpha, &a, beta, c);
-            }
-            BlasKind::Syr2k => {
-                let (n, k) = (dims[0] as usize, dims[1] as usize);
-                let a = input(0)?;
-                let b = input(1)?;
-                let c = data
-                    .array_mut(call.output.as_str())
-                    .ok_or_else(|| MachineError::UnknownArray(call.output.to_string()))?;
-                blas::dsyr2k(n, k, alpha, &a, &b, beta, c);
-            }
-            BlasKind::Gemv => {
-                let (m, n) = (dims[0] as usize, dims[1] as usize);
-                let a = input(0)?;
-                let x = input(1)?;
-                let y = data
-                    .array_mut(call.output.as_str())
-                    .ok_or_else(|| MachineError::UnknownArray(call.output.to_string()))?;
-                blas::dgemv(m, n, alpha, &a, &x, beta, y);
-            }
-        }
+        let compiled = CompiledProgram::lower(program)?;
+        self.executed_statements += compiled.execute(data)?;
         Ok(())
     }
 }
 
-fn eval_scalar(
-    expr: &ScalarExpr,
-    program: &Program,
-    bindings: &BTreeMap<Var, i64>,
-    data: &ProgramData,
-) -> Result<f64> {
-    match expr {
-        ScalarExpr::Load(r) => data.load(r, bindings),
-        ScalarExpr::Const(c) => Ok(*c),
-        ScalarExpr::Param(p) => program
-            .scalar_params
-            .get(p)
-            .copied()
-            .ok_or_else(|| MachineError::UnboundVariable(p.to_string())),
-        ScalarExpr::Index(e) => e
-            .eval(bindings)
-            .map(|v| v as f64)
-            .ok_or_else(|| MachineError::UnboundVariable(e.to_string())),
-        ScalarExpr::Unary(op, a) => Ok(op.apply(eval_scalar(a, program, bindings, data)?)),
-        ScalarExpr::Binary(op, a, b) => Ok(op.apply(
-            eval_scalar(a, program, bindings, data)?,
-            eval_scalar(b, program, bindings, data)?,
-        )),
-        ScalarExpr::Select {
-            lhs,
-            cmp,
-            rhs,
-            then,
-            otherwise,
-        } => {
-            let l = eval_scalar(lhs, program, bindings, data)?;
-            let r = eval_scalar(rhs, program, bindings, data)?;
-            if cmp.apply(l, r) {
-                eval_scalar(then, program, bindings, data)
-            } else {
-                eval_scalar(otherwise, program, bindings, data)
-            }
-        }
-    }
-}
+/// Evaluation bindings type used by the reference interpreter.
+pub(crate) type Bindings = BTreeMap<Var, i64>;
 
 /// Convenience: runs a program on seeded data and returns the data.
 ///
@@ -365,6 +200,7 @@ pub fn run_seeded(program: &Program) -> Result<ProgramData> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use loop_ir::nest::{BlasCall, BlasKind, Computation, Node};
     use loop_ir::parser::parse_program;
     use loop_ir::prelude::*;
 

@@ -4,8 +4,14 @@
 //! E5-2680 v3. This reproduction has no LLVM backend, so the crate provides
 //! the substitutes (see DESIGN.md):
 //!
-//! * [`interp`] — a reference interpreter over concrete `f64` arrays, used to
-//!   verify that normalization and optimization preserve semantics,
+//! * [`exec`] — the compiled loop-nest execution engine: one lowering (flat
+//!   array slots, affine offset/stride plans, closed-form zero-trip and
+//!   constant-bound loops) drives both the semantic interpreter and the
+//!   trace walker,
+//! * [`interp`] — the interpreter over concrete `f64` arrays, used to
+//!   verify that normalization and optimization preserve semantics; the
+//!   pre-refactor tree walker survives as [`interp::reference`] for
+//!   differential tests,
 //! * [`cache`] + [`trace`] — a set-associative L1/L2 cache simulator fed by
 //!   the exact access stream, reproducing the load/evict counters of the
 //!   CLOUDSC case study (Table 1),
@@ -24,11 +30,13 @@
 //!           (trace, streamed)  (cache, flat LRU)   (cost, memoized)  (daisy)
 //! ```
 //!
-//! The stack is streaming end to end. [`trace::stream_accesses`] walks the
-//! iteration space and pushes accesses into an [`trace::AccessSink`] as it
-//! goes — no trace is ever materialized — compiling innermost affine loops
-//! into incremental address arithmetic and emitting single-access loops as
-//! constant-stride *runs*. [`cache::CacheHierarchy`] consumes runs in closed
+//! The stack is streaming end to end. [`trace::stream_accesses`] lowers the
+//! program through [`exec::CompiledProgram`] and pushes accesses into an
+//! [`trace::AccessSink`] as it goes — no trace is ever materialized —
+//! compiling innermost affine loops into incremental address arithmetic and
+//! emitting single-access loops as constant-stride *runs*. The same lowering
+//! executes program semantics ([`exec::CompiledProgram::execute`]), which is
+//! what makes paper-sized semantic equivalence checks cheap. [`cache::CacheHierarchy`] consumes runs in closed
 //! form and keeps tags/LRU timestamps in flat power-of-two-masked arrays; its
 //! counters are bit-identical to the naive per-access reference simulator
 //! ([`cache::reference`]), which is retained for equivalence tests and as the
@@ -48,6 +56,7 @@ pub mod cache;
 pub mod config;
 pub mod cost;
 pub mod error;
+pub mod exec;
 pub mod interp;
 pub mod trace;
 
@@ -55,6 +64,7 @@ pub use cache::{reference::ReferenceCacheHierarchy, CacheHierarchy, CacheStats};
 pub use config::MachineConfig;
 pub use cost::{count_flops, CostModel, CostReport, NestCost};
 pub use error::{MachineError, Result};
+pub use exec::CompiledProgram;
 pub use interp::{run_seeded, Interpreter, ProgramData};
 pub use trace::{
     simulate_cache, simulate_cache_reference, stream_accesses, walk_accesses, AccessSink,

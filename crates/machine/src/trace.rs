@@ -6,31 +6,23 @@
 //! Nothing is ever materialized: the trace is produced and consumed one
 //! access (or one constant-stride *run*) at a time.
 //!
-//! # Fast path
-//!
-//! The dominant cost of the naive walker is symbolic evaluation: one
-//! `BTreeMap` binding update per loop iteration plus one `Expr::eval` tree
-//! walk per subscript per access. The streaming walker removes both from the
-//! hot loop. Every computation's accesses are compiled once (per walk) into
-//! their affine normal form over the enclosing iterators; inside an
-//! innermost loop the address of each access then advances by a constant
-//! byte stride per iteration, so the walker emits addresses by repeated
-//! addition. An innermost loop with a single compiled access is emitted as
-//! one [`AccessSink::run`], which the cache simulator consumes in closed
-//! form. Accesses that are not affine (or would clamp at address zero) fall
-//! back to the per-access symbolic path, which is bit-compatible with the
-//! original walker.
-
-use std::collections::{BTreeMap, HashMap};
+//! Since PR 4 the walk itself lives in the shared compiled execution engine
+//! ([`crate::exec`]): the program is lowered once into affine offset/stride
+//! plans and [`CompiledProgram::stream`] emits the trace with incremental
+//! address arithmetic, single-access innermost loops as closed-form
+//! [`AccessSink::run`]s. The pre-refactor per-iteration symbolic walker is
+//! retained as [`walk_accesses_symbolic`], the ground truth of the
+//! equivalence tests.
 
 use loop_ir::array::AccessKind;
-use loop_ir::expr::{AffineExpr, Var};
-use loop_ir::nest::{Computation, Node};
+use loop_ir::nest::Node;
 use loop_ir::program::Program;
 
 use crate::cache::{AddressMap, CacheHierarchy};
 use crate::config::MachineConfig;
 use crate::error::{MachineError, Result};
+use crate::exec::CompiledProgram;
+use crate::interp::Bindings;
 
 /// One entry of an access trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,279 +78,14 @@ pub fn walk_accesses(program: &Program, sink: impl FnMut(TraceEntry)) -> Result<
 /// constant-stride innermost loops as closed-form runs. Returns the total
 /// number of accesses streamed.
 ///
+/// The program is lowered through the compiled execution engine once per
+/// call; callers streaming the same program repeatedly should lower once
+/// with [`CompiledProgram::lower`] and call [`CompiledProgram::stream`].
+///
 /// # Errors
 /// Returns an error when bounds or subscripts cannot be evaluated.
 pub fn stream_accesses(program: &Program, sink: &mut impl AccessSink) -> Result<u64> {
-    let mut walker = Walker {
-        program,
-        map: AddressMap::for_program(program),
-        compiled: HashMap::new(),
-        count: 0,
-    };
-    let mut bindings: BTreeMap<Var, i64> = program.params.clone();
-    for node in &program.body {
-        walker.walk_node(node, &mut bindings, sink)?;
-    }
-    Ok(walker.count)
-}
-
-/// One access of a computation, compiled for streaming.
-#[derive(Debug, Clone)]
-enum CompiledAccess {
-    /// Affine offset (elements) over the enclosing iterators, with the
-    /// array's base address and element size hoisted out.
-    Affine {
-        offset: AffineExpr,
-        base: u64,
-        elem_size: i64,
-        is_write: bool,
-    },
-    /// Not affine: evaluated symbolically per access.
-    Symbolic {
-        array: Var,
-        elem_size: usize,
-        strides: Vec<i64>,
-        is_write: bool,
-    },
-}
-
-struct Walker<'a> {
-    program: &'a Program,
-    map: AddressMap,
-    /// Per-computation compiled accesses, keyed by node identity (stable for
-    /// the duration of the walk; [`loop_ir::nest::CompId`] is not guaranteed
-    /// unique in hand-assembled programs).
-    compiled: HashMap<usize, Vec<CompiledAccess>>,
-    count: u64,
-}
-
-impl<'a> Walker<'a> {
-    fn walk_node(
-        &mut self,
-        node: &'a Node,
-        bindings: &mut BTreeMap<Var, i64>,
-        sink: &mut impl AccessSink,
-    ) -> Result<()> {
-        match node {
-            Node::Loop(l) => {
-                let lower = l
-                    .lower
-                    .eval(bindings)
-                    .ok_or_else(|| MachineError::UnboundVariable(l.lower.to_string()))?;
-                let upper = l
-                    .upper
-                    .eval(bindings)
-                    .ok_or_else(|| MachineError::UnboundVariable(l.upper.to_string()))?;
-                if l.step <= 0 {
-                    return Err(MachineError::InvalidLoop(l.iter.to_string()));
-                }
-                if upper <= lower {
-                    return Ok(());
-                }
-                let trips = (upper - lower + l.step - 1) / l.step;
-                let innermost = l.body.iter().all(|n| matches!(n, Node::Computation(_)));
-                if innermost && self.stream_innermost(l, lower, trips, bindings, sink)? {
-                    return Ok(());
-                }
-                let previous = bindings.get(&l.iter).copied();
-                let mut v = lower;
-                while v < upper {
-                    bindings.insert(l.iter.clone(), v);
-                    for child in &l.body {
-                        self.walk_node(child, bindings, sink)?;
-                    }
-                    v += l.step;
-                }
-                match previous {
-                    Some(p) => {
-                        bindings.insert(l.iter.clone(), p);
-                    }
-                    None => {
-                        bindings.remove(&l.iter);
-                    }
-                }
-                Ok(())
-            }
-            Node::Computation(c) => self.emit_computation(c, bindings, sink),
-            // Library calls are opaque to the trace: their internal access
-            // pattern belongs to the library, not to the program under study.
-            Node::Call(_) => Ok(()),
-        }
-    }
-
-    /// Compiles (and caches) the access list of a computation.
-    fn compile(&mut self, comp: &'a Computation) -> Result<&[CompiledAccess]> {
-        let key = comp as *const Computation as usize;
-        if !self.compiled.contains_key(&key) {
-            let mut accesses = Vec::new();
-            for access in comp.accesses() {
-                let array = self
-                    .program
-                    .array(&access.array_ref.array)
-                    .map_err(|_| MachineError::UnknownArray(access.array_ref.array.to_string()))?;
-                let is_write = access.kind == AccessKind::Write;
-                let strides = array
-                    .strides(&self.program.params)
-                    .ok_or_else(|| MachineError::UnboundSize(array.name.to_string()))?;
-                let compiled =
-                    match access.array_ref.linear_offset(array, &self.program.params) {
-                        Some(offset) => CompiledAccess::Affine {
-                            offset,
-                            base: self.map.base(access.array_ref.array.as_str()).ok_or_else(
-                                || MachineError::UnknownArray(access.array_ref.array.to_string()),
-                            )?,
-                            elem_size: array.elem_size as i64,
-                            is_write,
-                        },
-                        None => CompiledAccess::Symbolic {
-                            array: access.array_ref.array.clone(),
-                            elem_size: array.elem_size,
-                            strides,
-                            is_write,
-                        },
-                    };
-                accesses.push(compiled);
-            }
-            self.compiled.insert(key, accesses);
-        }
-        Ok(&self.compiled[&key])
-    }
-
-    /// Streams a whole innermost loop without per-iteration symbolic
-    /// evaluation. Returns `Ok(false)` when a precondition fails and the
-    /// caller must take the generic path instead.
-    fn stream_innermost(
-        &mut self,
-        l: &'a loop_ir::nest::Loop,
-        lower: i64,
-        trips: i64,
-        bindings: &BTreeMap<Var, i64>,
-        sink: &mut impl AccessSink,
-    ) -> Result<bool> {
-        // Compiled plan: (address at the first iteration, byte stride per
-        // iteration, is_write) per access, in execution order.
-        let mut plan: Vec<(i64, i64, bool)> = Vec::new();
-        for node in &l.body {
-            let Node::Computation(c) = node else {
-                return Ok(false);
-            };
-            let key = c as *const Computation as usize;
-            self.compile(c)?;
-            for access in &self.compiled[&key] {
-                let CompiledAccess::Affine {
-                    offset,
-                    base,
-                    elem_size,
-                    is_write,
-                } = access
-                else {
-                    return Ok(false);
-                };
-                // All outer iterators (and none others) must be bound; the
-                // innermost iterator contributes through its coefficient.
-                let mut first = offset.constant_part();
-                let mut stride_el = 0i64;
-                for (v, c) in offset.terms() {
-                    if *v == l.iter {
-                        stride_el = c;
-                        first += c * lower;
-                    } else {
-                        match bindings.get(v) {
-                            Some(value) => first += c * value,
-                            None => return Ok(false),
-                        }
-                    }
-                }
-                let last = first + stride_el * l.step * (trips - 1);
-                if first < 0 || last < 0 {
-                    // AddressMap clamps negative offsets; replicate by
-                    // falling back to the symbolic path.
-                    return Ok(false);
-                }
-                plan.push((
-                    *base as i64 + first * elem_size,
-                    stride_el * l.step * elem_size,
-                    *is_write,
-                ));
-            }
-        }
-        self.count += trips as u64 * plan.len() as u64;
-        match plan.as_slice() {
-            [] => {}
-            &[(start, stride, is_write)] => {
-                sink.run(start as u64, stride, trips as u64, is_write);
-            }
-            _ => {
-                let mut addresses: Vec<i64> = plan.iter().map(|p| p.0).collect();
-                for _ in 0..trips {
-                    for (slot, &(_, stride, is_write)) in addresses.iter_mut().zip(&plan) {
-                        sink.access(TraceEntry {
-                            address: *slot as u64,
-                            is_write,
-                        });
-                        *slot += stride;
-                    }
-                }
-            }
-        }
-        Ok(true)
-    }
-
-    /// Generic per-access emission (outside compiled innermost loops).
-    fn emit_computation(
-        &mut self,
-        comp: &'a Computation,
-        bindings: &BTreeMap<Var, i64>,
-        sink: &mut impl AccessSink,
-    ) -> Result<()> {
-        let key = comp as *const Computation as usize;
-        self.compile(comp)?;
-        // Subscript evaluation for symbolic accesses needs the original
-        // `ArrayRef`s; recompute them lazily only when one exists.
-        let mut raw_accesses = None;
-        let compiled = &self.compiled[&key];
-        let mut emitted = 0u64;
-        for (idx, access) in compiled.iter().enumerate() {
-            let (address, is_write) = match access {
-                CompiledAccess::Affine {
-                    offset,
-                    base,
-                    elem_size,
-                    is_write,
-                } => {
-                    let off = offset
-                        .eval(bindings)
-                        .ok_or_else(|| MachineError::UnboundVariable(offset.to_string()))?;
-                    (*base + (off.max(0) as u64) * (*elem_size as u64), *is_write)
-                }
-                CompiledAccess::Symbolic {
-                    array,
-                    elem_size,
-                    strides,
-                    is_write,
-                } => {
-                    let raw = raw_accesses.get_or_insert_with(|| comp.accesses());
-                    let array_ref = &raw[idx].array_ref;
-                    let mut offset = 0i64;
-                    for (idx_expr, stride) in array_ref.indices.iter().zip(strides) {
-                        let value = idx_expr
-                            .eval(bindings)
-                            .ok_or_else(|| MachineError::UnboundVariable(idx_expr.to_string()))?;
-                        offset += value * stride;
-                    }
-                    let address = self
-                        .map
-                        .address(array.as_str(), offset, *elem_size)
-                        .ok_or_else(|| MachineError::UnknownArray(array.to_string()))?;
-                    (address, *is_write)
-                }
-            };
-            emitted += 1;
-            sink.access(TraceEntry { address, is_write });
-        }
-        self.count += emitted;
-        Ok(())
-    }
+    CompiledProgram::lower(program)?.stream(sink)
 }
 
 /// Sink feeding a [`CacheHierarchy`], forwarding runs to the closed-form
@@ -406,13 +133,13 @@ pub fn simulate_cache_reference(
 
 /// The pre-refactor walker: per-iteration binding updates and per-subscript
 /// symbolic evaluation, no compilation, no runs. Kept as the ground truth
-/// for the streaming walker's equivalence tests.
+/// for the compiled streaming walker's equivalence tests.
 pub fn walk_accesses_symbolic(program: &Program, mut sink: impl FnMut(TraceEntry)) -> Result<u64> {
     fn walk(
         program: &Program,
         node: &Node,
         map: &AddressMap,
-        bindings: &mut BTreeMap<Var, i64>,
+        bindings: &mut Bindings,
         sink: &mut impl FnMut(TraceEntry),
         count: &mut u64,
     ) -> Result<()> {
@@ -481,7 +208,7 @@ pub fn walk_accesses_symbolic(program: &Program, mut sink: impl FnMut(TraceEntry
     }
 
     let map = AddressMap::for_program(program);
-    let mut bindings: BTreeMap<Var, i64> = program.params.clone();
+    let mut bindings: Bindings = program.params.clone();
     let mut count = 0u64;
     for node in &program.body {
         walk(program, node, &map, &mut bindings, &mut sink, &mut count)?;
@@ -583,8 +310,8 @@ mod tests {
         assert_eq!(total, 15);
     }
 
-    /// The streaming walker must emit exactly the trace of the symbolic
-    /// walker — same addresses, same kinds, same order.
+    /// The compiled streaming walker must emit exactly the trace of the
+    /// symbolic walker — same addresses, same kinds, same order.
     fn assert_identical_traces(source: &str) {
         let p = parse_program(source).unwrap();
         let mut streamed = Vec::new();
@@ -631,6 +358,16 @@ mod tests {
         assert_identical_traces(
             "program run { param N = 200; array A[N];
                for i in 0..N { A[i] = 0.0; } }",
+        );
+        // Negative-stride access: the reversal subscript still compiles.
+        assert_identical_traces(
+            "program rev { param N = 32; array A[N]; array B[N];
+               for i in 0..N { B[i] = A[N - 1 - i]; } }",
+        );
+        // Zero-trip loops emit nothing.
+        assert_identical_traces(
+            "program zt { param N = 0; array A[8];
+               for i in 0..N { A[i] = 1.0; } }",
         );
     }
 

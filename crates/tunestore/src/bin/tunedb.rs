@@ -7,10 +7,37 @@
 //! tunedb merge  <out> <in> [<in>..] merge stores, best cost per key wins
 //! tunedb gc     <store>             drop identity recipes / duplicate keys
 //! ```
+//!
+//! Every failure — a missing snapshot path, a corrupt or truncated store, an
+//! unwritable output — exits with a non-zero status and a single
+//! `tunedb: <path>: <reason>` diagnostic on stderr (never a panic or
+//! backtrace), so the binary composes soundly in scripts and CI gates.
 
 use std::process::ExitCode;
 
 use tunestore::{Snapshot, StoreError};
+
+/// A CLI failure: the offending path plus the underlying store error, so the
+/// one-line diagnostic always names the file it is about.
+struct Failure {
+    path: String,
+    error: StoreError,
+}
+
+type CliResult = Result<(), Failure>;
+
+/// Attaches a path to a [`StoreError`], for `map_err(at(path))`.
+fn at(path: &str) -> impl FnOnce(StoreError) -> Failure + '_ {
+    move |error| Failure {
+        path: path.to_string(),
+        error,
+    }
+}
+
+/// Loads a snapshot, attaching the path to any failure.
+fn load(path: &str) -> Result<Snapshot, Failure> {
+    Snapshot::load(path).map_err(at(path))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,15 +67,15 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("tunedb: {e}");
+        Err(failure) => {
+            eprintln!("tunedb: {}: {}", failure.path, failure.error);
             ExitCode::FAILURE
         }
     }
 }
 
-fn stats(path: &str) -> Result<(), StoreError> {
-    let snapshot = Snapshot::load(path)?;
+fn stats(path: &str) -> CliResult {
+    let snapshot = load(path)?;
     let stats = snapshot.stats();
     println!("store:            {path}");
     println!("fingerprint:      {}", snapshot.fingerprint);
@@ -62,8 +89,8 @@ fn stats(path: &str) -> Result<(), StoreError> {
     Ok(())
 }
 
-fn inspect(path: &str, limit: usize) -> Result<(), StoreError> {
-    let snapshot = Snapshot::load(path)?;
+fn inspect(path: &str, limit: usize) -> CliResult {
+    let snapshot = load(path)?;
     println!(
         "{} entries (fingerprint {}), showing up to {limit}:",
         snapshot.entries.len(),
@@ -86,12 +113,12 @@ fn inspect(path: &str, limit: usize) -> Result<(), StoreError> {
     Ok(())
 }
 
-fn verify(path: &str) -> Result<(), StoreError> {
+fn verify(path: &str) -> CliResult {
     // `load` already checks magic, version, both section checksums and
     // decodes every entry; `load_compatible` adds the fingerprint check.
     // Every failure — including a fingerprint mismatch — exits nonzero so
     // `tunedb verify f && use f` is a sound gate in scripts.
-    let snapshot = Snapshot::load_compatible(path)?;
+    let snapshot = Snapshot::load_compatible(path).map_err(at(path))?;
     println!(
         "{path}: OK ({} entries, fingerprint {})",
         snapshot.entries.len(),
@@ -100,15 +127,18 @@ fn verify(path: &str) -> Result<(), StoreError> {
     Ok(())
 }
 
-fn merge(out: &str, inputs: &[String]) -> Result<(), StoreError> {
-    let mut merged = Snapshot::load(&inputs[0])?;
+fn merge(out: &str, inputs: &[String]) -> CliResult {
+    let mut merged = load(&inputs[0])?;
     println!("{}: {} entries", inputs[0], merged.entries.len());
     for path in &inputs[1..] {
-        let other = Snapshot::load(path)?;
+        let other = load(path)?;
         if other.fingerprint != merged.fingerprint {
-            return Err(StoreError::FingerprintMismatch {
-                found: other.fingerprint,
-                expected: merged.fingerprint,
+            return Err(Failure {
+                path: path.clone(),
+                error: StoreError::FingerprintMismatch {
+                    found: other.fingerprint,
+                    expected: merged.fingerprint,
+                },
             });
         }
         let changed = merged.merge(&other);
@@ -117,16 +147,16 @@ fn merge(out: &str, inputs: &[String]) -> Result<(), StoreError> {
             other.entries.len()
         );
     }
-    merged.save(out)?;
+    merged.save(out).map_err(at(out))?;
     println!("{out}: wrote {} entries", merged.entries.len());
     Ok(())
 }
 
-fn gc(path: &str) -> Result<(), StoreError> {
-    let mut snapshot = Snapshot::load(path)?;
+fn gc(path: &str) -> CliResult {
+    let mut snapshot = load(path)?;
     let before = snapshot.entries.len();
     let removed = snapshot.gc();
-    snapshot.save(path)?;
+    snapshot.save(path).map_err(at(path))?;
     println!(
         "{path}: {before} -> {} entries ({removed} removed)",
         snapshot.entries.len()
