@@ -511,21 +511,23 @@ pub fn fig9_python_frameworks(ctx: &mut ReproContext) {
 // Figure 11
 // --------------------------------------------------------------------------
 
-/// The four CLOUDSC proxy versions at the given sizes: Fortran, C, DaCe and
-/// daisy (the DaCe structure normalized and producer-consumer fused, §5.1).
-pub fn cloudsc_versions(sizes: CloudscSizes) -> Vec<(&'static str, Program)> {
-    let fortran = full_model(CloudscVariant::Fortran, sizes);
-    let c = full_model(CloudscVariant::C, sizes);
+/// The daisy CLOUDSC version: the DaCe structure normalized and
+/// producer-consumer fused (§5.1) — the single definition shared by the
+/// figure harnesses and the bench snapshots.
+pub fn daisy_full_model(sizes: CloudscSizes) -> Program {
     let dace = full_model(CloudscVariant::Dace, sizes);
-    let daisy_prog = {
-        let normalized = Normalizer::new().run(&dace).expect("normalizes").program;
-        fuse_producer_consumers(&normalized)
-    };
+    let normalized = Normalizer::new().run(&dace).expect("normalizes").program;
+    fuse_producer_consumers(&normalized)
+}
+
+/// The four CLOUDSC proxy versions at the given sizes: Fortran, C, DaCe and
+/// daisy ([`daisy_full_model`]).
+pub fn cloudsc_versions(sizes: CloudscSizes) -> Vec<(&'static str, Program)> {
     vec![
-        ("Fortran", fortran),
-        ("C", c),
-        ("DaCe", dace),
-        ("daisy", daisy_prog),
+        ("Fortran", full_model(CloudscVariant::Fortran, sizes)),
+        ("C", full_model(CloudscVariant::C, sizes)),
+        ("DaCe", full_model(CloudscVariant::Dace, sizes)),
+        ("daisy", daisy_full_model(sizes)),
     ]
 }
 
@@ -573,6 +575,82 @@ pub fn fig11_cloudsc_full(ctx: &ReproContext) {
         100.0 * reports[0].1.flops_per_second() / 1e9 / peak,
         100.0 * reports[3].1.flops_per_second() / 1e9 / peak
     );
+
+    // Since PR 5 the run-compressed simulator sustains multi-block
+    // full-model traces, so every Fig. 11 schedule point is backed by the
+    // exact simulated access stream, not only the analytical model.
+    let trace_sizes = trace_block_sizes(ctx);
+    let machine = MachineConfig::xeon_e5_2680v3();
+    let trace_versions = if trace_sizes.nblocks == sizes.nblocks {
+        versions
+    } else {
+        cloudsc_versions(trace_sizes)
+    };
+    let rows: Vec<Vec<String>> = trace_versions
+        .iter()
+        .map(|(name, p)| {
+            let t = simulate_trace(name, p, &machine);
+            vec![
+                name.to_string(),
+                t.accesses.to_string(),
+                format!("{:.1}", t.seconds * 1e3),
+                format!("{:.0}", t.accesses as f64 / t.seconds / 1e6),
+                format!("{:.1}%", 100.0 * t.l1_hit_rate),
+                t.l1_loads.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 11 (trace): run-compressed cache simulation, NBLOCKS={}",
+            trace_sizes.nblocks
+        ),
+        &[
+            "version",
+            "accesses",
+            "sim [ms]",
+            "Macc/s",
+            "L1 hit rate",
+            "L1 loads",
+        ],
+        &rows,
+    );
+}
+
+/// The CLOUDSC sizes the trace-backed figure columns simulate: the run's
+/// sizes with the block count held at the multi-block schedule-point scale
+/// (>= 10M accesses per point at paper NPROMA/KLEV, simulated in well under
+/// a second by the run-compressed pipeline).
+fn trace_block_sizes(ctx: &ReproContext) -> CloudscSizes {
+    let sizes = ctx.sizes();
+    if ctx.options().smoke {
+        sizes
+    } else {
+        CloudscSizes {
+            nblocks: sizes.nblocks.min(64),
+            ..sizes
+        }
+    }
+}
+
+/// One trace simulation of a figure workload.
+struct TraceStats {
+    accesses: u64,
+    seconds: f64,
+    l1_hit_rate: f64,
+    l1_loads: u64,
+}
+
+fn simulate_trace(name: &str, program: &Program, machine: &MachineConfig) -> TraceStats {
+    let start = Instant::now();
+    let cache =
+        simulate_cache(program, machine).unwrap_or_else(|e| panic!("{name}: trace fails: {e}"));
+    TraceStats {
+        accesses: cache.accesses(),
+        seconds: start.elapsed().as_secs_f64().max(1e-9),
+        l1_hit_rate: cache.l1().hit_rate(),
+        l1_loads: cache.l1().loads,
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -628,7 +706,7 @@ pub fn fig12_cloudsc_scaling(ctx: &ReproContext, mode: ScalingMode) {
     }
     if matches!(mode, ScalingMode::Weak | ScalingMode::Both) {
         // The weak-scaling workload list; a smoke run shrinks the column
-        // counts 64x so the streamed traces stay interpreter-sized.
+        // counts 64x so the whole figure stays CI-sized.
         let scale = if ctx.options().smoke { 64 } else { 1 };
         let mut rows = Vec::new();
         for (columns, threads) in [(65536i64, 1usize), (131072, 2), (262144, 4), (524288, 8)] {
@@ -660,6 +738,21 @@ pub fn fig12_cloudsc_scaling(ctx: &ReproContext, mode: ScalingMode) {
                 "daisy vs Fortran",
             ],
             &rows,
+        );
+        // The weak-scaling points only grow the block count and blocks are
+        // independent, so one run-compressed simulation at the (capped)
+        // schedule-point block count stands for every row's exact per-block
+        // access stream.
+        let trace_sizes = trace_block_sizes(ctx);
+        let machine = MachineConfig::xeon_e5_2680v3();
+        let trace = simulate_trace("daisy", &daisy_full_model(trace_sizes), &machine);
+        println!(
+            "\ndaisy trace per schedule point (NBLOCKS={}): {} accesses simulated in {:.1} ms ({:.0} Macc/s), L1 hit rate {:.1}%",
+            trace_sizes.nblocks,
+            trace.accesses,
+            trace.seconds * 1e3,
+            trace.accesses as f64 / trace.seconds / 1e6,
+            100.0 * trace.l1_hit_rate
         );
     }
 }

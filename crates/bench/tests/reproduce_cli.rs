@@ -1,0 +1,64 @@
+//! CLI contract of the `reproduce` driver, mirroring the `tunedb` CLI suite
+//! (`crates/tunestore/tests/tunedb_cli.rs`): `--list` enumerates the figure
+//! harnesses and exits 0 without running anything; usage errors exit 2 with
+//! a one-line diagnostic, never a panic.
+
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("reproduce runs")
+}
+
+#[test]
+fn list_prints_every_figure_harness_and_exits_zero() {
+    let output = reproduce(&["--list"]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(0), "stderr: {stderr}");
+    assert!(stderr.is_empty(), "--list must not warn: {stderr}");
+    let names: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        names,
+        ["fig1", "table1", "fig6", "fig7", "fig9", "fig11", "fig12"],
+        "--list prints exactly the known harnesses, one per line, in paper order"
+    );
+    // Every listed name must be accepted by --only (the list is the
+    // contract for scripting subsets).
+    for name in names {
+        let probe = reproduce(&["--only", name, "--list"]);
+        assert_eq!(probe.status.code(), Some(0), "--only {name} rejected");
+    }
+}
+
+#[test]
+fn usage_errors_exit_with_code_two() {
+    for args in [
+        vec!["--frobnicate"],
+        vec!["--store"],
+        vec!["--only"],
+        vec!["--only", "fig99"],
+        vec!["--warm"],   // --warm needs --store
+        vec!["--verify"], // --verify needs --store
+    ] {
+        let output = reproduce(&args);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?}: expected usage error, stderr: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "args {args:?}: panicked instead of reporting: {stderr}"
+        );
+        let lines: Vec<&str> = stderr.lines().collect();
+        assert_eq!(lines.len(), 1, "args {args:?}: one-line diagnostic");
+        assert!(
+            lines[0].starts_with("reproduce: "),
+            "args {args:?}: diagnostic names the binary: {stderr}"
+        );
+    }
+}

@@ -32,9 +32,14 @@
 //!    alone* (cheap, structural — no program clone); recipes whose
 //!    transform legality check fails are likewise rejected without ever
 //!    reaching the cost model.
-//! 3. **Parallel costing.** The unique legal rewrites are priced on scoped
-//!    worker threads (adaptively — tiny batches stay on the calling
-//!    thread), each worker sharing the model's memo table.
+//! 3. **Batched costing.** The unique legal rewrites of a generation are
+//!    grouped by the rewrite's structural hash — distinct recipes that
+//!    converge on the same lowered rewrite share one pricing — and the
+//!    groups are priced on scoped worker threads (adaptively — tiny batches
+//!    stay on the calling thread), each worker sharing the model's memo
+//!    tables (per-nest costs and per-computation run summaries, so even
+//!    structurally distinct candidates that merely permute or re-annotate
+//!    outer loops re-price from cached run summaries).
 //!
 //! Results are deterministic: mutation draws happen on the single-threaded
 //! RNG before evaluation, and scores are written back by candidate index.
@@ -46,6 +51,7 @@ use dependence::{is_permutation_legal, DependenceGraph};
 use loop_ir::expr::Var;
 use loop_ir::nest::{Loop, Node};
 use loop_ir::program::Program;
+use loop_ir::structural_hash_nodes;
 use machine::CostModel;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -57,23 +63,35 @@ pub(crate) fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + 
     parallel_map_with(0, items, f)
 }
 
+/// The worker-thread count [`parallel_map_with`] actually uses for a
+/// request: `0` means "the machine decides"; any explicit request is clamped
+/// to [`std::thread::available_parallelism`] — oversubscribing cores only
+/// adds spawn and scheduling overhead (a 12-worker request on a 1-core
+/// machine made the PR 4 parallel scheduler ~0.84x of sequential, see
+/// `BENCH_PR4.json`) — and to the item count.
+pub(crate) fn effective_workers(requested: usize, items: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let requested = if requested == 0 {
+        available
+    } else {
+        requested.min(available)
+    };
+    requested.min(items)
+}
+
 /// Maps `f` over `items` on `workers` scoped worker threads, preserving
 /// order. `workers == 0` uses the machine's available parallelism; `1` runs
-/// on the calling thread. Results are written back by item index, so the
+/// on the calling thread; larger requests are clamped by
+/// [`effective_workers`]. Results are written back by item index, so the
 /// output is independent of the worker count for any pure `f`.
 pub(crate) fn parallel_map_with<T: Sync, R: Send>(
     workers: usize,
     items: &[T],
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
-    let workers = if workers == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        workers
-    }
-    .min(items.len());
+    let workers = effective_workers(workers, items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -270,7 +288,8 @@ impl EvolutionarySearch {
     }
 
     /// Scores a batch of recipes: early-reject, structural dedupe, then
-    /// (adaptively parallel) incremental costing of the unique survivors.
+    /// (adaptively parallel) incremental costing of the unique survivors,
+    /// batched so each distinct lowered rewrite is priced exactly once.
     /// Returns one score per recipe, in order; `seen` accumulates scores
     /// across batches.
     fn score_batch(
@@ -306,41 +325,61 @@ impl EvolutionarySearch {
             }
         }
 
-        // Stage 2: score the unique recipes — rewrite the nest (the
-        // legality gate; recipes that do not apply score infinity without
-        // reaching the cost model), then price the rewrite incrementally.
-        // (Distinct recipes producing structurally identical rewrites hit
-        // the model's memo when they reach pricing.) Fan-out is adaptive:
-        // the first job is timed on the calling thread, and the rest go to
-        // worker threads only when the remaining work is long enough to
-        // amortize spawning them (cheap single-nest programs stay
-        // sequential; multi-nest programs like CLOUDSC fan out). Scores are
-        // identical either way.
-        let score_one = |recipe: &Recipe| -> f64 {
-            if !recipe_is_semantically_legal(context.graph, context.nest, recipe) {
-                return f64::INFINITY;
-            }
-            match recipe.apply_to_nest(context.nest) {
-                Ok(rewrite) => context.score_rewrite(&rewrite, model),
-                Err(_) => f64::INFINITY,
-            }
-        };
-        let costs: Vec<f64> = if self.parallel && jobs.len() > 1 {
+        // Stage 2: rewrite the unique recipes on the calling thread (cheap,
+        // structural). The semantic gate and recipes that fail to apply
+        // score infinity without ever reaching the cost model.
+        let rewrites: Vec<Option<Vec<Node>>> = jobs
+            .iter()
+            .map(|(_, recipe)| {
+                if !recipe_is_semantically_legal(context.graph, context.nest, recipe) {
+                    return None;
+                }
+                recipe.apply_to_nest(context.nest).ok()
+            })
+            .collect();
+
+        // Stage 3: batch the candidate costing — one lowered rewrite per
+        // structurally identical variant group. Distinct recipes of a
+        // generation routinely converge on the same rewrite (step
+        // reorderings, annotation toggles that cancel), so group by the
+        // rewrite's structural hash and price each group exactly once.
+        // Fan-out is adaptive: the first group is timed on the calling
+        // thread, and the rest go to worker threads only when the remaining
+        // work is long enough to amortize spawning them (cheap single-nest
+        // programs stay sequential; multi-nest programs like CLOUDSC fan
+        // out). Scores are identical at any fan-out.
+        let mut group_of: Vec<Option<usize>> = vec![None; jobs.len()];
+        let mut groups: Vec<(u64, &Vec<Node>)> = Vec::new();
+        for (index, rewrite) in rewrites.iter().enumerate() {
+            let Some(rewrite) = rewrite else { continue };
+            let hash = structural_hash_nodes(rewrite);
+            let group = groups
+                .iter()
+                .position(|(h, _)| *h == hash)
+                .unwrap_or_else(|| {
+                    groups.push((hash, rewrite));
+                    groups.len() - 1
+                });
+            group_of[index] = Some(group);
+        }
+        let price = |&(_, rewrite): &(u64, &Vec<Node>)| context.score_rewrite(rewrite, model);
+        let group_costs: Vec<f64> = if self.parallel && groups.len() > 1 {
             let start = std::time::Instant::now();
-            let first = score_one(jobs[0].1);
+            let first = price(&groups[0]);
             let elapsed = start.elapsed();
-            let remaining = &jobs[1..];
+            let remaining = &groups[1..];
             let mut costs = vec![first];
             if elapsed * remaining.len() as u32 > std::time::Duration::from_micros(500) {
-                costs.extend(parallel_map(remaining, |(_, recipe)| score_one(recipe)));
+                costs.extend(parallel_map(remaining, price));
             } else {
-                costs.extend(remaining.iter().map(|(_, recipe)| score_one(recipe)));
+                costs.extend(remaining.iter().map(price));
             }
             costs
         } else {
-            jobs.iter().map(|(_, recipe)| score_one(recipe)).collect()
+            groups.iter().map(price).collect()
         };
-        for ((key, _), cost) in jobs.iter().zip(costs) {
+        for ((key, _), group) in jobs.iter().zip(&group_of) {
+            let cost = group.map_or(f64::INFINITY, |g| group_costs[g]);
             seen.insert(*key, cost);
         }
 
@@ -1117,6 +1156,71 @@ mod tests {
         assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
         let empty: Vec<usize> = Vec::new();
         assert!(parallel_map(&empty, |&x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn requested_workers_clamp_to_available_parallelism() {
+        // Regression for the BENCH_PR4 observation: an explicit 12-worker
+        // request on a 1-core machine oversubscribed the scheduler to 0.84x
+        // of sequential. Requests must never exceed the machine.
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(effective_workers(0, 64), available.min(64));
+        assert!(effective_workers(12, 1024) <= available);
+        assert!(effective_workers(usize::MAX, 1024) <= available);
+        assert_eq!(effective_workers(1, 8), 1);
+        assert_eq!(effective_workers(8, 3), available.min(8).min(3));
+        assert_eq!(effective_workers(4, 0), 0);
+        // An oversubscribed request still maps correctly after clamping.
+        let items: Vec<usize> = (0..100).collect();
+        assert_eq!(
+            parallel_map_with(1024, &items, |&x| x + 1),
+            (1..101).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn recipes_converging_on_one_rewrite_are_priced_once() {
+        // [Par, Vec] and [Vec, Par] are distinct recipes (different
+        // fingerprints) whose lowered rewrites are structurally identical;
+        // the batched costing must price that rewrite exactly once. The
+        // observable: both score identically and the model memoizes only
+        // the base nest and the one rewritten nest.
+        let p = gemm(64);
+        let model = CostModel::sequential();
+        let node_costs: Vec<f64> = model
+            .estimate(&p)
+            .per_nest
+            .iter()
+            .map(|c| c.seconds)
+            .collect();
+        let search = EvolutionarySearch::default();
+        let mut seen = HashMap::new();
+        let graph = nest_scoped_graph(&p, p.loop_nests()[0]);
+        let par = Transform::Parallelize {
+            iter: Var::new("i"),
+        };
+        let vec = Transform::Vectorize {
+            iter: Var::new("j"),
+        };
+        let batch = [
+            Recipe::new(vec![par.clone(), vec.clone()]),
+            Recipe::new(vec![vec, par]),
+        ];
+        let scores = search.score_batch(
+            &context_of(&p, &node_costs, &graph),
+            &batch,
+            &model,
+            &mut seen,
+        );
+        assert_eq!(scores[0], scores[1]);
+        assert_eq!(seen.len(), 2, "two fingerprints, one shared score");
+        assert_eq!(
+            model.memo_entries(),
+            2,
+            "base nest + one rewrite: the duplicate rewrite never reached the model"
+        );
     }
 
     #[test]

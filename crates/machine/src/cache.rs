@@ -7,10 +7,11 @@
 //!
 //! # Layout and geometry
 //!
-//! Each level stores its tags and LRU timestamps in flat preallocated arrays
-//! (`set_count * assoc` entries each) and maps a line to its set by masking
-//! with `set_count - 1`. Two invariants make that indexing valid, both
-//! established by [`CacheLevel::new`]:
+//! Each level stores its tags in one flat preallocated array (`set_count *
+//! assoc` entries, per set in true LRU order with the MRU line at the
+//! front) and maps a line to its set by masking with `set_count - 1`. Two
+//! invariants make that indexing valid, both established by
+//! [`CacheLevel::new`]:
 //!
 //! * the line size is rounded to the nearest power of two (ties upward), so
 //!   the line number is `address >> line_shift`;
@@ -31,13 +32,18 @@
 //! whole constant-stride run: for `|stride| <= line_bytes` the per-line
 //! access groups are consecutive in the stream, so the number of guaranteed
 //! hits is known in closed form (`count - distinct_lines`) and only one real
-//! access per distinct line is simulated. Both fast paths produce counters
-//! that are *bit-identical* to naively simulating every access (see
-//! [`reference`] and the equivalence tests).
+//! access per distinct line is simulated. [`CacheHierarchy::access_run_group`]
+//! extends the idea to the *interleaved* stream of a whole compiled innermost
+//! loop (several lockstep runs): the stream is cut into line phases and only
+//! each phase's first iteration is simulated, the rest crediting guaranteed
+//! hits in closed form. All fast paths produce counters that are
+//! *bit-identical* to naively simulating every access (see [`reference`] and
+//! the equivalence tests).
 
 use std::collections::BTreeMap;
 
 use crate::config::MachineConfig;
+use crate::trace::StrideRun;
 
 /// Counters of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,15 +89,20 @@ fn nearest_pow2(n: u64) -> u64 {
     }
 }
 
-/// One level of a set-associative LRU cache, tags and LRU timestamps in flat
-/// preallocated arrays.
+/// One level of a set-associative LRU cache: per set, the line tags in true
+/// LRU order (front = MRU) inside one flat preallocated array — the
+/// reference algorithm's recency list without its per-set `Vec`s. Hits scan
+/// tags only and rotate the hit line to the front; the victim of a miss is
+/// always the back of the set ([`EMPTY`] ways sink there by construction,
+/// so "first empty way, else LRU" needs no separate scan).
 #[derive(Debug, Clone)]
 struct CacheLevel {
-    /// `set_count * assoc` line numbers, [`EMPTY`] when the way is unused.
+    /// `set_count * assoc` line numbers in per-set LRU order, [`EMPTY`]
+    /// when the way is unused.
     tags: Box<[u64]>,
-    /// Timestamp of the last access per way; smallest = LRU victim.
-    stamps: Box<[u64]>,
-    clock: u64,
+    /// Number of full lookups performed (the fast paths' probe count; the
+    /// run-compression tests pin their closed-form crediting against it).
+    probes: u64,
     assoc: usize,
     /// `log2(line_bytes)`.
     line_shift: u32,
@@ -108,8 +119,7 @@ impl CacheLevel {
         let set_count = nearest_pow2(lines / assoc as u64);
         CacheLevel {
             tags: vec![EMPTY; (set_count as usize) * assoc].into_boxed_slice(),
-            stamps: vec![0; (set_count as usize) * assoc].into_boxed_slice(),
-            clock: 0,
+            probes: 0,
             assoc,
             line_shift: line_bytes.trailing_zeros(),
             set_mask: set_count - 1,
@@ -122,44 +132,43 @@ impl CacheLevel {
         address >> self.line_shift
     }
 
-    /// Accesses one line; returns true on hit.
+    /// Accesses one line; returns the hit flag and the tag the access
+    /// displaced ([`EMPTY`] when no line was evicted).
     #[inline]
-    fn access_line(&mut self, line: u64) -> bool {
+    fn access_line_tracked(&mut self, line: u64) -> (bool, u64) {
         let base = ((line & self.set_mask) as usize) * self.assoc;
-        self.clock += 1;
-        let ways = base..base + self.assoc;
-        for w in ways.clone() {
-            if self.tags[w] == line {
-                self.stamps[w] = self.clock;
+        self.probes += 1;
+        let set = &mut self.tags[base..base + self.assoc];
+        for w in 0..set.len() {
+            if set[w] == line {
+                // Rotate the hit line to the MRU front.
+                set.copy_within(0..w, 1);
+                set[0] = line;
                 self.stats.hits += 1;
-                return true;
+                return (true, EMPTY);
             }
         }
         self.stats.misses += 1;
         self.stats.loads += 1;
-        // Victim: first empty way, else the smallest timestamp (LRU).
-        let mut victim = base;
-        let mut oldest = u64::MAX;
-        for w in ways {
-            if self.tags[w] == EMPTY {
-                victim = w;
-                break;
-            }
-            if self.stamps[w] < oldest {
-                oldest = self.stamps[w];
-                victim = w;
-            }
-        }
-        if self.tags[victim] != EMPTY {
+        let evicted = set[set.len() - 1];
+        if evicted != EMPTY {
             self.stats.evicts += 1;
         }
-        self.tags[victim] = line;
-        self.stamps[victim] = self.clock;
-        false
+        set.copy_within(0..set.len() - 1, 1);
+        set[0] = line;
+        (false, evicted)
     }
 
-    /// Accesses the byte address; returns true on hit.
+    /// Accesses one line; returns true on hit.
     #[inline]
+    fn access_line(&mut self, line: u64) -> bool {
+        self.access_line_tracked(line).0
+    }
+
+    /// Accesses the byte address; returns true on hit. The hierarchy's hot
+    /// paths pass lines directly; this remains for the level-granularity
+    /// tests.
+    #[cfg(test)]
     fn access(&mut self, address: u64) -> bool {
         self.access_line(self.line_of(address))
     }
@@ -173,6 +182,38 @@ pub struct CacheHierarchy {
     accesses: u64,
     /// L1 line number of the previous access; a repeat is a guaranteed hit.
     last_line: u64,
+    /// Scratch of the run-group fast path (one lane per run), kept on the
+    /// hierarchy so per-innermost-loop calls allocate nothing.
+    group_lanes: Vec<GroupLane>,
+    /// Scratch for the L1 tags evicted while simulating one phase head.
+    group_evicted: Vec<u64>,
+}
+
+/// Per-run state of the run-group fast path. Everything advances
+/// incrementally: a sub-line stride can never skip a line, so crossings move
+/// `line` by `dir` (±1) and the crossing distances are either a closed-form
+/// period (stride divides the line size) or a 32-bit division over the
+/// direction-relative entry offset — no per-phase multiply or shift.
+#[derive(Debug, Clone)]
+struct GroupLane {
+    /// The line the lane currently walks.
+    line: u64,
+    /// The iteration at which the lane leaves `line`.
+    next: u64,
+    /// Line increment per crossing: ±1 for sub-line strides, 0 for stride
+    /// zero (super-line strides recompute from `base` instead).
+    dir: i64,
+    /// Byte offset of the current line's first access from the entry edge
+    /// in walk direction (maintained only when `period` is 0).
+    o: u32,
+    /// `|stride|`, consulted only when below the line size.
+    s_abs: u32,
+    /// Closed-form iterations per line once past the (possibly partial)
+    /// first line — `line_bytes / |stride|` when that divides evenly, `0`
+    /// when the crossing distance must be divided out per crossing.
+    period: u64,
+    base: i64,
+    stride: i64,
 }
 
 impl CacheHierarchy {
@@ -183,6 +224,8 @@ impl CacheHierarchy {
             l2: CacheLevel::new(machine.l2_bytes, machine.l2_assoc, machine.line_bytes),
             accesses: 0,
             last_line: EMPTY,
+            group_lanes: Vec::new(),
+            group_evicted: Vec::new(),
         };
         // The run fast path reconstructs line-aligned addresses; both levels
         // sharing one line size keeps those addresses on the original lines.
@@ -202,18 +245,37 @@ impl CacheHierarchy {
     /// fast path, which counts accesses in bulk).
     #[inline]
     fn access_counted(&mut self, address: u64) {
-        let line = self.l1.line_of(address);
+        self.access_counted_tracked(address);
+    }
+
+    /// Like [`access_counted`](Self::access_counted), but reports the L1 tag
+    /// the access displaced ([`EMPTY`] when none) — the run-group fast path
+    /// uses it to detect one of its live lines being evicted.
+    #[inline]
+    fn access_counted_tracked(&mut self, address: u64) -> u64 {
+        self.access_counted_at_line(address, self.l1.line_of(address))
+    }
+
+    /// The tracked access path with the L1 line already computed (the
+    /// run-group phase loop derives it for its own bookkeeping anyway).
+    /// Both levels share one line size, so the line stands in for the
+    /// address at L2 as well.
+    #[inline]
+    fn access_counted_at_line(&mut self, address: u64, line: u64) -> u64 {
+        debug_assert_eq!(self.l1.line_of(address), line);
         if line == self.last_line {
             // The previous access touched this exact line, so it is the MRU
             // entry of its set: a guaranteed hit whose recency update is a
             // no-op. Identical counters to the full lookup.
             self.l1.stats.hits += 1;
-            return;
+            return EMPTY;
         }
         self.last_line = line;
-        if !self.l1.access_line(line) {
-            self.l2.access(address);
+        let (hit, evicted) = self.l1.access_line_tracked(line);
+        if !hit {
+            self.l2.access_line(line);
         }
+        evicted
     }
 
     /// Simulates a batch of accesses; equivalent to calling
@@ -266,6 +328,156 @@ impl CacheHierarchy {
                 self.access_counted(line << shift);
             }
         }
+    }
+
+    /// Simulates the interleaved access stream of a compiled innermost loop:
+    /// iteration `i` touches `runs[0].base + i·stride`, then `runs[1]`, … —
+    /// the lockstep advance of every access plan of the loop body. All runs
+    /// of a group share one trip count.
+    ///
+    /// The stream is cut into *line phases*: maximal iteration ranges in
+    /// which no run crosses a cache-line boundary. Only a phase's first
+    /// iteration is simulated access by access — which also refreshes the
+    /// LRU recency of every live line, in true stream order — leaving every
+    /// live line resident, so each remaining iteration of the phase is a
+    /// guaranteed L1 hit per run, credited in closed form. The one exception
+    /// is an associativity conflict: when simulating the phase head evicts
+    /// one of the phase's own lines, the rest of the phase falls back to
+    /// per-access simulation. Counters are bit-identical to expanding the
+    /// group through [`access`](Self::access) in interleaved order, as the
+    /// differential suites verify.
+    pub fn access_run_group(&mut self, runs: &[StrideRun]) {
+        match runs {
+            [] => return,
+            [r] => return self.access_run(r.base, r.stride, r.count),
+            _ => {}
+        }
+        let count = runs[0].count;
+        debug_assert!(
+            runs.iter().all(|r| r.count == count),
+            "lockstep runs share a trip count"
+        );
+        if count == 0 {
+            return;
+        }
+        self.accesses += count * runs.len() as u64;
+        if runs
+            .iter()
+            .any(|r| (r.base as i64) + r.stride * (count as i64 - 1) < 0)
+        {
+            // A run walking below address zero wraps exactly the way the
+            // expanded per-access stream does.
+            for i in 0..count as i64 {
+                for r in runs {
+                    self.access_counted((r.base as i64 + r.stride * i) as u64);
+                }
+            }
+            return;
+        }
+        let shift = self.l1.line_shift;
+        let line_bytes = 1u64 << shift;
+        debug_assert!(shift < 32, "line sizes are small powers of two");
+        let lb = line_bytes as u32;
+        let mut lanes = std::mem::take(&mut self.group_lanes);
+        let mut evictions = std::mem::take(&mut self.group_evicted);
+        lanes.clear();
+        for r in runs {
+            let s_abs = r.stride.unsigned_abs();
+            let addr = r.base;
+            let line = addr >> shift;
+            // The first access's offset from the line edge the walk enters
+            // through (start edge for positive strides, end edge for
+            // negative), so one formula covers both directions.
+            let o_fwd = (addr & (line_bytes - 1)) as u32;
+            let o = if r.stride >= 0 { o_fwd } else { lb - 1 - o_fwd };
+            lanes.push(GroupLane {
+                // The setup "crossing" at i = 0 adds `dir` back.
+                line: line.wrapping_sub_signed(r.stride.signum()),
+                next: 0,
+                dir: r.stride.signum(),
+                o,
+                s_abs: s_abs.min(u64::from(u32::MAX)) as u32,
+                // Only powers of two divide the (power-of-two) line size, so
+                // the closed-form period needs no division.
+                period: if s_abs != 0 && s_abs < line_bytes && s_abs.is_power_of_two() {
+                    line_bytes >> s_abs.trailing_zeros()
+                } else {
+                    0
+                },
+                base: r.base as i64,
+                stride: r.stride,
+            });
+        }
+        let mut i = 0u64;
+        while i < count {
+            // One fused pass per phase: simulate the phase head (one full
+            // iteration, in stream order) while computing how long no lane
+            // leaves its current line (`phase_end`). Evicted tags are
+            // checked against the live lines only after the pass, when
+            // every lane's line is known.
+            let mut phase_end = count;
+            evictions.clear();
+            for lane in &mut lanes {
+                if lane.next == i {
+                    if lane.stride == 0 {
+                        lane.line = (lane.base as u64) >> shift;
+                        lane.next = count;
+                    } else if u64::from(lane.s_abs) >= line_bytes {
+                        // Super-line strides can skip lines: recompute.
+                        lane.line = ((lane.base + lane.stride * i as i64) as u64) >> shift;
+                        lane.next = i + 1;
+                    } else {
+                        // A sub-line stride enters the adjacent line; the
+                        // crossing distance is the closed-form period past
+                        // the (possibly partial) first line, or a 32-bit
+                        // division over the entry offset.
+                        lane.line = lane.line.wrapping_add_signed(lane.dir);
+                        lane.next = if lane.period != 0 && i != 0 {
+                            i + lane.period
+                        } else {
+                            let iters = (lb - 1 - lane.o) / lane.s_abs + 1;
+                            lane.o = lane.o + lane.s_abs * iters - lb;
+                            i + u64::from(iters)
+                        };
+                    }
+                }
+                if lane.next < phase_end {
+                    phase_end = lane.next;
+                }
+                // Any address on the line is equivalent for the hierarchy
+                // (both levels share one line size).
+                let evicted = self.access_counted_at_line(lane.line << shift, lane.line);
+                if evicted != EMPTY {
+                    evictions.push(evicted);
+                }
+            }
+            let live_evicted = !evictions.is_empty()
+                && evictions
+                    .iter()
+                    .any(|tag| lanes.iter().any(|lane| lane.line == *tag));
+            i += 1;
+            if i >= phase_end {
+                continue;
+            }
+            if live_evicted {
+                // An associativity conflict displaced one of the phase's own
+                // lines: the remaining iterations are not all-hit, simulate
+                // them one access at a time.
+                while i < phase_end {
+                    for r in runs {
+                        self.access_counted((r.base as i64 + r.stride * i as i64) as u64);
+                    }
+                    i += 1;
+                }
+            } else {
+                // Every live line is resident and hits evict nothing: the
+                // rest of the phase hits in L1, credited in closed form.
+                self.l1.stats.hits += (phase_end - i) * runs.len() as u64;
+                i = phase_end;
+            }
+        }
+        self.group_lanes = lanes;
+        self.group_evicted = evictions;
     }
 
     /// Total number of simulated accesses.
@@ -600,6 +812,132 @@ mod tests {
                 assert_same_stats(&fast, &slow, &format!("stride {stride} count {count}"));
             }
         }
+    }
+
+    /// Expands a lockstep run group to the interleaved per-access stream on
+    /// the reference simulator.
+    fn expand_group_on(slow: &mut ReferenceCacheHierarchy, runs: &[StrideRun]) {
+        let count = runs.first().map(|r| r.count).unwrap_or(0);
+        for i in 0..count as i64 {
+            for r in runs {
+                slow.access((r.base as i64 + r.stride * i) as u64);
+            }
+        }
+    }
+
+    fn group_run(base: u64, stride: i64, count: u64) -> StrideRun {
+        StrideRun {
+            base,
+            stride,
+            count,
+            array: 0,
+            is_write: false,
+        }
+    }
+
+    #[test]
+    fn run_groups_match_reference_across_stride_mixes() {
+        let machine = MachineConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(0x6E0);
+        // Groups mixing unit, zero, negative, sub-line and super-line
+        // strides, with staggered unaligned bases.
+        let stride_menu = [0i64, 8, 8, 8, -8, 16, 24, 63, 64, 65, 128, -64];
+        for round in 0..24 {
+            let k = rng.gen_range(2..7usize);
+            let count = rng.gen_range(1..600u64);
+            let runs: Vec<StrideRun> = (0..k)
+                .map(|_| {
+                    let stride = stride_menu[rng.gen_range(0..stride_menu.len())];
+                    let base = rng.gen_range(100_000..180_000u64);
+                    group_run(base, stride, count)
+                })
+                .collect();
+            let mut fast = CacheHierarchy::from_machine(&machine);
+            let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+            // Shared random prefix: the group starts from non-trivial state.
+            for _ in 0..400 {
+                let a = rng.gen_range(0..1 << 18);
+                fast.access(a);
+                slow.access(a);
+            }
+            fast.access_run_group(&runs);
+            expand_group_on(&mut slow, &runs);
+            // And a shared random suffix: the state the group leaves behind
+            // (stamp order, last-line shortcut) must be equivalent too.
+            for _ in 0..400 {
+                let a = rng.gen_range(0..1 << 18);
+                fast.access(a);
+                slow.access(a);
+            }
+            assert_same_stats(&fast, &slow, &format!("group round {round}"));
+        }
+    }
+
+    #[test]
+    fn conflicting_run_groups_fall_back_bit_identically() {
+        // tiny_for_tests: 1 KiB L1, assoc 4, 64 B lines -> 4 sets. Five
+        // streams whose bases collide in one set exceed the associativity,
+        // so every phase head evicts a live line and the group must take the
+        // per-access fallback — with identical counters.
+        let machine = MachineConfig::tiny_for_tests();
+        let count = 512;
+        let runs: Vec<StrideRun> = (0..5)
+            .map(|j| group_run(0x1000 * (j + 1), 8, count))
+            .collect();
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+        fast.access_run_group(&runs);
+        expand_group_on(&mut slow, &runs);
+        assert_same_stats(&fast, &slow, "associativity conflict");
+        assert!(
+            fast.l1().evicts > 0,
+            "the conflict case must actually evict"
+        );
+    }
+
+    #[test]
+    fn run_groups_handle_degenerate_shapes() {
+        let machine = MachineConfig::tiny_for_tests();
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+        // Empty group and zero-trip group: no accesses at all.
+        fast.access_run_group(&[]);
+        fast.access_run_group(&[group_run(0, 8, 0), group_run(64, 8, 0)]);
+        assert_eq!(fast.accesses(), 0);
+        // Single-run group: delegates to the run fast path.
+        fast.access_run_group(&[group_run(4096, 8, 100)]);
+        for i in 0..100 {
+            slow.access(4096 + 8 * i);
+        }
+        assert_same_stats(&fast, &slow, "single-run group");
+        // A run walking below address zero wraps like the expanded stream.
+        let wrap = [group_run(64, -128, 4), group_run(4096, 8, 4)];
+        fast.access_run_group(&wrap);
+        expand_group_on(&mut slow, &wrap);
+        assert_same_stats(&fast, &slow, "negative wrap");
+    }
+
+    #[test]
+    fn aligned_unit_stride_group_simulates_one_iteration_per_line_phase() {
+        // Three aligned unit-stride streams over 1024 iterations touch
+        // 3 * 128 lines; everything else must be credited as closed-form
+        // hits without probes. The observable: counters match the reference
+        // while the number of real probes stays near the line count.
+        let machine = MachineConfig::tiny_for_tests();
+        let runs: Vec<StrideRun> = (0..3)
+            .map(|j| group_run(0x40000 * (j + 1), 8, 1024))
+            .collect();
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+        fast.access_run_group(&runs);
+        expand_group_on(&mut slow, &runs);
+        assert_same_stats(&fast, &slow, "aligned unit stride");
+        assert_eq!(fast.accesses(), 3 * 1024);
+        assert!(
+            fast.l1.probes <= 3 * 128 + 3,
+            "phase compression must probe ~once per line, probed {}",
+            fast.l1.probes
+        );
     }
 
     #[test]

@@ -23,22 +23,35 @@
 //!
 //! The evolutionary search prices thousands of candidate programs that differ
 //! in a single nest; re-deriving the working-set analysis for the unchanged
-//! nests dominated its runtime. [`CostModel`] therefore memoizes per-nest
-//! costs behind a structural hash. The contract: a nest's cost is a pure
-//! function of *(machine, thread count, program environment, nest
-//! structure)*, where the environment is the parameter bindings and array
-//! declarations ([`Program::environment_hash`]) and the structure is
-//! everything [`loop_ir::structural_hash_node`] covers (bounds, steps,
-//! schedule annotations, subscripts, values — statement names excluded).
-//! The cache is shared across clones of a model, so worker threads costing
-//! candidates in parallel populate one table; it can be disabled with
-//! [`CostModel::without_memoization`] for baseline measurements.
+//! nests dominated its runtime. [`CostModel`] therefore memoizes at two
+//! levels, both behind structural hashes and both shared across clones of a
+//! model (worker threads costing candidates in parallel populate one table):
+//!
+//! 1. **Per nest.** A nest's cost is a pure function of *(machine, thread
+//!    count, program environment, nest structure)*, where the environment is
+//!    the parameter bindings and array declarations
+//!    ([`Program::environment_hash`]) and the structure is everything
+//!    [`loop_ir::structural_hash_node`] covers (bounds, steps, schedule
+//!    annotations, subscripts, values — statement names excluded).
+//! 2. **Per run signature.** Below the nest level, every computation's
+//!    *run summary* — the absolute linearized stride of each access along
+//!    each iterator, the access-affinity flags and the target's subscript
+//!    variables, i.e. exactly the per-iterator facts a constant-stride run
+//!    of the access exposes — is memoized keyed by `(environment,
+//!    computation structure)`. The summary is independent of the enclosing
+//!    loop order, so search candidates that only permute, annotate or
+//!    re-tile the outer loops miss layer 1 but re-price from cached run
+//!    summaries: the symbolic affine extraction is never repeated, only the
+//!    cheap per-stack arithmetic.
+//!
+//! Both layers can be disabled with [`CostModel::without_memoization`] for
+//! baseline measurements; estimates are bit-identical either way.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
 use loop_ir::expr::Var;
-use loop_ir::nest::{BlasCall, Loop, Node};
+use loop_ir::nest::{BlasCall, Computation, Loop, Node};
 use loop_ir::program::Program;
 use loop_ir::structural_hash_node;
 
@@ -48,6 +61,67 @@ use crate::config::MachineConfig;
 /// Shared memo table of a [`CostModel`]: per-nest costs keyed by
 /// `(environment hash, nest structural hash)`.
 type CostMemo = Arc<Mutex<HashMap<(u64, u64), NestCost>>>;
+
+/// Shared run-summary table: per-computation summaries keyed by
+/// `(environment hash, computation structural hash)`.
+type SummaryMemo = Arc<Mutex<HashMap<(u64, u64), Arc<CompSummary>>>>;
+
+/// The run summary of one computation: every IR-derived fact the pricing
+/// arithmetic needs, independent of the enclosing loop order. Deriving it
+/// (symbolic affine extraction per access) is the expensive part of pricing
+/// a computation; everything downstream is arithmetic over the loop stack.
+#[derive(Debug, Clone)]
+struct CompSummary {
+    /// Floating-point operations per dynamic execution.
+    flops: f64,
+    /// Whether the statement is a reduction update.
+    reduction: bool,
+    /// Iterators referenced by the target's subscripts.
+    target_vars: BTreeSet<Var>,
+    /// Per access (in [`Computation::accesses`] order): the absolute
+    /// linearized element stride along every iterator, or `None` when the
+    /// access is non-affine or its array is unknown.
+    coeffs: Vec<Option<BTreeMap<Var, u64>>>,
+}
+
+impl CompSummary {
+    fn of(program: &Program, comp: &Computation) -> CompSummary {
+        let coeffs = comp
+            .accesses()
+            .iter()
+            .map(|access| {
+                program
+                    .array(&access.array_ref.array)
+                    .ok()
+                    .and_then(|array| access.array_ref.linear_offset(array, &program.params))
+                    .map(|offset| {
+                        offset
+                            .terms()
+                            .map(|(v, c)| (v.clone(), c.unsigned_abs()))
+                            .collect()
+                    })
+            })
+            .collect();
+        let mut target_vars = BTreeSet::new();
+        for idx in &comp.target.indices {
+            target_vars.extend(idx.vars());
+        }
+        CompSummary {
+            flops: comp.flops() as f64,
+            reduction: comp.reduction.is_some(),
+            target_vars,
+            coeffs,
+        }
+    }
+
+    /// Absolute element stride of access `i` along `iter` (zero if the
+    /// iterator does not appear; `None` when the access is non-affine).
+    fn stride_of(&self, access: usize, iter: &Var) -> Option<u64> {
+        self.coeffs[access]
+            .as_ref()
+            .map(|map| map.get(iter).copied().unwrap_or(0))
+    }
+}
 
 /// Loop-control overhead in cycles per executed loop iteration (increment,
 /// compare, branch). Negligible for large loop bodies, but it is what makes
@@ -100,6 +174,8 @@ pub struct CostModel {
     /// Per-nest memo, shared across clones so parallel workers fill one
     /// table; `None` disables memoization.
     memo: Option<CostMemo>,
+    /// Per-computation run-summary memo (layer 2), shared like `memo`.
+    summaries: Option<SummaryMemo>,
 }
 
 #[derive(Debug, Clone)]
@@ -124,6 +200,7 @@ impl CostModel {
             threads: threads.max(1),
             machine,
             memo: Some(Arc::new(Mutex::new(HashMap::new()))),
+            summaries: Some(Arc::new(Mutex::new(HashMap::new()))),
         }
     }
 
@@ -136,6 +213,7 @@ impl CostModel {
     /// from scratch. The pre-refactor behavior, kept for baseline benches.
     pub fn without_memoization(mut self) -> Self {
         self.memo = None;
+        self.summaries = None;
         self
     }
 
@@ -144,6 +222,14 @@ impl CostModel {
         self.memo
             .as_ref()
             .map(|memo| memo.lock().expect("cost memo poisoned").len())
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct computation run summaries currently memoized.
+    pub fn run_summary_entries(&self) -> usize {
+        self.summaries
+            .as_ref()
+            .map(|memo| memo.lock().expect("summary memo poisoned").len())
             .unwrap_or(0)
     }
 
@@ -203,17 +289,40 @@ impl CostModel {
         env: Option<u64>,
     ) -> NestCost {
         let (Some(env), Some(memo)) = (env, self.memo.as_ref()) else {
-            return self.estimate_nest(program, nest);
+            return self.estimate_nest(program, nest, env);
         };
         let key = (env, structural_hash_node(node));
         if let Some(hit) = memo.lock().expect("cost memo poisoned").get(&key) {
             return hit.clone();
         }
-        let cost = self.estimate_nest(program, nest);
+        let cost = self.estimate_nest(program, nest, Some(env));
         memo.lock()
             .expect("cost memo poisoned")
             .insert(key, cost.clone());
         cost
+    }
+
+    /// The run summary of a computation, from the layer-2 memo when
+    /// memoization is on (`env` is `Some`), derived fresh otherwise.
+    fn comp_summary(
+        &self,
+        program: &Program,
+        node: &Node,
+        comp: &Computation,
+        env: Option<u64>,
+    ) -> Arc<CompSummary> {
+        let (Some(env), Some(memo)) = (env, self.summaries.as_ref()) else {
+            return Arc::new(CompSummary::of(program, comp));
+        };
+        let key = (env, structural_hash_node(node));
+        if let Some(hit) = memo.lock().expect("summary memo poisoned").get(&key) {
+            return hit.clone();
+        }
+        let summary = Arc::new(CompSummary::of(program, comp));
+        memo.lock()
+            .expect("summary memo poisoned")
+            .insert(key, summary.clone());
+        summary
     }
 
     /// Estimates one BLAS library call.
@@ -235,7 +344,7 @@ impl CostModel {
     }
 
     /// Estimates one top-level loop nest.
-    fn estimate_nest(&self, program: &Program, nest: &Loop) -> NestCost {
+    fn estimate_nest(&self, program: &Program, nest: &Loop, env: Option<u64>) -> NestCost {
         let mut total = NestCost {
             description: nest
                 .nested_iterators()
@@ -248,12 +357,19 @@ impl CostModel {
             dram_bytes: 0.0,
         };
         let mut stack = Vec::new();
-        self.walk(program, nest, &mut stack, &mut total);
+        self.walk(program, nest, &mut stack, &mut total, env);
         // Nested library calls contribute through walk as well.
         total
     }
 
-    fn walk(&self, program: &Program, l: &Loop, stack: &mut Vec<LoopInfo>, total: &mut NestCost) {
+    fn walk(
+        &self,
+        program: &Program,
+        l: &Loop,
+        stack: &mut Vec<LoopInfo>,
+        total: &mut NestCost,
+        env: Option<u64>,
+    ) {
         let (trip, mid_value) = self.average_trip(program, l, stack);
         // Loop-control overhead for every dynamic iteration of this loop,
         // amortized over the threads executing it when a parallel loop
@@ -279,9 +395,10 @@ impl CostModel {
         });
         for node in &l.body {
             match node {
-                Node::Loop(inner) => self.walk(program, inner, stack, total),
+                Node::Loop(inner) => self.walk(program, inner, stack, total, env),
                 Node::Computation(c) => {
-                    let cost = self.computation_cost(program, c, stack);
+                    let summary = self.comp_summary(program, node, c, env);
+                    let cost = self.computation_cost(&summary, &c.name, stack);
                     total.seconds += cost.seconds;
                     total.flops += cost.flops;
                     total.dram_bytes += cost.dram_bytes;
@@ -316,32 +433,27 @@ impl CostModel {
         (trip, lower + (extent as i64) / 2)
     }
 
-    fn computation_cost(
-        &self,
-        program: &Program,
-        comp: &loop_ir::nest::Computation,
-        stack: &[LoopInfo],
-    ) -> NestCost {
+    fn computation_cost(&self, summary: &CompSummary, name: &str, stack: &[LoopInfo]) -> NestCost {
         let total_iters: f64 = stack.iter().map(|s| s.trip).product::<f64>().max(1.0);
-        let flops = comp.flops() as f64 * total_iters;
+        let flops = summary.flops * total_iters;
 
         // ---- compute time ----------------------------------------------
         let innermost = stack.last();
         let mut flops_per_cycle = self.machine.scalar_flops_per_cycle;
         if let Some(inner) = innermost {
-            if inner.vectorize && self.vectorizable(program, comp, &inner.iter) {
+            if inner.vectorize && Self::vectorizable(summary, &inner.iter) {
                 flops_per_cycle *=
                     self.machine.vector_width as f64 * self.machine.vector_efficiency;
             }
         }
         // Very large loop bodies (heavily unrolled physics code) suffer from
         // register pressure; model a mild penalty that fission removes.
-        let body_size_penalty = 1.0 + (comp.flops() as f64 / 64.0).min(1.0);
+        let body_size_penalty = 1.0 + (summary.flops / 64.0).min(1.0);
         let mut compute_seconds =
             flops * body_size_penalty / (self.machine.frequency_hz * flops_per_cycle);
 
         // ---- memory time -------------------------------------------------
-        let (dram_bytes, l2_bytes) = self.memory_traffic(program, comp, stack);
+        let (dram_bytes, l2_bytes) = self.memory_traffic(summary, stack);
 
         // ---- parallelism --------------------------------------------------
         let parallel_level = stack.iter().position(|s| s.parallel);
@@ -364,11 +476,11 @@ impl CostModel {
             // must be updated atomically. "Varies" includes indirect
             // variation through loop bounds: a tile's point loop owns a
             // distinct slice of the target for every tile-loop iteration.
-            if comp.reduction.is_some() {
+            if summary.reduction {
                 let mut influencing: Vec<Var> = stack
                     .iter()
                     .map(|s| s.iter.clone())
-                    .filter(|iter| comp.target.uses_var(iter))
+                    .filter(|iter| summary.target_vars.contains(iter))
                     .collect();
                 let mut changed = true;
                 while changed {
@@ -413,7 +525,7 @@ impl CostModel {
 
         let seconds = compute_seconds.max(memory_seconds) + overhead;
         NestCost {
-            description: comp.name.clone(),
+            description: name.to_string(),
             seconds,
             flops,
             dram_bytes,
@@ -423,56 +535,34 @@ impl CostModel {
     /// A computation vectorizes well along `iter` when none of its accesses
     /// has a large stride along that iterator (unit stride and loop-invariant
     /// accesses are fine).
-    fn vectorizable(
-        &self,
-        program: &Program,
-        comp: &loop_ir::nest::Computation,
-        iter: &Var,
-    ) -> bool {
-        for access in comp.accesses() {
-            let Ok(array) = program.array(&access.array_ref.array) else {
-                return false;
-            };
-            let Some(offset) = access.array_ref.linear_offset(array, &program.params) else {
-                return false;
-            };
-            let stride = offset.coefficient(iter).unsigned_abs();
-            if stride > 1 {
-                return false;
-            }
-        }
-        true
+    fn vectorizable(summary: &CompSummary, iter: &Var) -> bool {
+        (0..summary.coeffs.len()).all(|access| {
+            summary
+                .stride_of(access, iter)
+                .is_some_and(|stride| stride <= 1)
+        })
     }
 
     /// Estimated (DRAM bytes, L2 bytes) moved for all dynamic instances of a
     /// computation, via a working-set analysis over its loop stack.
-    fn memory_traffic(
-        &self,
-        program: &Program,
-        comp: &loop_ir::nest::Computation,
-        stack: &[LoopInfo],
-    ) -> (f64, f64) {
-        let accesses = comp.accesses();
+    fn memory_traffic(&self, summary: &CompSummary, stack: &[LoopInfo]) -> (f64, f64) {
+        let n_accesses = summary.coeffs.len();
         let elems_per_line = self.machine.elems_per_line(8) as f64;
         let depth = stack.len();
 
-        // Per access: the absolute linearized stride along every stack loop,
-        // and the set of loops that vary the access. A loop varies an access
-        // if its iterator appears in the subscripts, or (transitively) if a
-        // varying loop's bounds depend on it — this attributes tiled accesses
-        // to their tile loops, whose iterators only appear in point-loop
-        // bounds.
-        let mut coeffs: Vec<Vec<f64>> = Vec::with_capacity(accesses.len());
-        let mut varying: Vec<Vec<bool>> = Vec::with_capacity(accesses.len());
-        for access in &accesses {
-            let per_loop: Vec<f64> = match program
-                .array(&access.array_ref.array)
-                .ok()
-                .and_then(|a| access.array_ref.linear_offset(a, &program.params))
-            {
-                Some(offset) => stack
+        // Per access: the absolute linearized stride along every stack loop
+        // (straight from the cached run summary), and the set of loops that
+        // vary the access. A loop varies an access if its iterator appears
+        // in the subscripts, or (transitively) if a varying loop's bounds
+        // depend on it — this attributes tiled accesses to their tile loops,
+        // whose iterators only appear in point-loop bounds.
+        let mut coeffs: Vec<Vec<f64>> = Vec::with_capacity(n_accesses);
+        let mut varying: Vec<Vec<bool>> = Vec::with_capacity(n_accesses);
+        for access in 0..n_accesses {
+            let per_loop: Vec<f64> = match &summary.coeffs[access] {
+                Some(map) => stack
                     .iter()
-                    .map(|info| offset.coefficient(&info.iter).unsigned_abs() as f64)
+                    .map(|info| map.get(&info.iter).copied().unwrap_or(0) as f64)
                     .collect(),
                 // Non-affine access: treat as touching a new line at every
                 // level (worst case).
@@ -546,9 +636,7 @@ impl CostModel {
 
         // Footprint of the sub-nest starting at `level` (bytes).
         let footprint = |level: usize| -> f64 {
-            (0..accesses.len())
-                .map(|i| lines_for(i, level))
-                .sum::<f64>()
+            (0..n_accesses).map(|i| lines_for(i, level)).sum::<f64>()
                 * self.machine.line_bytes as f64
         };
 
@@ -588,7 +676,7 @@ impl CostModel {
 
         let mut dram_bytes = 0.0;
         let mut l2_bytes = 0.0;
-        for i in 0..accesses.len() {
+        for i in 0..n_accesses {
             dram_bytes += traffic(i, dram_level);
             l2_bytes += traffic(i, l1_level);
         }
@@ -792,6 +880,31 @@ mod tests {
         }
         assert_eq!(memoized.memo_entries(), 3);
         assert_eq!(plain.memo_entries(), 0);
+    }
+
+    #[test]
+    fn permuted_candidates_share_one_run_summary() {
+        // All six GEMM loop orders contain the same computation, so the
+        // per-nest memo holds six entries while the run-summary layer holds
+        // exactly one — permuting outer loops re-prices from the cached
+        // summary instead of re-deriving the affine access facts.
+        let model = CostModel::sequential();
+        let mut estimates = Vec::new();
+        for order in ["ijk", "ikj", "jik", "jki", "kij", "kji"] {
+            estimates.push(model.estimate(&gemm(order, 64)));
+        }
+        assert_eq!(model.memo_entries(), 6);
+        assert_eq!(model.run_summary_entries(), 1);
+        // The summary is order-independent input, not an order-independent
+        // answer: permutations still price differently.
+        let plain = model.clone().without_memoization();
+        for (order, est) in ["ijk", "ikj", "jik", "jki", "kij", "kji"]
+            .iter()
+            .zip(&estimates)
+        {
+            assert_eq!(est, &plain.estimate(&gemm(order, 64)), "order {order}");
+        }
+        assert_eq!(plain.run_summary_entries(), 0);
     }
 
     #[test]

@@ -29,9 +29,10 @@
 //!   tree-walking interpreter ([`crate::interp::reference`]) on every valid
 //!   program, with full per-dimension bounds checking.
 //! * [`CompiledProgram::stream`] emits the exact access trace into an
-//!   [`AccessSink`], emitting single-access innermost loops as closed-form
-//!   [`AccessSink::run`]s — bit-identical to the retained symbolic walker
-//!   ([`crate::trace::walk_accesses_symbolic`]).
+//!   [`AccessSink`], every compiled innermost loop as one closed-form
+//!   lockstep [`crate::trace::StrideRun`] group ([`AccessSink::run_group`])
+//!   built straight from the offset/stride plans — bit-identical to the
+//!   retained symbolic walker ([`crate::trace::walk_accesses_symbolic`]).
 //!
 //! # Divergences on *invalid* programs
 //!
@@ -57,7 +58,7 @@ use crate::blas;
 use crate::cache::AddressMap;
 use crate::error::{MachineError, Result};
 use crate::interp::ProgramData;
-use crate::trace::{AccessSink, TraceEntry};
+use crate::trace::{AccessSink, StrideRun, TraceEntry};
 
 // ---------------------------------------------------------------------------
 // Compiled forms
@@ -1172,16 +1173,17 @@ struct Streamer<'c> {
     compiled: &'c CompiledProgram,
     frame: Vec<i64>,
     count: u64,
-    /// Scratch plan reused across innermost-loop entries.
-    plan: Vec<(i64, i64, bool)>,
-    /// Scratch address cursors for interleaved multi-access emission.
-    addresses: Vec<i64>,
+    /// Scratch run-group plan reused across innermost-loop entries.
+    runs: Vec<StrideRun>,
 }
 
 impl CompiledProgram {
     /// Streams the program's access trace in execution order into `sink`,
-    /// emitting constant-stride single-access innermost loops as closed-form
-    /// runs. Returns the total number of accesses streamed.
+    /// emitting every compiled innermost loop as one lockstep
+    /// [`StrideRun`] group ([`AccessSink::run_group`]) built straight from
+    /// the affine offset/stride plans — individual addresses are only ever
+    /// materialized by sinks that ask for them (the default `run_group`
+    /// expansion). Returns the total number of accesses streamed.
     ///
     /// Addresses follow the [`AddressMap`] layout; negative offsets clamp to
     /// the array base, exactly like the symbolic reference walker.
@@ -1193,8 +1195,7 @@ impl CompiledProgram {
             compiled: self,
             frame: self.frame_init.clone(),
             count: 0,
-            plan: Vec::new(),
-            addresses: Vec::new(),
+            runs: Vec::new(),
         };
         for node in &self.nodes {
             streamer.stream_node(node, sink)?;
@@ -1241,9 +1242,10 @@ impl Streamer<'_> {
         result
     }
 
-    /// Streams a compiled innermost loop as incremental address arithmetic.
-    /// Returns `false` when an access would clamp at address zero, in which
-    /// case the caller takes the generic (clamping, bit-compatible) path.
+    /// Streams a compiled innermost loop as one lockstep [`StrideRun`] group
+    /// built directly from the offset/stride plans. Returns `false` when an
+    /// access would clamp at address zero, in which case the caller takes
+    /// the generic (clamping, bit-compatible) path.
     fn stream_inner(
         &mut self,
         l: &CLoop,
@@ -1252,7 +1254,7 @@ impl Streamer<'_> {
         sink: &mut impl AccessSink,
     ) -> bool {
         self.frame[l.slot] = lower;
-        self.plan.clear();
+        self.runs.clear();
         for node in &l.body {
             let CNode::Comp(comp) = node else {
                 unreachable!("inner loops contain only computations")
@@ -1277,34 +1279,17 @@ impl Streamer<'_> {
                 }
                 let carray = &self.compiled.arrays[*array];
                 let elem = carray.elem_size as i64;
-                self.plan.push((
-                    carray.base as i64 + first * elem,
-                    stride_el * l.step * elem,
-                    *is_write,
-                ));
+                self.runs.push(StrideRun {
+                    base: carray.base + first as u64 * carray.elem_size as u64,
+                    stride: stride_el * l.step * elem,
+                    count: trips as u64,
+                    array: *array as u32,
+                    is_write: *is_write,
+                });
             }
         }
-        self.count += trips as u64 * self.plan.len() as u64;
-        match self.plan.as_slice() {
-            [] => {}
-            &[(start, stride, is_write)] => {
-                sink.run(start as u64, stride, trips as u64, is_write);
-            }
-            _ => {
-                self.addresses.clear();
-                self.addresses.extend(self.plan.iter().map(|p| p.0));
-                for _ in 0..trips {
-                    for (slot, &(_, stride, is_write)) in self.addresses.iter_mut().zip(&self.plan)
-                    {
-                        sink.access(TraceEntry {
-                            address: *slot as u64,
-                            is_write,
-                        });
-                        *slot += stride;
-                    }
-                }
-            }
-        }
+        self.count += trips as u64 * self.runs.len() as u64;
+        sink.run_group(&self.runs);
         true
     }
 

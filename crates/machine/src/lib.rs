@@ -30,23 +30,29 @@
 //!           (trace, streamed)  (cache, flat LRU)   (cost, memoized)  (daisy)
 //! ```
 //!
-//! The stack is streaming end to end. [`trace::stream_accesses`] lowers the
-//! program through [`exec::CompiledProgram`] and pushes accesses into an
-//! [`trace::AccessSink`] as it goes — no trace is ever materialized —
-//! compiling innermost affine loops into incremental address arithmetic and
-//! emitting single-access loops as constant-stride *runs*. The same lowering
-//! executes program semantics ([`exec::CompiledProgram::execute`]), which is
-//! what makes paper-sized semantic equivalence checks cheap. [`cache::CacheHierarchy`] consumes runs in closed
-//! form and keeps tags/LRU timestamps in flat power-of-two-masked arrays; its
-//! counters are bit-identical to the naive per-access reference simulator
-//! ([`cache::reference`]), which is retained for equivalence tests and as the
-//! bench baseline.
+//! The stack is streaming *and run-level* end to end.
+//! [`trace::stream_accesses`] lowers the program through
+//! [`exec::CompiledProgram`] and emits every compiled innermost loop as one
+//! lockstep group of [`trace::StrideRun`] segments built straight from the
+//! affine offset/stride plans — no trace is ever materialized, and
+//! individual addresses exist only for sinks that ask for them. The same
+//! lowering executes program semantics
+//! ([`exec::CompiledProgram::execute`]), which is what makes paper-sized
+//! semantic equivalence checks cheap. [`cache::CacheHierarchy`] consumes
+//! whole run groups in *line phases* — O(distinct cache lines touched)
+//! instead of O(accesses) — keeping each set's LRU order directly in one
+//! flat tag array; its counters are bit-identical to the retained
+//! per-access pipeline ([`trace::simulate_cache_per_access`]) and to the
+//! naive reference simulator ([`cache::reference`]), both kept for
+//! equivalence tests and as bench baselines.
 //!
-//! [`cost::CostModel`] memoizes per-nest costs behind structural hashes. The
-//! contract: a nest's cost is a pure function of *(machine, thread count,
-//! program environment, nest structure)* — see the [`cost`] module docs —
-//! which is what lets the `daisy` evolutionary search re-price only the nest
-//! a candidate recipe rewrote.
+//! [`cost::CostModel`] memoizes behind structural hashes at two levels:
+//! whole-nest costs, and per-computation *run summaries* (the per-iterator
+//! stride facts of each access). The contract: a nest's cost is a pure
+//! function of *(machine, thread count, program environment, nest
+//! structure)* — see the [`cost`] module docs — which is what lets the
+//! `daisy` evolutionary search re-price only the nest a candidate recipe
+//! rewrote, and re-price outer-loop permutations from cached summaries.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -67,6 +73,6 @@ pub use error::{MachineError, Result};
 pub use exec::CompiledProgram;
 pub use interp::{run_seeded, Interpreter, ProgramData};
 pub use trace::{
-    simulate_cache, simulate_cache_reference, stream_accesses, walk_accesses, AccessSink,
-    TraceEntry,
+    simulate_cache, simulate_cache_per_access, simulate_cache_reference, stream_accesses,
+    walk_accesses, AccessSink, StrideRun, TraceEntry,
 };

@@ -6,13 +6,20 @@
 //! Nothing is ever materialized: the trace is produced and consumed one
 //! access (or one constant-stride *run*) at a time.
 //!
-//! Since PR 4 the walk itself lives in the shared compiled execution engine
+//! The walk itself lives in the shared compiled execution engine
 //! ([`crate::exec`]): the program is lowered once into affine offset/stride
-//! plans and [`CompiledProgram::stream`] emits the trace with incremental
-//! address arithmetic, single-access innermost loops as closed-form
-//! [`AccessSink::run`]s. The pre-refactor per-iteration symbolic walker is
-//! retained as [`walk_accesses_symbolic`], the ground truth of the
-//! equivalence tests.
+//! plans and [`CompiledProgram::stream`] emits the trace straight from those
+//! plans — every compiled innermost loop becomes one [`AccessSink::run_group`]
+//! of lockstep [`StrideRun`] segments (one per array reference), without ever
+//! expanding them into individual addresses. Sinks that want the per-access
+//! stream get it from the default `run_group` expansion; the cache sink
+//! instead forwards whole groups to the run-aware simulator
+//! ([`crate::cache::CacheHierarchy::access_run_group`]), which processes a
+//! run in time proportional to the distinct cache lines it touches. The
+//! pre-refactor per-iteration symbolic walker is retained as
+//! [`walk_accesses_symbolic`], and the per-access simulation pipeline as
+//! [`simulate_cache_per_access`] — the ground truths of the equivalence
+//! tests and the bench baselines.
 
 use loop_ir::array::AccessKind;
 use loop_ir::nest::Node;
@@ -33,13 +40,36 @@ pub struct TraceEntry {
     pub is_write: bool,
 }
 
+/// One constant-stride access run of a compiled innermost loop: the `count`
+/// addresses `base, base + stride, …` of a single array reference, emitted
+/// straight from the compiled offset/stride plan without expansion.
+///
+/// Runs travel in *groups* (one group per innermost-loop execution) whose
+/// members advance in lockstep: iteration `i` touches every run's
+/// `base + i·stride`, in run order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideRun {
+    /// Byte address of the first access.
+    pub base: u64,
+    /// Byte distance between consecutive accesses (zero and negative are
+    /// valid: loop-invariant and reversal subscripts).
+    pub stride: i64,
+    /// Number of accesses in the run (the loop's trip count).
+    pub count: u64,
+    /// Slot of the accessed array in the compiled program's array table.
+    pub array: u32,
+    /// Whether every access of the run is a write.
+    pub is_write: bool,
+}
+
 /// Consumer of a streamed access trace.
 ///
 /// Implementors receive the trace in execution order, either access by
 /// access or — when the walker proves a constant-stride innermost loop —
-/// as whole runs. The default [`run`](AccessSink::run) expands to individual
-/// accesses, so a sink only interested in single entries implements
-/// [`access`](AccessSink::access) alone.
+/// as whole runs or lockstep run groups. The defaults expand
+/// [`run`](AccessSink::run) and [`run_group`](AccessSink::run_group) to
+/// individual accesses, so a sink only interested in single entries
+/// implements [`access`](AccessSink::access) alone.
 pub trait AccessSink {
     /// Consumes one access.
     fn access(&mut self, entry: TraceEntry);
@@ -53,6 +83,31 @@ pub trait AccessSink {
                 is_write,
             });
             address += stride;
+        }
+    }
+
+    /// Consumes a group of lockstep runs — the access plans of one compiled
+    /// innermost loop execution: iteration `i` emits `runs[0].base +
+    /// i·stride`, then `runs[1]`, … The default expands the group to
+    /// individual accesses in exactly that interleaved order (a single-run
+    /// group delegates to [`run`](AccessSink::run)), preserving the
+    /// per-access trace for sinks that do not understand runs.
+    fn run_group(&mut self, runs: &[StrideRun]) {
+        match runs {
+            [] => {}
+            [r] => self.run(r.base, r.stride, r.count, r.is_write),
+            _ => {
+                let mut addresses: Vec<i64> = runs.iter().map(|r| r.base as i64).collect();
+                for _ in 0..runs[0].count {
+                    for (slot, r) in addresses.iter_mut().zip(runs) {
+                        self.access(TraceEntry {
+                            address: *slot as u64,
+                            is_write: r.is_write,
+                        });
+                        *slot += r.stride;
+                    }
+                }
+            }
         }
     }
 }
@@ -88,8 +143,8 @@ pub fn stream_accesses(program: &Program, sink: &mut impl AccessSink) -> Result<
     CompiledProgram::lower(program)?.stream(sink)
 }
 
-/// Sink feeding a [`CacheHierarchy`], forwarding runs to the closed-form
-/// fast path.
+/// Sink feeding a [`CacheHierarchy`], forwarding runs and whole run groups
+/// to the closed-form fast paths.
 struct CacheSink<'a> {
     cache: &'a mut CacheHierarchy,
 }
@@ -102,17 +157,59 @@ impl AccessSink for CacheSink<'_> {
     fn run(&mut self, start: u64, stride: i64, count: u64, _is_write: bool) {
         self.cache.access_run(start, stride, count);
     }
+
+    fn run_group(&mut self, runs: &[StrideRun]) {
+        self.cache.access_run_group(runs);
+    }
 }
 
 /// Runs the whole access trace of a program through a two-level cache
 /// simulator and returns the hierarchy with its counters. The trace is
-/// streamed: no intermediate collection of accesses is built.
+/// streamed run-compressed: compiled innermost loops reach the simulator as
+/// lockstep [`StrideRun`] groups and are processed in time proportional to
+/// the distinct cache lines they touch — with counters bit-identical to
+/// feeding the simulator one access at a time
+/// ([`simulate_cache_per_access`], the differential baseline).
 ///
 /// # Errors
 /// Propagates trace-generation errors.
 pub fn simulate_cache(program: &Program, machine: &MachineConfig) -> Result<CacheHierarchy> {
     let mut cache = CacheHierarchy::from_machine(machine);
     stream_accesses(program, &mut CacheSink { cache: &mut cache })?;
+    Ok(cache)
+}
+
+/// Sink replicating the PR 1 evaluation pipeline: single-access runs still
+/// collapse through [`CacheHierarchy::access_run`], but interleaved
+/// multi-access loops expand to one simulated access per trace entry (the
+/// default [`AccessSink::run_group`]).
+struct PerAccessCacheSink<'a> {
+    cache: &'a mut CacheHierarchy,
+}
+
+impl AccessSink for PerAccessCacheSink<'_> {
+    fn access(&mut self, entry: TraceEntry) {
+        self.cache.access(entry.address);
+    }
+
+    fn run(&mut self, start: u64, stride: i64, count: u64, _is_write: bool) {
+        self.cache.access_run(start, stride, count);
+    }
+}
+
+/// The pre-run-compression simulation pipeline: every access of an
+/// interleaved innermost loop is simulated individually. Retained as the
+/// baseline [`simulate_cache`] is benchmarked and differentially tested
+/// against — both must report bit-identical counters on every program.
+///
+/// # Errors
+/// Propagates trace-generation errors.
+pub fn simulate_cache_per_access(
+    program: &Program,
+    machine: &MachineConfig,
+) -> Result<CacheHierarchy> {
+    let mut cache = CacheHierarchy::from_machine(machine);
+    stream_accesses(program, &mut PerAccessCacheSink { cache: &mut cache })?;
     Ok(cache)
 }
 

@@ -1,0 +1,161 @@
+//! Differential coverage of the run-compressed cache simulation pipeline.
+//!
+//! [`machine::simulate_cache`] feeds the cache simulator whole lockstep
+//! [`machine::StrideRun`] groups (one per compiled innermost loop) and the
+//! simulator processes them in line phases; this suite pins its
+//! [`machine::CacheStats`] *bit-identical* — not approximately equal — to
+//! the per-access streaming pipeline retained as
+//! [`machine::simulate_cache_per_access`], and both to the naive LRU
+//! reference simulator driven by the symbolic walker. Property tests sweep
+//! random affine nests through the edge cases the run compression must not
+//! get wrong: zero-trip inner loops, negative strides (reversal
+//! subscripts), loop-invariant (zero-stride) accesses, strides larger than
+//! a cache line (transposed subscripts) and interleaved multi-access bodies
+//! whose lines collide in the tiny test cache's few sets.
+
+use loop_ir::parser::parse_program;
+use loop_ir::program::Program;
+use machine::{simulate_cache, simulate_cache_per_access, simulate_cache_reference, MachineConfig};
+use polybench::cloudsc::{erosion_optimized, erosion_original, CloudscSizes};
+use polybench::{all_benchmarks, Dataset};
+use proptest::{prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+/// Asserts that the run-compressed, per-access and naive-reference
+/// simulations of `program` report bit-identical counters.
+fn assert_cache_equivalence(program: &Program, machine: &MachineConfig) {
+    let fast = simulate_cache(program, machine)
+        .unwrap_or_else(|e| panic!("{}: run-compressed simulation failed: {e}", program.name));
+    let base = simulate_cache_per_access(program, machine)
+        .unwrap_or_else(|e| panic!("{}: per-access simulation failed: {e}", program.name));
+    let naive = simulate_cache_reference(program, machine)
+        .unwrap_or_else(|e| panic!("{}: reference simulation failed: {e}", program.name));
+    for (label, accesses, l1, l2) in [
+        ("per-access", base.accesses(), base.l1(), base.l2()),
+        ("reference", naive.accesses(), naive.l1(), naive.l2()),
+    ] {
+        assert_eq!(
+            fast.accesses(),
+            accesses,
+            "{}: access counts diverge from {label}",
+            program.name
+        );
+        assert_eq!(
+            fast.l1(),
+            l1,
+            "{}: L1 counters diverge from {label}",
+            program.name
+        );
+        assert_eq!(
+            fast.l2(),
+            l2,
+            "{}: L2 counters diverge from {label}",
+            program.name
+        );
+    }
+}
+
+/// A two-deep affine nest whose inner body interleaves accesses drawn from
+/// a menu of stride shapes along `j`: unit (`A[i][j]`), negative
+/// (`A[i][N - 1 - j]`), loop-invariant (`C[i]`) and super-line
+/// (`B[j][i]`, row stride `8·N` bytes > the 64-byte line for `N > 8`).
+fn interleaved_program(
+    n: i64,
+    lo: i64,
+    hi: i64,
+    step: i64,
+    shape: u8,
+    second_stmt: bool,
+) -> Program {
+    let b_subscript = match shape % 3 {
+        0 => "i][j",
+        1 => "i][N - 1 - j",
+        _ => "j][i",
+    };
+    let c_subscript = if shape.is_multiple_of(2) { "i" } else { "j" };
+    let extra = if second_stmt {
+        "A[i][j] += D[i][j] * 2.0;"
+    } else {
+        ""
+    };
+    parse_program(&format!(
+        "program cachediff {{
+           param N = {n}; param LO = {lo}; param HI = {hi};
+           array A[N][N]; array B[N][N]; array C[N]; array D[N][N];
+           for i in 0..N {{
+             C[i] = A[i][0] * 0.5;
+             for j in LO..HI step {step} {{
+               D[i][j] = A[i][j] + B[{b_subscript}] * C[{c_subscript}];
+               {extra}
+             }}
+           }}
+         }}"
+    ))
+    .expect("generated nest parses")
+}
+
+fn arbitrary_nest() -> impl Strategy<Value = (i64, i64, i64, i64, u8, bool)> {
+    (9i64..28, 0i64..28, 0i64..28, 1i64..4, 0u8..6).prop_map(|(n, lo, hi, step, shape)| {
+        // Clamp the inner domain into the arrays so subscripts stay legal;
+        // lo >= hi (a zero-trip inner loop) stays deliberately possible.
+        let lo = lo.min(n - 1);
+        let hi = hi.min(n);
+        let second_stmt = (n + lo + hi) % 2 == 0;
+        (n, lo, hi, step, shape, second_stmt)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_affine_nests_simulate_bit_identically(
+        (n, lo, hi, step, shape, second_stmt) in arbitrary_nest()
+    ) {
+        let program = interleaved_program(n, lo, hi, step, shape, second_stmt);
+        // The tiny machine (1 KiB L1, 4 sets) forces set conflicts and
+        // capacity evictions, exercising the conflict fallback of the
+        // run-group fast path.
+        let machine = MachineConfig::tiny_for_tests();
+        let fast = simulate_cache(&program, &machine).unwrap();
+        let base = simulate_cache_per_access(&program, &machine).unwrap();
+        prop_assert_eq!(fast.accesses(), base.accesses());
+        prop_assert_eq!(fast.l1(), base.l1());
+        prop_assert_eq!(fast.l2(), base.l2());
+        let naive = simulate_cache_reference(&program, &machine).unwrap();
+        prop_assert_eq!(fast.accesses(), naive.accesses());
+        prop_assert_eq!(fast.l1(), naive.l1());
+        prop_assert_eq!(fast.l2(), naive.l2());
+    }
+}
+
+#[test]
+fn directed_edge_cases_simulate_bit_identically() {
+    let machine = MachineConfig::tiny_for_tests();
+    // Zero-trip inner loop; pure negative stride; pure super-line stride;
+    // all-invariant body; maximal interleaving with a reduction.
+    for (n, lo, hi, step, shape, second) in [
+        (16, 10, 10, 1, 0, true), // zero-trip inner loop
+        (16, 0, 16, 1, 1, false), // negative stride
+        (24, 0, 24, 1, 2, true),  // super-line stride (transposed)
+        (12, 0, 12, 3, 4, true),  // strided domain, invariant C[i]
+        (27, 1, 26, 2, 5, true),  // odd extents, unaligned bases
+    ] {
+        assert_cache_equivalence(
+            &interleaved_program(n, lo, hi, step, shape, second),
+            &machine,
+        );
+    }
+}
+
+#[test]
+fn workload_suite_simulates_bit_identically() {
+    // The real workloads of the reproduction: every PolyBench A variant and
+    // the Table 1 CLOUDSC erosion nests, on the paper's machine geometry.
+    let machine = MachineConfig::xeon_e5_2680v3();
+    for b in all_benchmarks() {
+        assert_cache_equivalence(&(b.a)(Dataset::Mini), &machine);
+    }
+    let sizes = CloudscSizes::mini();
+    assert_cache_equivalence(&erosion_original(sizes), &machine);
+    assert_cache_equivalence(&erosion_optimized(sizes), &machine);
+}
