@@ -61,7 +61,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 for name in &names {
                     if !FIGURES.contains(&name.as_str()) {
                         return Err(format!(
-                            "unknown figure {name:?}; known: {}",
+                            "unknown target '{name}' (valid targets: {})",
                             FIGURES.join(", ")
                         ));
                     }

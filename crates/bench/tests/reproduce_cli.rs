@@ -34,6 +34,28 @@ fn list_prints_every_figure_harness_and_exits_zero() {
 }
 
 #[test]
+fn unknown_only_target_names_itself_and_lists_the_valid_ones() {
+    let output = reproduce(&["--only", "fig99"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let lines: Vec<&str> = stderr.lines().collect();
+    assert_eq!(lines.len(), 1, "one-line diagnostic, got: {stderr}");
+    assert_eq!(
+        lines[0],
+        "reproduce: unknown target 'fig99' (valid targets: fig1, table1, fig6, fig7, fig9, fig11, fig12)",
+        "the diagnostic must quote the bad name and enumerate every valid target"
+    );
+    // The same contract holds for a bad name buried in a comma list.
+    let output = reproduce(&["--only", "fig1,nope"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown target 'nope'"),
+        "list parsing must name the offending entry: {stderr}"
+    );
+}
+
+#[test]
 fn usage_errors_exit_with_code_two() {
     for args in [
         vec!["--frobnicate"],

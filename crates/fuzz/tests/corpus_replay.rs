@@ -1,0 +1,62 @@
+//! Replays every committed corpus case through the full oracle battery.
+//!
+//! The corpus under `fuzz/corpus/` holds generated programs that graduated
+//! because their structural feature set was new. Each is a regression
+//! test: it once exercised a pipeline shape end to end, and must keep
+//! passing every differential oracle bit for bit.
+
+use fuzz::campaign::check_program;
+use fuzz::corpus::{default_corpus_dir, features_of, load_corpus};
+use fuzz::oracle::OracleSelection;
+
+#[test]
+fn every_committed_corpus_case_passes_every_oracle() {
+    let dir = default_corpus_dir();
+    let cases = load_corpus(&dir).expect("corpus loads");
+    assert!(
+        !cases.is_empty(),
+        "fuzz/corpus must contain committed cases (looked in {})",
+        dir.display()
+    );
+    for case in &cases {
+        let verdict = check_program(&case.program, &OracleSelection::default());
+        assert!(
+            verdict.is_pass(),
+            "{} regressed: {:?}",
+            case.path.display(),
+            verdict
+        );
+    }
+}
+
+#[test]
+fn corpus_cases_cover_distinct_feature_sets() {
+    let cases = load_corpus(&default_corpus_dir()).expect("corpus loads");
+    let keys: std::collections::BTreeSet<String> = cases
+        .iter()
+        .map(|c| {
+            features_of(&c.program)
+                .into_iter()
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    assert_eq!(
+        keys.len(),
+        cases.len(),
+        "two corpus files share a feature set; one is redundant"
+    );
+}
+
+#[test]
+fn corpus_headers_record_the_generating_seed() {
+    let cases = load_corpus(&default_corpus_dir()).expect("corpus loads");
+    for case in &cases {
+        let text = std::fs::read_to_string(&case.path).expect("readable");
+        assert!(
+            text.starts_with("// daisyfuzz: seed=0x"),
+            "{} is missing its seed header",
+            case.path.display()
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Contract tests for the `daisyfuzz` binary: exit codes, one-line usage
+//! diagnostics, the JSON report, and the injected-fault path that proves
+//! the farm catches, shrinks and reports a real divergence end to end.
+
+use std::process::{Command, Output};
+
+fn daisyfuzz(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_daisyfuzz"))
+        .args(args)
+        .output()
+        .expect("daisyfuzz runs")
+}
+
+fn stderr_line(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr)
+        .trim_end()
+        .to_string()
+}
+
+#[test]
+fn usage_errors_are_one_line_and_exit_2() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["run", "--budget"][..],
+        &["run", "--budget", "many"][..],
+        &["run", "--inject", "gamma-rays"][..],
+        &["run", "--frobnicate", "1"][..],
+        &["replay"][..],
+        &["corpus"][..],
+        &["corpus", "demote"][..],
+    ] {
+        let output = daisyfuzz(args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?} must exit 2, stderr: {}",
+            stderr_line(&output)
+        );
+        let err = stderr_line(&output);
+        assert!(
+            err.starts_with("daisyfuzz: ") && !err.contains('\n'),
+            "args {args:?} must produce a one-line daisyfuzz: diagnostic, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn a_clean_bounded_run_exits_0_with_a_summary() {
+    let output = daisyfuzz(&["run", "--seed", "3405", "--budget", "60"]);
+    assert_eq!(output.status.code(), Some(0));
+    let out = String::from_utf8_lossy(&output.stdout);
+    assert!(out.contains("cases=60/60"));
+    assert!(out.contains("failures=0"));
+    assert!(out.contains("panics_contained=0"));
+}
+
+#[test]
+fn an_injected_mismatch_is_caught_shrunk_and_reported() {
+    let json_path =
+        std::env::temp_dir().join(format!("daisyfuzz-cli-inject-{}.json", std::process::id()));
+    let output = daisyfuzz(&[
+        "run",
+        "--seed",
+        "3405",
+        "--budget",
+        "50",
+        "--inject",
+        "exec",
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "an injected fault must fail the run"
+    );
+    let out = String::from_utf8_lossy(&output.stdout);
+    assert!(out.contains("MISMATCH"), "stdout: {out}");
+    assert!(out.contains("injected fault"), "stdout: {out}");
+    assert!(
+        out.contains("replay with: daisyfuzz replay --seed"),
+        "failures must carry a replayable seed, stdout: {out}"
+    );
+    assert!(
+        out.contains("shrunk in"),
+        "failures must be shrunk, stdout: {out}"
+    );
+    let json = std::fs::read_to_string(&json_path).expect("json report written");
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"oracle\": \"exec\""));
+    assert!(json.contains("\"shrunk\":"));
+    std::fs::remove_file(&json_path).ok();
+}
+
+#[test]
+fn injected_panics_are_contained_and_the_run_still_finishes() {
+    let output = daisyfuzz(&[
+        "run", "--seed", "3405", "--budget", "80", "--inject", "panic",
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    let out = String::from_utf8_lossy(&output.stdout);
+    assert!(out.contains("PANIC"), "stdout: {out}");
+    assert!(!out.contains("panics_contained=0"), "stdout: {out}");
+}
+
+#[test]
+fn replay_accepts_a_seed_and_a_corpus_file() {
+    let output = daisyfuzz(&["replay", "--seed", "3405"]);
+    assert_eq!(output.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&output.stdout).contains("passed every oracle"));
+
+    let corpus = fuzz::corpus::default_corpus_dir();
+    let case = fuzz::corpus::load_corpus(&corpus)
+        .expect("corpus loads")
+        .into_iter()
+        .next()
+        .expect("corpus is non-empty");
+    let output = daisyfuzz(&["replay", case.path.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(0));
+}
+
+#[test]
+fn help_lists_every_command() {
+    let output = daisyfuzz(&["--help"]);
+    assert_eq!(output.status.code(), Some(0));
+    let out = String::from_utf8_lossy(&output.stdout);
+    for needle in ["run", "replay", "corpus", "--inject", "exit status"] {
+        assert!(out.contains(needle), "help must mention {needle}");
+    }
+}

@@ -54,6 +54,7 @@ pub mod parser;
 pub mod printer;
 pub mod program;
 pub mod scalar;
+pub mod source;
 pub mod visit;
 
 pub use array::{Array, ArrayRef};

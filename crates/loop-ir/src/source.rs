@@ -1,0 +1,316 @@
+//! Emits programs back into the textual mini-language of [`crate::parser`].
+//!
+//! The C-like pretty printer in [`crate::printer`] targets the pseudocode
+//! style of the paper's figures and does *not* round-trip — `for (i = 0; …)`
+//! headers are not part of the frontend grammar. This module is the inverse
+//! of the parser instead: [`to_source`] produces a `program name { … }`
+//! definition that [`crate::parser::parse_program`] accepts, which is how
+//! the fuzz corpus serializes generated programs as plain text.
+//!
+//! Not every IR value has a source form. Constructs the grammar cannot
+//! express — [`ScalarExpr::Select`], [`Node::Call`], `min`/`max` in index
+//! expressions, unroll annotations, `Min`/`Div` reductions — are reported
+//! as [`IrError::Invalid`] rather than silently mangled. Within the
+//! expressible subset the round trip is exact up to statement names (the
+//! parser renames statements `S0, S1, …` in program order): emitting
+//! programs whose statements already follow that convention round-trips to
+//! a structurally identical program, as the tests pin down.
+
+use std::fmt::Write as _;
+
+use crate::error::{IrError, Result};
+use crate::expr::Expr;
+use crate::nest::{Computation, Node};
+use crate::program::Program;
+use crate::scalar::{BinOp, ScalarExpr, UnaryOp};
+
+/// Renders `program` in the textual mini-language accepted by
+/// [`crate::parser::parse_program`].
+pub fn to_source(program: &Program) -> Result<String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} {{", program.name);
+    for (name, value) in &program.params {
+        let _ = writeln!(out, "  param {name} = {value};");
+    }
+    for (name, value) in &program.scalar_params {
+        let _ = writeln!(out, "  scalar {name} = {};", float(*value)?);
+    }
+    for array in program.arrays.values() {
+        let mut dims = String::new();
+        for d in &array.dims {
+            let _ = write!(dims, "[{}]", index_expr(d)?);
+        }
+        let _ = writeln!(out, "  array {}{};", array.name, dims);
+    }
+    for node in &program.body {
+        node_source(node, 1, &mut out)?;
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+fn node_source(node: &Node, indent: usize, out: &mut String) -> Result<()> {
+    let pad = "  ".repeat(indent);
+    match node {
+        Node::Loop(l) => {
+            if l.schedule.unroll > 1 {
+                return Err(IrError::Invalid(format!(
+                    "loop {}: unroll annotations have no source form",
+                    l.iter
+                )));
+            }
+            let mut pragma = Vec::new();
+            if l.schedule.parallel {
+                pragma.push("parallel");
+            }
+            if l.schedule.vectorize {
+                pragma.push("simd");
+            }
+            if !pragma.is_empty() {
+                let _ = writeln!(out, "{pad}#pragma {}", pragma.join(" "));
+            }
+            let step = if l.step == 1 {
+                String::new()
+            } else {
+                format!(" step {}", l.step)
+            };
+            let _ = writeln!(
+                out,
+                "{pad}for {} in {}..{}{step} {{",
+                l.iter,
+                index_expr(&l.lower)?,
+                index_expr(&l.upper)?,
+            );
+            for n in &l.body {
+                node_source(n, indent + 1, out)?;
+            }
+            let _ = writeln!(out, "{pad}}}");
+            Ok(())
+        }
+        Node::Computation(c) => {
+            let _ = writeln!(out, "{pad}{};", comp_source(c)?);
+            Ok(())
+        }
+        Node::Call(call) => Err(IrError::Invalid(format!(
+            "library call {call} has no source form"
+        ))),
+    }
+}
+
+fn comp_source(c: &Computation) -> Result<String> {
+    let mut target = c.target.array.to_string();
+    for idx in &c.target.indices {
+        let _ = write!(target, "[{}]", index_expr(idx)?);
+    }
+    let op = match c.reduction {
+        None => "=",
+        Some(BinOp::Add) => "+=",
+        Some(BinOp::Sub) => "-=",
+        Some(BinOp::Mul) => "*=",
+        Some(BinOp::Div) => "/=",
+        Some(op) => {
+            return Err(IrError::Invalid(format!(
+                "reduction operator {op} has no source form"
+            )))
+        }
+    };
+    Ok(format!("{target} {op} {}", scalar_expr(&c.value)?))
+}
+
+/// Index expressions: the parser grammar covers `+ - * / %`, unary minus,
+/// integers, identifiers and parentheses — but not `min`/`max`.
+fn index_expr(e: &Expr) -> Result<String> {
+    match e {
+        Expr::Const(c) => Ok(c.to_string()),
+        Expr::Var(v) => Ok(v.to_string()),
+        Expr::Add(a, b) => Ok(format!("({} + {})", index_expr(a)?, index_expr(b)?)),
+        Expr::Sub(a, b) => Ok(format!("({} - {})", index_expr(a)?, index_expr(b)?)),
+        Expr::Mul(a, b) => Ok(format!("({} * {})", index_expr(a)?, index_expr(b)?)),
+        Expr::Div(a, b) => Ok(format!("({} / {})", index_expr(a)?, index_expr(b)?)),
+        Expr::Mod(a, b) => Ok(format!("({} % {})", index_expr(a)?, index_expr(b)?)),
+        Expr::Neg(a) => Ok(format!("(-{})", index_expr(a)?)),
+        Expr::Min(_, _) | Expr::Max(_, _) => Err(IrError::Invalid(format!(
+            "index expression {e} has no source form (min/max are scalar-only)"
+        ))),
+    }
+}
+
+fn scalar_expr(e: &ScalarExpr) -> Result<String> {
+    match e {
+        ScalarExpr::Load(r) => {
+            let mut s = r.array.to_string();
+            for idx in &r.indices {
+                let _ = write!(s, "[{}]", index_expr(idx)?);
+            }
+            Ok(s)
+        }
+        ScalarExpr::Const(c) => float(*c),
+        ScalarExpr::Param(v) => Ok(v.to_string()),
+        ScalarExpr::Index(idx) => Ok(format!("index({})", index_expr(idx)?)),
+        ScalarExpr::Unary(UnaryOp::Neg, a) => Ok(format!("(-{})", scalar_expr(a)?)),
+        ScalarExpr::Unary(op, a) => Ok(format!("{op}({})", scalar_expr(a)?)),
+        ScalarExpr::Binary(BinOp::Min, a, b) => {
+            Ok(format!("min({}, {})", scalar_expr(a)?, scalar_expr(b)?))
+        }
+        ScalarExpr::Binary(BinOp::Max, a, b) => {
+            Ok(format!("max({}, {})", scalar_expr(a)?, scalar_expr(b)?))
+        }
+        ScalarExpr::Binary(BinOp::Pow, a, b) => {
+            Ok(format!("pow({}, {})", scalar_expr(a)?, scalar_expr(b)?))
+        }
+        ScalarExpr::Binary(op, a, b) => {
+            Ok(format!("({} {op} {})", scalar_expr(a)?, scalar_expr(b)?))
+        }
+        ScalarExpr::Select { .. } => Err(IrError::Invalid(
+            "select expressions have no source form".to_string(),
+        )),
+    }
+}
+
+/// Formats a non-negative finite `f64` as a literal the lexer reads back
+/// bit-exactly. Rust's `Display` prints the shortest round-tripping decimal
+/// and never uses exponent notation, so a dotless rendering only needs
+/// `.0` appended to lex as a `Float` rather than an `Int`.
+fn float(v: f64) -> Result<String> {
+    if !v.is_finite() || (v == 0.0 && v.is_sign_negative()) {
+        return Err(IrError::Invalid(format!(
+            "scalar constant {v} has no source form"
+        )));
+    }
+    if v < 0.0 {
+        // The grammar's unary minus parses to `Neg(Const)` — a different
+        // tree than `Const(-c)` — so negative values are expressed as an
+        // exact subtraction instead.
+        return Ok(format!("(0.0 - {})", float(-v)?));
+    }
+    let plain = format!("{v}");
+    if plain.contains('.') {
+        Ok(plain)
+    } else {
+        Ok(format!("{plain}.0"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{cst, var};
+    use crate::nest::for_loop;
+    use crate::parser::parse_program;
+    use crate::prelude::*;
+
+    fn sample() -> Program {
+        let s0 = Computation::assign(
+            "S0",
+            ArrayRef::new("B", vec![var("i")]),
+            load("A", vec![var("N") - cst(1) - var("i")]) * param("alpha") + fconst(1.5),
+        );
+        let s1 = Computation::reduction(
+            "S1",
+            ArrayRef::new("acc", vec![cst(0)]),
+            BinOp::Add,
+            load("B", vec![var("j")]) * load("B", vec![var("j")]),
+        );
+        Program::builder("roundtrip")
+            .param("N", 7)
+            .scalar("alpha", 0.5)
+            .array("A", &["N"])
+            .array("B", &["N"])
+            .array_with_dims("acc", vec![cst(1)])
+            .node(for_loop("i", cst(0), var("N"), vec![Node::Computation(s0)]))
+            .node(for_loop("j", cst(1), var("N"), vec![Node::Computation(s1)]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn emitted_source_reparses_to_the_same_program() {
+        let p = sample();
+        let text = to_source(&p).unwrap();
+        let back = parse_program(&text).unwrap();
+        assert_eq!(p, back, "round trip must be exact:\n{text}");
+    }
+
+    #[test]
+    fn strided_and_pragma_loops_round_trip() {
+        let body = vec![Node::Computation(Computation::assign(
+            "S0",
+            ArrayRef::new("A", vec![var("i")]),
+            fconst(2.0),
+        ))];
+        let mut nest = match for_loop("i", cst(0), cst(9), body) {
+            Node::Loop(l) => l,
+            _ => unreachable!(),
+        };
+        nest.step = 3;
+        nest.schedule.parallel = true;
+        nest.schedule.vectorize = true;
+        let p = Program::builder("strided")
+            .array_with_dims("A", vec![cst(9)])
+            .node(Node::Loop(nest))
+            .build()
+            .unwrap();
+        let text = to_source(&p).unwrap();
+        assert!(text.contains("step 3"));
+        assert!(text.contains("#pragma parallel simd"));
+        assert_eq!(p, parse_program(&text).unwrap());
+    }
+
+    #[test]
+    fn floats_survive_bit_exactly() {
+        for v in [0.0, 1.0, 0.1, 2.5, 1.0 / 3.0, -0.75, 6.02e23, 1e-300] {
+            let p = Program::builder("floats")
+                .array_with_dims("A", vec![cst(1)])
+                .node(Node::Computation(Computation::assign(
+                    "S0",
+                    ArrayRef::new("A", vec![cst(0)]),
+                    fconst(v),
+                )))
+                .build()
+                .unwrap();
+            let text = to_source(&p).unwrap();
+            let back = parse_program(&text).unwrap();
+            let value = match &back.computations()[0].value {
+                ScalarExpr::Const(c) => *c,
+                ScalarExpr::Binary(BinOp::Sub, a, b) => match (a.as_ref(), b.as_ref()) {
+                    (ScalarExpr::Const(a), ScalarExpr::Const(b)) => a - b,
+                    other => panic!("unexpected negative encoding {other:?}"),
+                },
+                other => panic!("unexpected constant encoding {other:?}"),
+            };
+            assert_eq!(value.to_bits(), v.to_bits(), "value {v} mangled:\n{text}");
+        }
+    }
+
+    #[test]
+    fn inexpressible_constructs_are_rejected_not_mangled() {
+        // min() in an index expression.
+        let p = Program::builder("bad")
+            .param("N", 4)
+            .array("A", &["N"])
+            .node(Node::Computation(Computation::assign(
+                "S0",
+                ArrayRef::new("A", vec![Expr::Min(Box::new(cst(0)), Box::new(var("N")))]),
+                fconst(1.0),
+            )))
+            .build_unchecked();
+        assert!(matches!(to_source(&p), Err(IrError::Invalid(_))));
+        // select in a scalar expression.
+        let p = Program::builder("bad2")
+            .param("N", 4)
+            .array("A", &["N"])
+            .node(Node::Computation(Computation::assign(
+                "S0",
+                ArrayRef::new("A", vec![cst(0)]),
+                ScalarExpr::select(
+                    fconst(1.0),
+                    CmpOp::Lt,
+                    fconst(2.0),
+                    fconst(3.0),
+                    fconst(4.0),
+                ),
+            )))
+            .build_unchecked();
+        assert!(matches!(to_source(&p), Err(IrError::Invalid(_))));
+    }
+}

@@ -353,10 +353,22 @@ impl CacheHierarchy {
             _ => {}
         }
         let count = runs[0].count;
-        debug_assert!(
-            runs.iter().all(|r| r.count == count),
-            "lockstep runs share a trip count"
-        );
+        if runs.iter().any(|r| r.count != count) {
+            // Degenerate group: the runs disagree on the trip count (a
+            // malformed plan, or zero-trip members mixed with live ones).
+            // Interleave them per-access honoring each run's own count —
+            // trusting `runs[0]` would drop or invent accesses.
+            let longest = runs.iter().map(|r| r.count).max().unwrap_or(0);
+            self.accesses += runs.iter().map(|r| r.count).sum::<u64>();
+            for i in 0..longest as i64 {
+                for r in runs {
+                    if (i as u64) < r.count {
+                        self.access_counted((r.base as i64 + r.stride * i) as u64);
+                    }
+                }
+            }
+            return;
+        }
         if count == 0 {
             return;
         }
@@ -915,6 +927,74 @@ mod tests {
         fast.access_run_group(&wrap);
         expand_group_on(&mut slow, &wrap);
         assert_same_stats(&fast, &slow, "negative wrap");
+    }
+
+    /// Expands a group honoring each run's *own* trip count (ragged groups
+    /// interleave only the runs still live at iteration `i`).
+    fn expand_ragged_group_on(slow: &mut ReferenceCacheHierarchy, runs: &[StrideRun]) {
+        let longest = runs.iter().map(|r| r.count).max().unwrap_or(0);
+        for i in 0..longest as i64 {
+            for r in runs {
+                if (i as u64) < r.count {
+                    slow.access((r.base as i64 + r.stride * i) as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_run_groups_fall_back_instead_of_panicking() {
+        // Runs disagreeing on the trip count used to trip a debug assertion
+        // (and silently follow runs[0] in release builds); now they take a
+        // per-access fallback with counters matching the ragged expansion.
+        let machine = MachineConfig::tiny_for_tests();
+        let groups: Vec<Vec<StrideRun>> = vec![
+            vec![group_run(0x1000, 8, 100), group_run(0x2000, 8, 60)],
+            // A zero-trip member mixed with live ones.
+            vec![
+                group_run(0x1000, 8, 50),
+                group_run(0x2000, 8, 0),
+                group_run(0x3000, -8, 20),
+            ],
+            // Zero strides only, unequal counts.
+            vec![group_run(0x1000, 0, 7), group_run(0x2000, 0, 3)],
+            // Line-sized, zero and super-line strides together.
+            vec![
+                group_run(0x1000, 64, 33),
+                group_run(0x2040, 0, 12),
+                group_run(0x5000, 128, 5),
+            ],
+            // runs[0] is the *short* one: trusting it would drop accesses.
+            vec![group_run(0x1000, 8, 1), group_run(0x2000, 8, 400)],
+        ];
+        for (j, runs) in groups.iter().enumerate() {
+            let mut fast = CacheHierarchy::from_machine(&machine);
+            let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+            fast.access_run_group(runs);
+            expand_ragged_group_on(&mut slow, runs);
+            assert_same_stats(&fast, &slow, &format!("ragged group {j}"));
+        }
+    }
+
+    #[test]
+    fn zero_stride_and_zero_count_groups_are_safe() {
+        let machine = MachineConfig::tiny_for_tests();
+        // All-zero-trip ragged group: a no-op, not a division or underflow.
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        fast.access_run_group(&[
+            group_run(0, 8, 0),
+            group_run(64, -8, 0),
+            group_run(128, 0, 0),
+        ]);
+        assert_eq!(fast.accesses(), 0);
+        // Lockstep all-zero-stride group: every iteration re-touches the
+        // same lines; the phase math must not divide by the zero stride.
+        let runs = vec![group_run(0x1000, 0, 256), group_run(0x1044, 0, 256)];
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+        fast.access_run_group(&runs);
+        expand_group_on(&mut slow, &runs);
+        assert_same_stats(&fast, &slow, "zero-stride lockstep");
     }
 
     #[test]

@@ -4,13 +4,20 @@
 //! The build environment has no crates.io access, so this shim provides the
 //! [`Strategy`] trait (ranges, `prop::bool::ANY`, tuples, `prop_map`), the
 //! [`ProptestConfig`] case count and the [`proptest!`] / [`prop_assert!`] /
-//! [`prop_assert_eq!`] macros. Values are generated from a fixed-seed
-//! deterministic RNG; there is no shrinking — a failing case panics with the
+//! [`prop_assert_eq!`] macros. Values are generated from a deterministic
+//! per-case RNG; there is no shrinking — a failing case panics with the
 //! generated inputs left to the assertion message.
+//!
+//! Like real proptest, failing cases can be persisted: every case draws its
+//! values from a single `u64` seed, a failure prints that seed as a
+//! `cc 0x…` line, and committing the line to
+//! `proptest-regressions/<file-stem>.txt` (next to the crate's manifest)
+//! makes every later run replay it *before* the random cases.
 
 #![warn(missing_docs)]
 
 use std::ops::Range;
+use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +28,79 @@ pub type TestRng = StdRng;
 /// Creates the deterministic RNG used by the [`proptest!`] macro.
 pub fn new_rng() -> TestRng {
     TestRng::seed_from_u64(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Derives the seed of random case `index` of the named property. The
+/// property name is folded in so distinct properties in one file explore
+/// distinct value streams.
+pub fn case_seed(property: &str, index: u32) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in property.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = h.wrapping_add(u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Loads the committed regression seeds for a test source file:
+/// `<manifest_dir>/proptest-regressions/<file-stem>.txt`, one `cc <seed>`
+/// line per case (hex with `0x` or decimal), `#` starting a comment. A
+/// missing file means no regressions. Unparseable `cc` lines panic rather
+/// than silently dropping a committed reproduction.
+pub fn regression_seeds(manifest_dir: &str, source_file: &str) -> Vec<u64> {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    let path = Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"));
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("cc ") else {
+            panic!("{}: unrecognized line {line:?}", path.display());
+        };
+        let rest = rest.trim();
+        let parsed = match rest.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => rest.parse(),
+        };
+        match parsed {
+            Ok(seed) => seeds.push(seed),
+            Err(e) => panic!("{}: bad seed {rest:?}: {e}", path.display()),
+        }
+    }
+    seeds
+}
+
+/// Runs one property case from `seed`. On failure, prints the `cc` line
+/// that persists the case to `proptest-regressions/<file-stem>.txt`, then
+/// re-raises the panic so the test still fails loudly.
+pub fn run_case(source_file: &str, label: &str, seed: u64, case: impl FnOnce(&mut TestRng)) {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+    if let Err(payload) = result {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        eprintln!(
+            "proptest: {label} case failed; to replay it first on every run, \
+             add this line to proptest-regressions/{stem}.txt:"
+        );
+        eprintln!("cc {seed:#018x}");
+        std::panic::resume_unwind(payload);
+    }
 }
 
 /// Configuration of a property test run.
@@ -142,7 +222,9 @@ macro_rules! prop_assert_eq {
 }
 
 /// Declares property tests: each `fn name(arg in strategy) { .. }` becomes a
-/// `#[test]` running `config.cases` random cases.
+/// `#[test]` replaying the committed regression seeds of its source file
+/// first, then running `config.cases` random cases, each from its own
+/// derived seed (printed as a persistable `cc` line on failure).
 #[macro_export]
 macro_rules! proptest {
     (
@@ -153,10 +235,17 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::new_rng();
-                for _case in 0..config.cases {
-                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
-                    $body
+                let property = concat!(module_path!(), "::", stringify!($name));
+                let regressions = $crate::regression_seeds(env!("CARGO_MANIFEST_DIR"), file!());
+                let cases = regressions
+                    .into_iter()
+                    .map(|seed| ("regression", seed))
+                    .chain((0..config.cases).map(|i| ("random", $crate::case_seed(property, i))));
+                for (label, seed) in cases {
+                    $crate::run_case(file!(), label, seed, |rng| {
+                        $(let $arg = $crate::Strategy::new_value(&($strat), rng);)+
+                        $body
+                    });
                 }
             }
         )*
@@ -179,6 +268,52 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn case_seeds_differ_per_property_and_index() {
+        let a = crate::case_seed("suite::prop_a", 0);
+        assert_eq!(a, crate::case_seed("suite::prop_a", 0));
+        assert_ne!(a, crate::case_seed("suite::prop_a", 1));
+        assert_ne!(a, crate::case_seed("suite::prop_b", 0));
+    }
+
+    #[test]
+    fn regression_files_parse_cc_lines_and_comments() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-{}", std::process::id()));
+        let reg = dir.join("proptest-regressions");
+        std::fs::create_dir_all(&reg).unwrap();
+        std::fs::write(
+            reg.join("some_suite.txt"),
+            "# comment only\n\ncc 0x00000000deadbeef\ncc 42 # trailing note\n",
+        )
+        .unwrap();
+        let seeds = crate::regression_seeds(dir.to_str().unwrap(), "tests/some_suite.rs");
+        assert_eq!(seeds, vec![0xdead_beef, 42]);
+        // A missing file is simply "no regressions".
+        assert!(crate::regression_seeds(dir.to_str().unwrap(), "tests/other.rs").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_cases_report_their_seed_and_repanic() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::run_case("tests/x.rs", "random", 7, |_rng| panic!("boom"));
+        });
+        assert!(caught.is_err(), "run_case must re-raise the panic");
+    }
+
+    #[test]
+    fn replayed_seeds_reproduce_the_same_values() {
+        let draw = |seed: u64| {
+            let mut out = 0u64;
+            crate::run_case("tests/x.rs", "regression", seed, |rng| {
+                out = crate::Strategy::new_value(&(0..1_000_000u64), rng);
+            });
+            out
+        };
+        assert_eq!(draw(99), draw(99));
+        assert_ne!(draw(99), draw(100));
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
