@@ -161,6 +161,24 @@ impl TuningDatabase {
         Ok(db)
     }
 
+    /// Rebuilds a database from recovered entries, *skipping* the ones
+    /// this build cannot represent (wrong embedding dimension — e.g. a
+    /// store written by an older build) instead of failing the whole load.
+    /// Returns the database and how many entries were skipped. The
+    /// degraded-recovery counterpart of [`TuningDatabase::from_snapshot`]:
+    /// losing an entry costs a warm-start seed, never correctness.
+    pub fn from_entries_lossy(entries: &[StoredEntry]) -> (Self, usize) {
+        let mut db = TuningDatabase::new();
+        let mut skipped = 0usize;
+        for stored in entries {
+            match DatabaseEntry::from_stored(stored) {
+                Ok(entry) => db.insert(entry),
+                Err(_) => skipped += 1,
+            }
+        }
+        (db, skipped)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()

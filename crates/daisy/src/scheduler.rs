@@ -3,6 +3,7 @@
 
 use std::collections::HashSet;
 use std::path::Path;
+use std::sync::Arc;
 
 use loop_ir::expr::Var;
 use loop_ir::nest::Node;
@@ -10,7 +11,7 @@ use loop_ir::program::Program;
 use machine::{CostModel, CostReport, MachineConfig};
 use normalize::{Normalizer, NormalizerConfig};
 use transforms::{perfect_chain, Recipe};
-use tunestore::{Snapshot, StoreError};
+use tunestore::{DurableStore, OsStorage, Snapshot, Storage, StoreError, StoreHealth};
 
 use crate::database::{nest_key, DatabaseEntry, TuningDatabase};
 use crate::embedding::PerformanceEmbedding;
@@ -140,6 +141,41 @@ impl DaisyScheduler {
     /// outer fan-out already saturates the cores); entries are inserted in
     /// deterministic program/nest order afterwards.
     pub fn seed_from_programs(&mut self, programs: &[Program]) {
+        for entry in self.seed_entries(programs) {
+            self.database.insert(entry);
+        }
+    }
+
+    /// [`DaisyScheduler::seed_from_programs`] with incremental durability:
+    /// every entry the database accepts is also journaled into `store`
+    /// (fsynced before the insert is acknowledged), so a crash mid-seeding
+    /// loses at most the entry being written — earlier entries warm-start
+    /// the next run. Returns the number of entries the store accepted.
+    ///
+    /// # Errors
+    /// The first [`StoreError`] from journaling; entries seeded before the
+    /// failure are already durable, and the in-memory database keeps only
+    /// what the store acknowledged, so the two never diverge.
+    pub fn seed_into_store(
+        &mut self,
+        programs: &[Program],
+        store: &mut DurableStore,
+    ) -> Result<usize, StoreError> {
+        let mut accepted = 0usize;
+        for entry in self.seed_entries(programs) {
+            if store.insert(entry.to_stored())? {
+                accepted += 1;
+            }
+            self.database.insert(entry);
+        }
+        Ok(accepted)
+    }
+
+    /// Computes the database entries seeding these programs produces (the
+    /// shared heart of [`DaisyScheduler::seed_from_programs`] and
+    /// [`DaisyScheduler::seed_into_store`]), in deterministic program/nest
+    /// order.
+    fn seed_entries(&self, programs: &[Program]) -> Vec<DatabaseEntry> {
         let model = CostModel::new(self.config.machine.clone(), self.config.threads);
         let normalized: Vec<Program> = programs.iter().map(|p| self.normalized(p)).collect();
         let mut jobs: Vec<(&Program, usize)> = Vec::new();
@@ -155,41 +191,34 @@ impl DaisyScheduler {
             }
         }
         let search = self.search.clone().with_parallel(false);
-        let entries = crate::search::parallel_map_with(
-            self.config.parallelism,
-            &jobs,
-            |&(program, index)| {
-                // Keep the winning recipe's *nest-scoped* cost: the search
-                // returns whole-program seconds (a sum over node costs), so
-                // subtracting the other nodes' baseline isolates what the
-                // recipe achieved on this nest. Whole-program cost would make
-                // duplicate-key ranking depend on which seeding program the
-                // entry happened to come from (e.g. under `tunedb merge`).
-                let (recipe, cost) = search.search(program, index, &model, &[]);
-                let others: f64 = program
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != index)
-                    .map(|(_, node)| model.node_cost(program, node).seconds)
-                    .sum();
-                let nest = program.body[index]
-                    .as_loop()
-                    .expect("job indices point at loops");
-                let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
-                DatabaseEntry {
-                    key: nest_key(program, &program.body[index]),
-                    cost: cost - others,
-                    embedding: PerformanceEmbedding::of_nest(program, nest),
-                    recipe,
-                    chain,
-                    source: format!("{}#{}", program.name, index),
-                }
-            },
-        );
-        for entry in entries {
-            self.database.insert(entry);
-        }
+        crate::search::parallel_map_with(self.config.parallelism, &jobs, |&(program, index)| {
+            // Keep the winning recipe's *nest-scoped* cost: the search
+            // returns whole-program seconds (a sum over node costs), so
+            // subtracting the other nodes' baseline isolates what the
+            // recipe achieved on this nest. Whole-program cost would make
+            // duplicate-key ranking depend on which seeding program the
+            // entry happened to come from (e.g. under `tunedb merge`).
+            let (recipe, cost) = search.search(program, index, &model, &[]);
+            let others: f64 = program
+                .body
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != index)
+                .map(|(_, node)| model.node_cost(program, node).seconds)
+                .sum();
+            let nest = program.body[index]
+                .as_loop()
+                .expect("job indices point at loops");
+            let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
+            DatabaseEntry {
+                key: nest_key(program, &program.body[index]),
+                cost: cost - others,
+                embedding: PerformanceEmbedding::of_nest(program, nest),
+                recipe,
+                chain,
+                source: format!("{}#{}", program.name, index),
+            }
+        })
     }
 
     /// The fingerprint this scheduler stamps on persisted stores: the
@@ -302,6 +331,72 @@ impl DaisyScheduler {
         let mut snapshot = self.database.to_snapshot();
         snapshot.fingerprint = self.store_fingerprint();
         snapshot.save(path)
+    }
+
+    /// Opens the crash-safe [`DurableStore`] at `path` under this
+    /// scheduler's [`store_fingerprint`], for incremental seeding via
+    /// [`DaisyScheduler::seed_into_store`].
+    ///
+    /// [`store_fingerprint`]: DaisyScheduler::store_fingerprint
+    ///
+    /// # Errors
+    /// Only real I/O failures; damaged files degrade (see
+    /// [`DurableStore::open`]).
+    pub fn open_store(&self, path: impl AsRef<Path>) -> Result<DurableStore, StoreError> {
+        self.open_store_with(Arc::new(OsStorage), path)
+    }
+
+    /// [`DaisyScheduler::open_store`] through an explicit [`Storage`] (the
+    /// fault harness).
+    pub fn open_store_with(
+        &self,
+        storage: Arc<dyn Storage>,
+        path: impl AsRef<Path>,
+    ) -> Result<DurableStore, StoreError> {
+        DurableStore::open(storage, path, &self.store_fingerprint())
+    }
+
+    /// Degrading warm start: recovers whatever the store at `path` (its
+    /// snapshot *and* journal) durably holds and seeds the database from
+    /// it. Where the strict [`DaisyScheduler::warm_start`] errors, this
+    /// degrades toward cold seeding instead:
+    ///
+    /// * a missing store warm-starts empty;
+    /// * corrupt files are quarantined to `<name>.corrupt` and skipped;
+    /// * files from a different fingerprint are moved to `<name>.foreign`;
+    /// * a torn journal tail is dropped (everything acknowledged survives);
+    /// * recovered entries this build cannot represent are skipped.
+    ///
+    /// The surviving entries still carry the full bit-identity guarantee:
+    /// scheduling with them equals scheduling with a cold database built
+    /// from the same entries. What happened is reported in the returned
+    /// [`WarmStart`] — callers log it and proceed.
+    ///
+    /// # Errors
+    /// Only real I/O failures while reading or repairing the store files.
+    pub fn warm_start_resilient(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<WarmStart, StoreError> {
+        self.warm_start_resilient_with(Arc::new(OsStorage), path)
+    }
+
+    /// [`DaisyScheduler::warm_start_resilient`] through an explicit
+    /// [`Storage`] (the fault harness).
+    pub fn warm_start_resilient_with(
+        &mut self,
+        storage: Arc<dyn Storage>,
+        path: impl AsRef<Path>,
+    ) -> Result<WarmStart, StoreError> {
+        let store = self.open_store_with(storage, path)?;
+        let (database, skipped) = TuningDatabase::from_entries_lossy(store.entries());
+        let loaded = database.len();
+        self.database = database;
+        Ok(WarmStart {
+            health: store.health().clone(),
+            loaded,
+            skipped,
+        })
     }
 
     fn normalized(&self, program: &Program) -> Program {
@@ -488,6 +583,26 @@ impl DaisyScheduler {
             }
             None => NestPlan::Unoptimized,
         }
+    }
+}
+
+/// What a [`DaisyScheduler::warm_start_resilient`] recovered: the store
+/// health report plus how many entries made it into the database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// What recovery found on disk and what it had to do about it.
+    pub health: StoreHealth,
+    /// Entries loaded into the database.
+    pub loaded: usize,
+    /// Recovered entries skipped because this build cannot represent them
+    /// (e.g. a different embedding dimension).
+    pub skipped: usize,
+}
+
+impl WarmStart {
+    /// True when the store was fully intact and nothing was skipped.
+    pub fn is_clean(&self) -> bool {
+        self.health.is_clean() && self.skipped == 0
     }
 }
 
@@ -794,6 +909,82 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilient_warm_start_matches_strict_and_survives_crash_mid_seeding() {
+        use tunestore::{FaultStorage, Storage};
+
+        let storage = Arc::new(FaultStorage::default());
+        let path = Path::new("dir/warm.tunedb");
+        let config = DaisyConfig {
+            idiom_detection: false,
+            ..DaisyConfig::default()
+        };
+        let a = gemm_a(128);
+
+        let mut seeder = DaisyScheduler::new(config.clone());
+        let mut store = seeder
+            .open_store_with(Arc::clone(&storage) as Arc<dyn Storage>, path)
+            .unwrap();
+        let accepted = seeder
+            .seed_into_store(std::slice::from_ref(&a), &mut store)
+            .unwrap();
+        assert!(accepted > 0);
+        assert_eq!(accepted, seeder.database().len());
+        drop(store);
+
+        // No compact ran: everything lives in the journal. Power-cut the
+        // storage; every acknowledged insert must still warm-start.
+        storage.crash();
+        let mut warm = DaisyScheduler::new(config.clone());
+        let report = warm
+            .warm_start_resilient_with(Arc::clone(&storage) as Arc<dyn Storage>, path)
+            .unwrap();
+        assert!(report.is_clean(), "clean store: {}", report.health);
+        assert_eq!(report.loaded, seeder.database().len());
+        assert_eq!(report.skipped, 0);
+        assert_eq!(warm.database().entries(), seeder.database().entries());
+        assert_eq!(
+            warm.schedule(&a),
+            seeder.schedule(&a),
+            "resilient warm start must stay bit-identical"
+        );
+    }
+
+    #[test]
+    fn resilient_warm_start_quarantines_damage_and_degrades_to_cold() {
+        use tunestore::{FaultStorage, SourceState, Storage};
+
+        let storage = Arc::new(FaultStorage::default());
+        let path = Path::new("dir/warm.tunedb");
+        let config = DaisyConfig {
+            idiom_detection: false,
+            ..DaisyConfig::default()
+        };
+        let mut seeder = DaisyScheduler::new(config.clone());
+        let mut store = seeder
+            .open_store_with(Arc::clone(&storage) as Arc<dyn Storage>, path)
+            .unwrap();
+        seeder.seed_into_store(&[gemm_a(128)], &mut store).unwrap();
+        store.compact().unwrap();
+        drop(store);
+
+        // Flip a bit in the snapshot: where strict warm_start would error,
+        // the resilient one quarantines and proceeds empty (the journal
+        // was just reset by the compact).
+        storage.corrupt_byte(path, 40, 0x08);
+        let mut hurt = DaisyScheduler::new(config);
+        let report = hurt
+            .warm_start_resilient_with(Arc::clone(&storage) as Arc<dyn Storage>, path)
+            .unwrap();
+        assert!(matches!(
+            report.health.snapshot,
+            SourceState::Quarantined { .. }
+        ));
+        assert_eq!(report.loaded, 0);
+        assert!(hurt.database().is_empty(), "degraded to cold seeding");
+        assert!(storage.exists(Path::new("dir/warm.tunedb.corrupt")));
     }
 
     #[test]

@@ -86,6 +86,14 @@ pub(crate) fn effective_workers(requested: usize, items: usize) -> usize {
 /// on the calling thread; larger requests are clamped by
 /// [`effective_workers`]. Results are written back by item index, so the
 /// output is independent of the worker count for any pure `f`.
+///
+/// A panic inside `f` is contained to the item that raised it: the worker
+/// catches it, leaves the slot empty, and keeps draining the queue, so one
+/// poisoned item can never take a whole seeding or scheduling fan-out down
+/// with it. Each poisoned item is then retried *sequentially* on the
+/// calling thread — a transient panic heals, and a deterministic one
+/// re-raises there with an intact single-threaded backtrace instead of a
+/// cross-thread join error.
 pub(crate) fn parallel_map_with<T: Sync, R: Send>(
     workers: usize,
     items: &[T],
@@ -93,7 +101,15 @@ pub(crate) fn parallel_map_with<T: Sync, R: Send>(
 ) -> Vec<R> {
     let workers = effective_workers(workers, items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        // Same containment contract as the threaded path: one caught
+        // attempt, then a bare retry that lets a persistent panic surface.
+        return items
+            .iter()
+            .map(|item| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
+                    .unwrap_or_else(|_| f(item))
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = Vec::new();
@@ -108,20 +124,33 @@ pub(crate) fn parallel_map_with<T: Sync, R: Send>(
                         if index >= items.len() {
                             return out;
                         }
-                        out.push((index, f(&items[index])));
+                        let item = &items[index];
+                        let attempt =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
+                        if let Ok(value) = attempt {
+                            out.push((index, value));
+                        }
                     }
                 })
             })
             .collect();
         for handle in handles {
-            for (index, value) in handle.join().expect("search worker panicked") {
+            // A worker body only exits by returning `out`; a join error
+            // would mean a panic escaped catch_unwind (an abort-on-unwind
+            // payload) — skip it and let the sequential retry decide.
+            let Ok(chunk) = handle.join() else { continue };
+            for (index, value) in chunk {
                 results[index] = Some(value);
             }
         }
     });
-    results
-        .into_iter()
-        .map(|slot| slot.expect("every index visited"))
+    items
+        .iter()
+        .zip(results)
+        .map(|(item, slot)| match slot {
+            Some(value) => value,
+            None => f(item),
+        })
         .collect()
 }
 
@@ -1156,6 +1185,39 @@ mod tests {
         assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
         let empty: Vec<usize> = Vec::new();
         assert!(parallel_map(&empty, |&x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_contains_worker_panics_and_retries_sequentially() {
+        use std::sync::atomic::AtomicUsize;
+
+        // Item 41 panics on its first (parallel) attempt only; the fan-out
+        // must survive, retry it on the calling thread, and still produce
+        // every result in order.
+        let attempts_on_41 = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..128).collect();
+        let results = parallel_map_with(4, &items, |&x| {
+            if x == 41 && attempts_on_41.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient failure on item {x}");
+            }
+            x * 3
+        });
+        assert_eq!(results, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(attempts_on_41.load(Ordering::SeqCst), 2, "one retry");
+    }
+
+    #[test]
+    fn parallel_map_repanics_deterministic_failures_on_the_caller() {
+        let items: Vec<usize> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map_with(4, &items, |&x| {
+                if x == 13 {
+                    panic!("deterministically poisoned item");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err(), "a persistent panic must still surface");
     }
 
     #[test]

@@ -161,6 +161,31 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+/// Writes one length-prefixed, checksummed section: `u64` length, the raw
+/// body, then the body's FNV-1a checksum. The framing shared by snapshot
+/// sections and the journal header.
+pub fn write_section(w: &mut ByteWriter, body: &[u8]) {
+    w.u64(body.len() as u64);
+    w.bytes(body);
+    w.u64(checksum(body));
+}
+
+/// Reads one length-prefixed, checksummed section and verifies its checksum.
+pub fn read_section<'a>(r: &mut ByteReader<'a>, section: &'static str) -> Result<&'a [u8]> {
+    let len = r.u64("section length")? as usize;
+    if len > r.remaining() {
+        return Err(StoreError::Truncated {
+            context: "section body",
+        });
+    }
+    let body = r.bytes(len, "section body")?;
+    let stored = r.u64("section checksum")?;
+    if checksum(body) != stored {
+        return Err(StoreError::ChecksumMismatch { section });
+    }
+    Ok(body)
+}
+
 /// FNV-1a checksum over a byte slice — the same deterministic hash family as
 /// `loop_ir::StructuralHasher`, so section checksums are stable across
 /// platforms and Rust versions.

@@ -1,0 +1,179 @@
+//! Post-recovery health reporting: what each on-disk source contributed
+//! and what had to be dropped, quarantined, or rejected.
+//!
+//! Recovery never turns a damaged store into an error — it degrades
+//! (quarantining what it cannot trust) and *reports*. [`StoreHealth`] is
+//! that report: callers like `DaisyScheduler::warm_start_resilient` log it
+//! and proceed with whatever survived, and `tunedb recover` prints it.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The state one on-disk source (the snapshot file or the journal file)
+/// was found in during recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceState {
+    /// The file was present and fully valid.
+    Intact {
+        /// Entries contributed by this source.
+        entries: usize,
+    },
+    /// The file did not exist (a fresh store, or one side of it).
+    Missing,
+    /// The file was valid up to a torn tail, which was dropped and the
+    /// file truncated back to its longest valid prefix.
+    TruncatedTail {
+        /// Entries recovered from the valid prefix.
+        entries: usize,
+        /// Bytes dropped from the tail.
+        dropped_bytes: usize,
+    },
+    /// The file failed validation (bad magic, checksum mismatch, corrupt
+    /// fields) and was moved aside so it cannot poison later opens.
+    Quarantined {
+        /// Why validation failed.
+        reason: String,
+        /// Where the file was moved (`<name>.corrupt`), or `None` when
+        /// even the quarantine rename failed (the file was left behind
+        /// and will be re-quarantined next open).
+        moved_to: Option<PathBuf>,
+    },
+    /// The file was valid but produced under a different environment
+    /// fingerprint; its costs are not transferable, so it was moved aside
+    /// (`<name>.foreign`) rather than merged or destroyed.
+    Foreign {
+        /// Fingerprint recorded in the file.
+        found: String,
+        /// Where the file was moved, or `None` if the rename failed.
+        moved_to: Option<PathBuf>,
+    },
+}
+
+impl SourceState {
+    /// True when the source needed no intervention (intact or absent).
+    pub fn is_clean(&self) -> bool {
+        matches!(self, SourceState::Intact { .. } | SourceState::Missing)
+    }
+
+    /// Entries this source contributed to the recovered view.
+    pub fn entries(&self) -> usize {
+        match self {
+            SourceState::Intact { entries } => *entries,
+            SourceState::TruncatedTail { entries, .. } => *entries,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for SourceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceState::Intact { entries } => write!(f, "intact ({entries} entries)"),
+            SourceState::Missing => write!(f, "missing"),
+            SourceState::TruncatedTail {
+                entries,
+                dropped_bytes,
+            } => write!(
+                f,
+                "torn tail ({entries} entries kept, {dropped_bytes} bytes dropped)"
+            ),
+            SourceState::Quarantined { reason, moved_to } => match moved_to {
+                Some(path) => write!(f, "quarantined to {} ({reason})", path.display()),
+                None => write!(f, "corrupt, quarantine failed ({reason})"),
+            },
+            SourceState::Foreign { found, moved_to } => match moved_to {
+                Some(path) => write!(f, "foreign ({found:?}), moved to {}", path.display()),
+                None => write!(f, "foreign ({found:?}), move failed"),
+            },
+        }
+    }
+}
+
+/// The health report produced by opening a [`DurableStore`]
+/// (`crate::store::DurableStore`): the state of both on-disk sources and
+/// the size of the recovered view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreHealth {
+    /// State the snapshot file was found in.
+    pub snapshot: SourceState,
+    /// State the journal file was found in.
+    pub journal: SourceState,
+    /// Entries in the recovered view (snapshot merged with journal under
+    /// best-cost semantics — not necessarily the sum of the sources).
+    pub entries: usize,
+}
+
+impl StoreHealth {
+    /// True when recovery needed no intervention at all.
+    pub fn is_clean(&self) -> bool {
+        self.snapshot.is_clean() && self.journal.is_clean()
+    }
+
+    /// A fresh, fully clean report for a store holding `entries` entries.
+    pub fn clean(snapshot_entries: usize, journal_entries: usize) -> StoreHealth {
+        StoreHealth {
+            snapshot: SourceState::Intact {
+                entries: snapshot_entries,
+            },
+            journal: SourceState::Intact {
+                entries: journal_entries,
+            },
+            entries: snapshot_entries + journal_entries,
+        }
+    }
+}
+
+impl fmt::Display for StoreHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snapshot {}; journal {}; {} entries recovered",
+            self.snapshot, self.journal, self.entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_states_are_clean() {
+        assert!(SourceState::Intact { entries: 3 }.is_clean());
+        assert!(SourceState::Missing.is_clean());
+        assert!(!SourceState::TruncatedTail {
+            entries: 1,
+            dropped_bytes: 9
+        }
+        .is_clean());
+        assert!(!SourceState::Quarantined {
+            reason: "bad".into(),
+            moved_to: None
+        }
+        .is_clean());
+        assert!(!SourceState::Foreign {
+            found: "other".into(),
+            moved_to: None
+        }
+        .is_clean());
+    }
+
+    #[test]
+    fn health_renders_one_line() {
+        let health = StoreHealth {
+            snapshot: SourceState::Intact { entries: 2 },
+            journal: SourceState::TruncatedTail {
+                entries: 1,
+                dropped_bytes: 7,
+            },
+            entries: 3,
+        };
+        let line = health.to_string();
+        assert!(line.contains("intact (2 entries)"));
+        assert!(line.contains("torn tail"));
+        assert!(line.contains("3 entries recovered"));
+        assert!(!line.contains('\n'));
+        assert!(!health.is_clean());
+        assert!(StoreHealth::clean(2, 1).is_clean());
+    }
+}

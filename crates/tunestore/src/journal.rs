@@ -1,0 +1,249 @@
+//! The append-only journal that makes inserts durable between snapshots.
+//!
+//! # File layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"DAISYJNL"
+//! 8       4     journal format version (u32, currently 1)
+//! 12      8     header section length H (u64)
+//! 20      H     header section: fingerprint string
+//! 20+H    8     FNV-1a checksum of the header section (u64)
+//! ..            records, each:
+//!                 u32   payload length L
+//!                 u64   FNV-1a checksum of the payload
+//!                 L     one encoded `StoredEntry`
+//! ```
+//!
+//! The header is written atomically (temp file + rename), so it is either
+//! complete or absent; a header that fails validation is real corruption
+//! and the whole file is quarantined. Records, by contrast, are *appended*
+//! — a crash can tear the last one — so [`replay`] is torn-tail-tolerant:
+//! it decodes records until the first invalid one and returns the longest
+//! valid prefix plus how many trailing bytes it dropped. Because the store
+//! fsyncs the journal before acknowledging an insert, every acknowledged
+//! record sits before any torn tail, and replay recovers exactly a prefix
+//! of the issued inserts (all acknowledged ones included).
+//!
+//! Replaying a record re-runs `Snapshot::insert`, whose best-cost merge is
+//! idempotent — re-inserting an identical entry is a no-op. That makes the
+//! compaction protocol (write snapshot, then reset journal) crash-safe:
+//! a crash between the two steps merely replays entries the snapshot
+//! already holds.
+
+use crate::codec::{checksum, read_section, write_section, ByteReader, ByteWriter};
+use crate::entry::StoredEntry;
+use crate::error::{Result, StoreError};
+
+/// The eight magic bytes every journal file starts with.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"DAISYJNL";
+
+/// Current journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Encodes a fresh journal containing only the header (no records).
+pub fn encode_header(fingerprint: &str) -> Vec<u8> {
+    let mut header = ByteWriter::new();
+    header.string(fingerprint);
+    let header = header.into_bytes();
+
+    let mut out = ByteWriter::new();
+    out.bytes(JOURNAL_MAGIC);
+    out.u32(JOURNAL_VERSION);
+    write_section(&mut out, &header);
+    out.into_bytes()
+}
+
+/// Encodes one journal record: length, payload checksum, payload.
+pub fn encode_record(entry: &StoredEntry) -> Vec<u8> {
+    let mut payload = ByteWriter::new();
+    entry.encode(&mut payload);
+    let payload = payload.into_bytes();
+
+    let mut out = ByteWriter::new();
+    out.u32(payload.len() as u32);
+    out.u64(checksum(&payload));
+    out.bytes(&payload);
+    out.into_bytes()
+}
+
+/// The result of replaying a journal file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Fingerprint recorded in the journal header.
+    pub fingerprint: String,
+    /// Every record of the longest valid prefix, in append order.
+    pub entries: Vec<StoredEntry>,
+    /// Length in bytes of the valid prefix (header + intact records). The
+    /// store truncates the file back to this length during recovery.
+    pub valid_len: usize,
+    /// Trailing bytes dropped as a torn tail (0 when the file is intact).
+    pub dropped_bytes: usize,
+}
+
+/// Replays a journal file: validates the header strictly (an invalid
+/// header means the file is not a trustworthy journal and is quarantined
+/// by the caller), then decodes records until the first invalid one.
+/// Never panics on arbitrary bytes.
+pub fn replay(bytes: &[u8]) -> Result<Replay> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.bytes(JOURNAL_MAGIC.len(), "journal magic")?;
+    if magic != JOURNAL_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.u32("journal version")?;
+    if version != JOURNAL_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let header = read_section(&mut r, "journal header")?;
+    let mut h = ByteReader::new(header);
+    let fingerprint = h.string("journal fingerprint")?;
+    if !h.is_exhausted() {
+        return Err(StoreError::Corrupt(
+            "trailing bytes in journal header".to_string(),
+        ));
+    }
+
+    let mut entries = Vec::new();
+    let mut valid_len = bytes.len() - r.remaining();
+    while !r.is_exhausted() {
+        match read_record(&mut r) {
+            Some(entry) => {
+                entries.push(entry);
+                valid_len = bytes.len() - r.remaining();
+            }
+            None => break,
+        }
+    }
+    Ok(Replay {
+        fingerprint,
+        entries,
+        valid_len,
+        dropped_bytes: bytes.len() - valid_len,
+    })
+}
+
+/// Decodes one record; any defect — truncation, checksum mismatch, a
+/// payload that does not decode or has trailing bytes — yields `None`
+/// (the record and everything after it is the torn tail).
+fn read_record(r: &mut ByteReader<'_>) -> Option<StoredEntry> {
+    let len = r.u32("record length").ok()? as usize;
+    let stored = r.u64("record checksum").ok()?;
+    let payload = r.bytes(len, "record payload").ok()?;
+    if checksum(payload) != stored {
+        return None;
+    }
+    let mut p = ByteReader::new(payload);
+    let entry = StoredEntry::decode(&mut p).ok()?;
+    if !p.is_exhausted() {
+        return None;
+    }
+    Some(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::expr::Var;
+    use transforms::{Recipe, Transform};
+
+    fn entry(key: u64, cost: f64) -> StoredEntry {
+        StoredEntry {
+            key,
+            cost,
+            embedding: vec![0.25, 0.5],
+            recipe: Recipe::new(vec![Transform::Vectorize {
+                iter: Var::new("j"),
+            }]),
+            chain: vec![Var::new("i"), Var::new("j")],
+            source: format!("journal-{key}"),
+        }
+    }
+
+    fn journal_bytes(entries: &[StoredEntry]) -> Vec<u8> {
+        let mut bytes = encode_header("test-fp");
+        for e in entries {
+            bytes.extend_from_slice(&encode_record(e));
+        }
+        bytes
+    }
+
+    #[test]
+    fn records_round_trip_in_order() {
+        let entries = vec![entry(1, 0.5), entry(2, 0.25), entry(1, 0.4)];
+        let replay = replay(&journal_bytes(&entries)).unwrap();
+        assert_eq!(replay.fingerprint, "test-fp");
+        assert_eq!(replay.entries, entries);
+        assert_eq!(replay.dropped_bytes, 0);
+        assert_eq!(replay.valid_len, journal_bytes(&entries).len());
+    }
+
+    #[test]
+    fn empty_journal_is_just_the_header() {
+        let bytes = encode_header("fp");
+        let r = replay(&bytes).unwrap();
+        assert!(r.entries.is_empty());
+        assert_eq!(r.valid_len, bytes.len());
+        assert_eq!(r.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_prefix() {
+        let entries = vec![entry(1, 0.5), entry(2, 0.25)];
+        let full = journal_bytes(&entries);
+        let one = journal_bytes(&entries[..1]);
+        // Cut anywhere inside the second record: first record survives.
+        for cut in one.len() + 1..full.len() {
+            let r = replay(&full[..cut]).unwrap();
+            assert_eq!(r.entries, &entries[..1], "cut at {cut}");
+            assert_eq!(r.valid_len, one.len());
+            assert_eq!(r.dropped_bytes, cut - one.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay_there() {
+        let entries = vec![entry(1, 0.5), entry(2, 0.25), entry(3, 0.75)];
+        let full = journal_bytes(&entries);
+        let one = journal_bytes(&entries[..1]);
+        // Flip a bit inside the second record's payload: replay keeps the
+        // first record only — a corrupt middle never yields later records.
+        let mut bytes = full.clone();
+        bytes[one.len() + 12 + 3] ^= 0x10;
+        let r = replay(&bytes).unwrap();
+        assert_eq!(r.entries, &entries[..1]);
+        assert_eq!(r.valid_len, one.len());
+    }
+
+    #[test]
+    fn header_corruption_is_a_hard_error() {
+        let bytes = journal_bytes(&[entry(1, 0.5)]);
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(replay(&bad), Err(StoreError::BadMagic)));
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            replay(&bad),
+            Err(StoreError::UnsupportedVersion(_))
+        ));
+        let mut bad = bytes;
+        bad[21] ^= 0x01; // inside the header section body
+        assert!(replay(&bad).is_err());
+    }
+
+    #[test]
+    fn arbitrary_truncation_never_panics() {
+        let full = journal_bytes(&[entry(1, 0.5), entry(2, 0.25)]);
+        let header = encode_header("test-fp");
+        for cut in 0..full.len() {
+            match replay(&full[..cut]) {
+                Ok(r) => {
+                    assert!(cut >= header.len(), "valid replay needs a header");
+                    assert_eq!(r.valid_len + r.dropped_bytes, cut);
+                }
+                Err(_) => assert!(cut < header.len(), "past the header only torn tails"),
+            }
+        }
+    }
+}

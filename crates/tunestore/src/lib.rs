@@ -16,7 +16,16 @@
 //!   fingerprint, per-section checksums) and the set-level operations:
 //!   best-cost-per-key [`Snapshot::insert`]/[`Snapshot::merge`], and
 //!   [`Snapshot::gc`],
-//! * [`fingerprint`] — the environment fingerprint warm starts validate.
+//! * [`fingerprint`] — the environment fingerprint warm starts validate,
+//! * [`storage`] — the pluggable [`Storage`] trait with the real
+//!   [`OsStorage`] and the deterministic fault-injecting [`FaultStorage`]
+//!   used by the crash-matrix harness,
+//! * [`journal`] — the append-only, torn-tail-tolerant journal that makes
+//!   inserts durable between snapshots,
+//! * [`store`] — [`DurableStore`], the crash-safe handle combining both
+//!   files with quarantine-based recovery,
+//! * [`health`] — the [`StoreHealth`] report recovery produces instead of
+//!   erroring.
 //!
 //! The `tunedb` binary in this crate inspects, verifies, merges and
 //! garbage-collects store files from the command line; the `daisy` crate's
@@ -42,9 +51,18 @@ pub mod codec;
 pub mod entry;
 pub mod error;
 pub mod fingerprint;
+pub mod health;
+pub mod journal;
 pub mod snapshot;
+pub mod storage;
+pub mod store;
 
 pub use entry::StoredEntry;
 pub use error::{Result, StoreError};
 pub use fingerprint::environment_fingerprint;
+pub use health::{SourceState, StoreHealth};
 pub use snapshot::{Snapshot, StoreStats, FORMAT_VERSION, MAGIC};
+pub use storage::{
+    atomic_write, is_power_cut, Durability, FaultPlan, FaultStorage, OpKind, OsStorage, Storage,
+};
+pub use store::DurableStore;

@@ -24,10 +24,11 @@
 use std::collections::HashMap;
 use std::path::Path;
 
-use crate::codec::{checksum, ByteReader, ByteWriter};
+use crate::codec::{read_section, write_section, ByteReader, ByteWriter};
 use crate::entry::StoredEntry;
 use crate::error::{Result, StoreError};
 use crate::fingerprint::environment_fingerprint;
+use crate::storage::{atomic_write, Durability, OsStorage, Storage};
 
 /// The eight magic bytes every store file starts with.
 pub const MAGIC: &[u8; 8] = b"DAISYTDB";
@@ -89,12 +90,8 @@ impl Snapshot {
         let mut out = ByteWriter::new();
         out.bytes(MAGIC);
         out.u32(FORMAT_VERSION);
-        out.u64(header.len() as u64);
-        out.bytes(&header);
-        out.u64(checksum(&header));
-        out.u64(body.len() as u64);
-        out.bytes(&body);
-        out.u64(checksum(&body));
+        write_section(&mut out, &header);
+        write_section(&mut out, &body);
         out.into_bytes()
     }
 
@@ -141,40 +138,36 @@ impl Snapshot {
         })
     }
 
-    /// Writes the snapshot to a file (atomically: a temp file in the same
-    /// directory is renamed over the target, so readers never observe a
-    /// half-written store). The temp name appends to the full file name and
-    /// carries the process id plus a per-process counter, so distinct
-    /// targets — and concurrent writers, across or within processes —
-    /// never collide on it.
+    /// Writes the snapshot to a file atomically *and durably*: a temp file
+    /// in the same directory is written, fsynced, renamed over the target,
+    /// and the parent directory fsynced — so readers never observe a
+    /// half-written store and an acknowledged save survives power loss.
+    /// Stale temp files left by earlier failed saves of the same target
+    /// are swept first. (All of this lives in
+    /// [`atomic_write`](crate::storage::atomic_write).)
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let file_name = path.file_name().ok_or_else(|| {
-            StoreError::Io(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                format!("store path {} has no file name", path.display()),
-            ))
-        })?;
-        let tmp = path.with_file_name(format!(
-            "{}.tmp.{}.{}",
-            file_name.to_string_lossy(),
-            std::process::id(),
-            SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-        ));
-        std::fs::write(&tmp, self.encode())?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        self.save_with(&OsStorage, path.as_ref(), Durability::FULL)
+    }
+
+    /// [`Snapshot::save`] through an explicit [`Storage`] (the fault
+    /// harness) with an explicit [`Durability`] setting.
+    pub fn save_with(
+        &self,
+        storage: &dyn Storage,
+        path: &Path,
+        durability: Durability,
+    ) -> Result<()> {
+        atomic_write(storage, path, &self.encode(), durability)
     }
 
     /// Reads and decodes a snapshot from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
-        let bytes = std::fs::read(path)?;
+        Snapshot::load_with(&OsStorage, path.as_ref())
+    }
+
+    /// [`Snapshot::load`] through an explicit [`Storage`].
+    pub fn load_with(storage: &dyn Storage, path: &Path) -> Result<Self> {
+        let bytes = storage.read(path)?;
         Snapshot::decode(&bytes)
     }
 
@@ -194,6 +187,17 @@ impl Snapshot {
             });
         }
         Ok(snapshot)
+    }
+
+    /// True when [`Snapshot::insert`] would accept an entry with this key
+    /// and cost (new key, or strictly lower cost than the stored one).
+    /// Lets durable callers skip journal I/O for inserts that would be
+    /// rejected anyway.
+    pub fn would_accept(&self, key: u64, cost: f64) -> bool {
+        match self.entries.iter().find(|e| e.key == key) {
+            Some(existing) => cost < existing.cost,
+            None => true,
+        }
     }
 
     /// Inserts one entry with best-cost-per-key dedupe: a new key is
@@ -316,22 +320,6 @@ impl Snapshot {
     }
 }
 
-/// Reads one length-prefixed, checksummed section and verifies its checksum.
-fn read_section<'a>(r: &mut ByteReader<'a>, section: &'static str) -> Result<&'a [u8]> {
-    let len = r.u64("section length")? as usize;
-    if len > r.remaining() {
-        return Err(StoreError::Truncated {
-            context: "section body",
-        });
-    }
-    let body = r.bytes(len, "section body")?;
-    let stored = r.u64("section checksum")?;
-    if checksum(body) != stored {
-        return Err(StoreError::ChecksumMismatch { section });
-    }
-    Ok(body)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +405,25 @@ mod tests {
                 "a {cut}-byte prefix must not decode"
             );
         }
+    }
+
+    #[test]
+    fn save_sweeps_stale_temp_files_of_the_same_target() {
+        let dir = std::env::temp_dir().join(format!("tunestore-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.tunedb");
+        // A temp file left behind by a save that died between write and
+        // rename (note the foreign pid/seq), and one belonging to a
+        // different target, which must survive.
+        let stale = dir.join("s.tunedb.tmp.424242.7");
+        let other = dir.join("other.tunedb.tmp.1.0");
+        std::fs::write(&stale, b"half-written").unwrap();
+        std::fs::write(&other, b"not ours").unwrap();
+        snapshot().save(&path).unwrap();
+        assert!(!stale.exists(), "stale temp of the same target swept");
+        assert!(other.exists(), "other targets' temps untouched");
+        assert_eq!(Snapshot::load(&path).unwrap(), snapshot());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

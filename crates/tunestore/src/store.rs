@@ -1,0 +1,635 @@
+//! The crash-safe store: a snapshot plus an append-only journal behind
+//! one handle, with recovery that degrades instead of erroring.
+//!
+//! # Write path
+//!
+//! [`DurableStore::insert`] appends one checksummed record to the journal
+//! and fsyncs it *before* reporting success — the fsync return is the
+//! acknowledgement point. Rejected inserts (a key already stored at equal
+//! or lower cost) do no I/O at all. [`DurableStore::compact`] folds the
+//! journal into the snapshot: it writes the snapshot atomically (temp
+//! file, fsync, rename, directory fsync) and then resets the journal to a
+//! fresh header the same way. A crash between those two steps is harmless
+//! because journal replay is idempotent under the best-cost merge.
+//!
+//! # Recovery
+//!
+//! [`DurableStore::open`] never fails on damaged files; it degrades:
+//!
+//! * a valid snapshot/journal is loaded;
+//! * a journal with a torn tail is truncated back to its longest valid
+//!   prefix (every acknowledged record is in that prefix, because
+//!   acknowledgement required the fsync);
+//! * a file that fails validation is **quarantined** — renamed to
+//!   `<name>.corrupt` so the damage is preserved for inspection but can
+//!   never poison a later open;
+//! * a valid file with a different environment fingerprint is moved to
+//!   `<name>.foreign` (its costs are not transferable, but it is not
+//!   damaged, so it is kept intact).
+//!
+//! What happened is reported in a [`StoreHealth`] available from
+//! [`DurableStore::health`]. Only real I/O failures during recovery
+//! itself (e.g. the power cut again) return an error.
+//!
+//! # Failed appends
+//!
+//! A failed journal append (full disk, injected fault) can leave a torn
+//! record in the file. Replay stops at the first bad record, so a later
+//! acknowledged append after a torn one would be unreachable — silently
+//! lost. The store therefore rolls the journal back to its last
+//! known-good length after any failed append; if even that rollback
+//! fails, the store *wedges*: further inserts are refused until a
+//! [`DurableStore::compact`] rebuilds both files.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::error::{Result, StoreError};
+use crate::health::{SourceState, StoreHealth};
+use crate::journal;
+use crate::snapshot::Snapshot;
+use crate::storage::{atomic_write, Durability, Storage};
+use crate::StoredEntry;
+
+/// The journal sibling of a snapshot path: `store.tunedb` →
+/// `store.tunedb.journal`.
+pub fn journal_path(snapshot_path: &Path) -> PathBuf {
+    sibling(snapshot_path, "journal")
+}
+
+/// `<name>.<suffix>` next to `path` (quarantine and journal naming).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    match path.file_name() {
+        Some(name) => path.with_file_name(format!("{}.{suffix}", name.to_string_lossy())),
+        None => path.with_file_name(suffix),
+    }
+}
+
+/// Moves a damaged or foreign file aside to `<name>.<suffix>`. Best-effort:
+/// on failure the file is left in place (and `None` returned); the next
+/// open will try again.
+fn quarantine(
+    storage: &dyn Storage,
+    path: &Path,
+    suffix: &str,
+    durability: Durability,
+) -> Option<PathBuf> {
+    let target = sibling(path, suffix);
+    storage.rename(path, &target).ok()?;
+    if durability.sync_dirs {
+        if let Some(parent) = path.parent() {
+            let _ = storage.sync_dir(parent);
+        }
+    }
+    Some(target)
+}
+
+/// A tuning store with a durable write path and degrading recovery. See
+/// the module docs for the contract.
+#[derive(Debug)]
+pub struct DurableStore {
+    storage: Arc<dyn Storage>,
+    path: PathBuf,
+    journal_path: PathBuf,
+    durability: Durability,
+    view: Snapshot,
+    health: StoreHealth,
+    /// Length of the journal's known-good prefix (header + acked records).
+    journal_len: u64,
+    /// Set when a failed append could not be rolled back; inserts are
+    /// refused until a compact rebuilds the journal.
+    wedged: bool,
+}
+
+impl DurableStore {
+    /// Opens (or creates) the store at `path` with full durability,
+    /// recovering whatever the on-disk state holds. `fingerprint` is the
+    /// identity the caller requires; files carrying a different one are
+    /// moved aside, not merged.
+    pub fn open(
+        storage: Arc<dyn Storage>,
+        path: impl AsRef<Path>,
+        fingerprint: &str,
+    ) -> Result<DurableStore> {
+        DurableStore::open_with(storage, path, fingerprint, Durability::FULL)
+    }
+
+    /// [`DurableStore::open`] with an explicit [`Durability`] setting. The
+    /// weakened settings exist for mutation-testing the fault harness;
+    /// production callers use [`Durability::FULL`].
+    pub fn open_with(
+        storage: Arc<dyn Storage>,
+        path: impl AsRef<Path>,
+        fingerprint: &str,
+        durability: Durability,
+    ) -> Result<DurableStore> {
+        let path = path.as_ref().to_path_buf();
+        let journal_path = journal_path(&path);
+        let mut view = Snapshot {
+            fingerprint: fingerprint.to_string(),
+            entries: Vec::new(),
+        };
+
+        let snapshot_state = if storage.exists(&path) {
+            let bytes = storage.read(&path)?;
+            match Snapshot::decode(&bytes) {
+                Ok(snapshot) if snapshot.fingerprint == fingerprint => {
+                    let entries = snapshot.entries.len();
+                    view.entries = snapshot.entries;
+                    SourceState::Intact { entries }
+                }
+                Ok(snapshot) => SourceState::Foreign {
+                    found: snapshot.fingerprint,
+                    moved_to: quarantine(storage.as_ref(), &path, "foreign", durability),
+                },
+                Err(error) => SourceState::Quarantined {
+                    reason: error.to_string(),
+                    moved_to: quarantine(storage.as_ref(), &path, "corrupt", durability),
+                },
+            }
+        } else {
+            SourceState::Missing
+        };
+
+        let mut journal_len = None;
+        let journal_state = if storage.exists(&journal_path) {
+            let bytes = storage.read(&journal_path)?;
+            match journal::replay(&bytes) {
+                Ok(replay) if replay.fingerprint == fingerprint => {
+                    let entries = replay.entries.len();
+                    for entry in replay.entries {
+                        view.insert(entry);
+                    }
+                    journal_len = Some(replay.valid_len as u64);
+                    if replay.dropped_bytes > 0 {
+                        // Durably pin the valid prefix so the torn bytes
+                        // can never resurface under a future append.
+                        storage.truncate(&journal_path, replay.valid_len as u64)?;
+                        if durability.sync_data {
+                            storage.sync_file(&journal_path)?;
+                        }
+                        SourceState::TruncatedTail {
+                            entries,
+                            dropped_bytes: replay.dropped_bytes,
+                        }
+                    } else {
+                        SourceState::Intact { entries }
+                    }
+                }
+                Ok(replay) => SourceState::Foreign {
+                    found: replay.fingerprint,
+                    moved_to: quarantine(storage.as_ref(), &journal_path, "foreign", durability),
+                },
+                Err(error) => SourceState::Quarantined {
+                    reason: error.to_string(),
+                    moved_to: quarantine(storage.as_ref(), &journal_path, "corrupt", durability),
+                },
+            }
+        } else {
+            SourceState::Missing
+        };
+
+        // Make sure a journal with a valid header exists (atomically, so a
+        // crash here leaves either no journal or a complete header).
+        let journal_len = match journal_len {
+            Some(len) => len,
+            None => {
+                let header = journal::encode_header(fingerprint);
+                atomic_write(storage.as_ref(), &journal_path, &header, durability)?;
+                header.len() as u64
+            }
+        };
+
+        let health = StoreHealth {
+            snapshot: snapshot_state,
+            journal: journal_state,
+            entries: view.entries.len(),
+        };
+        Ok(DurableStore {
+            storage,
+            path,
+            journal_path,
+            durability,
+            view,
+            health,
+            journal_len,
+            wedged: false,
+        })
+    }
+
+    /// Opens a store accepting whatever fingerprint its files carry (the
+    /// snapshot's, else the journal's, else this environment's) — the
+    /// `tunedb recover`/`compact` entry point, which must work on stores
+    /// written by other machines.
+    pub fn open_existing(
+        storage: Arc<dyn Storage>,
+        path: impl AsRef<Path>,
+        durability: Durability,
+    ) -> Result<DurableStore> {
+        let path = path.as_ref();
+        let journal_path = journal_path(path);
+        let fingerprint = storage
+            .read(path)
+            .ok()
+            .and_then(|bytes| Snapshot::decode(&bytes).ok())
+            .map(|snapshot| snapshot.fingerprint)
+            .or_else(|| {
+                let bytes = storage.read(&journal_path).ok()?;
+                Some(journal::replay(&bytes).ok()?.fingerprint)
+            })
+            .unwrap_or_else(crate::fingerprint::environment_fingerprint);
+        DurableStore::open_with(storage, path, &fingerprint, durability)
+    }
+
+    /// Inserts one entry with best-cost semantics, journaling it durably
+    /// before acknowledging. Returns `Ok(false)` — with no I/O — when the
+    /// key is already stored at equal or lower cost. An `Err` means the
+    /// entry is **not** acknowledged: it may or may not survive a crash,
+    /// but recovery will still yield a consistent prefix.
+    pub fn insert(&mut self, entry: StoredEntry) -> Result<bool> {
+        if !self.view.would_accept(entry.key, entry.cost) {
+            return Ok(false);
+        }
+        if self.wedged {
+            return Err(StoreError::Io(std::io::Error::other(
+                "journal wedged by an earlier failed append; compact to recover",
+            )));
+        }
+        let record = journal::encode_record(&entry);
+        let appended = self
+            .storage
+            .append(&self.journal_path, &record)
+            .and_then(|()| {
+                if self.durability.sync_data {
+                    self.storage.sync_file(&self.journal_path)
+                } else {
+                    Ok(())
+                }
+            });
+        match appended {
+            Ok(()) => {
+                self.journal_len += record.len() as u64;
+                self.view.insert(entry);
+                self.health.entries = self.view.entries.len();
+                Ok(true)
+            }
+            Err(error) => {
+                // Roll back to the known-good length so a torn record can
+                // never orphan later acknowledged appends at replay time.
+                let rolled_back = self
+                    .storage
+                    .truncate(&self.journal_path, self.journal_len)
+                    .and_then(|()| self.storage.sync_file(&self.journal_path));
+                if rolled_back.is_err() {
+                    self.wedged = true;
+                }
+                Err(error.into())
+            }
+        }
+    }
+
+    /// Folds the journal into the snapshot: saves the current view
+    /// atomically, then resets the journal to a fresh header. Crash-safe
+    /// at every step — a crash between the snapshot save and the journal
+    /// reset merely replays entries the snapshot already holds (replay is
+    /// idempotent under the best-cost merge). Also clears a wedged state.
+    pub fn compact(&mut self) -> Result<()> {
+        self.view
+            .save_with(self.storage.as_ref(), &self.path, self.durability)?;
+        let header = journal::encode_header(&self.view.fingerprint);
+        atomic_write(
+            self.storage.as_ref(),
+            &self.journal_path,
+            &header,
+            self.durability,
+        )?;
+        self.journal_len = header.len() as u64;
+        self.wedged = false;
+        self.health = StoreHealth {
+            snapshot: SourceState::Intact {
+                entries: self.view.entries.len(),
+            },
+            journal: SourceState::Intact { entries: 0 },
+            entries: self.view.entries.len(),
+        };
+        Ok(())
+    }
+
+    /// The recovered view (snapshot ∪ journal under best-cost merge).
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.view
+    }
+
+    /// The recovered entries, in deterministic order (snapshot order, then
+    /// first-insertion order of journal-only keys).
+    pub fn entries(&self) -> &[StoredEntry] {
+        &self.view.entries
+    }
+
+    /// Number of entries in the view.
+    pub fn len(&self) -> usize {
+        self.view.entries.len()
+    }
+
+    /// True when the view holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.view.entries.is_empty()
+    }
+
+    /// What recovery found and did at open time (updated by
+    /// [`DurableStore::compact`]).
+    pub fn health(&self) -> &StoreHealth {
+        &self.health
+    }
+
+    /// True when a failed append could not be rolled back and inserts are
+    /// refused until the next [`DurableStore::compact`].
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// The snapshot path this store serves.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The journal path this store appends to.
+    pub fn journal_file(&self) -> &Path {
+        &self.journal_path
+    }
+
+    /// Bytes in the journal's known-good prefix (test/diagnostic).
+    pub fn journal_len(&self) -> u64 {
+        self.journal_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{FaultPlan, FaultStorage, OpKind};
+    use loop_ir::expr::Var;
+    use transforms::{Recipe, Transform};
+
+    const FP: &str = "test-fp";
+
+    fn entry(key: u64, cost: f64) -> StoredEntry {
+        StoredEntry {
+            key,
+            cost,
+            embedding: vec![1.0, 2.0],
+            recipe: Recipe::new(vec![Transform::Vectorize {
+                iter: Var::new("j"),
+            }]),
+            chain: vec![Var::new("i"), Var::new("j")],
+            source: format!("s{key}"),
+        }
+    }
+
+    fn store_path() -> PathBuf {
+        PathBuf::from("dir/store.tunedb")
+    }
+
+    fn open(storage: &Arc<FaultStorage>) -> DurableStore {
+        DurableStore::open(Arc::clone(storage) as Arc<dyn Storage>, store_path(), FP).unwrap()
+    }
+
+    #[test]
+    fn inserts_survive_reopen_without_compaction() {
+        let storage = Arc::new(FaultStorage::default());
+        let mut store = open(&storage);
+        assert!(store.insert(entry(1, 0.5)).unwrap());
+        assert!(store.insert(entry(2, 0.25)).unwrap());
+        assert!(!store.insert(entry(1, 0.9)).unwrap(), "worse cost rejected");
+        assert!(store.insert(entry(1, 0.4)).unwrap(), "better cost accepted");
+        drop(store);
+
+        let store = open(&storage);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.entries()[0].cost, 0.4);
+        assert!(store.health().is_clean());
+    }
+
+    #[test]
+    fn acked_inserts_survive_a_crash() {
+        let storage = Arc::new(FaultStorage::default());
+        let mut store = open(&storage);
+        store.insert(entry(1, 0.5)).unwrap();
+        store.insert(entry(2, 0.25)).unwrap();
+        storage.crash();
+        let store = open(&storage);
+        assert_eq!(store.len(), 2, "both inserts were acknowledged");
+    }
+
+    #[test]
+    fn compact_folds_journal_into_snapshot() {
+        let storage = Arc::new(FaultStorage::default());
+        let mut store = open(&storage);
+        store.insert(entry(1, 0.5)).unwrap();
+        store.insert(entry(2, 0.25)).unwrap();
+        let journal_before = store.journal_len();
+        store.compact().unwrap();
+        assert!(store.journal_len() < journal_before);
+        storage.crash();
+        let store = open(&storage);
+        assert_eq!(store.len(), 2);
+        assert!(store.health().is_clean());
+        assert_eq!(store.health().snapshot.entries(), 2);
+        assert_eq!(store.health().journal.entries(), 0);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined_and_store_degrades() {
+        let storage = Arc::new(FaultStorage::default());
+        let mut store = open(&storage);
+        store.insert(entry(1, 0.5)).unwrap();
+        store.compact().unwrap();
+        drop(store);
+        // Smash a byte in the middle of the snapshot.
+        storage.corrupt_byte(&store_path(), 30, 0xFF);
+        let store = open(&storage);
+        assert!(matches!(
+            store.health().snapshot,
+            SourceState::Quarantined { .. }
+        ));
+        assert!(storage.exists(&PathBuf::from("dir/store.tunedb.corrupt")));
+        assert!(!storage.exists(&store_path()));
+        // Journal was reset by the compact, so the view is empty — but the
+        // open *succeeded* and the store is writable again.
+        let mut store = store;
+        assert!(store.insert(entry(3, 0.1)).unwrap());
+    }
+
+    #[test]
+    fn corrupt_journal_header_is_quarantined() {
+        let storage = Arc::new(FaultStorage::default());
+        let mut store = open(&storage);
+        store.insert(entry(1, 0.5)).unwrap();
+        drop(store);
+        storage.corrupt_byte(&journal_path(&store_path()), 9, 0xFF);
+        let store = open(&storage);
+        assert!(matches!(
+            store.health().journal,
+            SourceState::Quarantined { .. }
+        ));
+        assert!(storage.exists(&PathBuf::from("dir/store.tunedb.journal.corrupt")));
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_and_reported() {
+        let storage = Arc::new(FaultStorage::default());
+        let mut store = open(&storage);
+        store.insert(entry(1, 0.5)).unwrap();
+        let good_len = store.journal_len();
+        store.insert(entry(2, 0.25)).unwrap();
+        drop(store);
+        // Tear the second record by hand.
+        let jpath = journal_path(&store_path());
+        let torn_len = good_len + 3;
+        storage
+            .truncate(&jpath, torn_len)
+            .expect("test setup truncate");
+        let store = open(&storage);
+        assert_eq!(store.len(), 1);
+        assert!(matches!(
+            store.health().journal,
+            SourceState::TruncatedTail {
+                entries: 1,
+                dropped_bytes: 3
+            }
+        ));
+        assert_eq!(store.journal_len(), good_len);
+        // A second open sees a clean store: the tail was durably removed.
+        drop(store);
+        let store = open(&storage);
+        assert!(store.health().is_clean());
+    }
+
+    #[test]
+    fn foreign_files_are_moved_aside_not_destroyed() {
+        let storage = Arc::new(FaultStorage::default());
+        {
+            let mut other = DurableStore::open(
+                Arc::clone(&storage) as Arc<dyn Storage>,
+                store_path(),
+                "other-machine",
+            )
+            .unwrap();
+            other.insert(entry(1, 0.5)).unwrap();
+            other.compact().unwrap();
+            other.insert(entry(2, 0.25)).unwrap();
+        }
+        let store = open(&storage);
+        assert_eq!(store.len(), 0);
+        assert!(matches!(
+            &store.health().snapshot,
+            SourceState::Foreign { found, .. } if found == "other-machine"
+        ));
+        assert!(matches!(
+            store.health().journal,
+            SourceState::Foreign { .. }
+        ));
+        let foreign = PathBuf::from("dir/store.tunedb.foreign");
+        assert!(storage.exists(&foreign), "foreign snapshot preserved");
+        let bytes = storage.read(&foreign).unwrap();
+        assert_eq!(
+            Snapshot::decode(&bytes).unwrap().fingerprint,
+            "other-machine"
+        );
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_later_inserts_still_replay() {
+        let storage = Arc::new(FaultStorage::default());
+        let mut store = open(&storage);
+        store.insert(entry(1, 0.5)).unwrap();
+        // Fail the next append cleanly (applied partially? no — clean
+        // fail_op is not applied at all; use disk budget for partial).
+        storage.set_plan(FaultPlan {
+            fail_op: Some((OpKind::Append, 1)),
+            ..FaultPlan::default()
+        });
+        assert!(store.insert(entry(2, 0.25)).is_err());
+        assert!(!store.is_wedged());
+        // The store keeps working, and everything acked replays.
+        assert!(store.insert(entry(3, 0.75)).unwrap());
+        drop(store);
+        let store = open(&storage);
+        assert!(store.health().is_clean());
+        let keys: Vec<u64> = store.entries().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![1, 3]);
+    }
+
+    #[test]
+    fn partial_append_under_enospc_cannot_orphan_later_acks() {
+        let storage = Arc::new(FaultStorage::default());
+        let mut store = open(&storage);
+        store.insert(entry(1, 0.5)).unwrap();
+        // The next record is applied only partially, then ENOSPC: leave
+        // 10 spare bytes over what has been written so far.
+        let budget = storage.file_len(&journal_path(&store_path())).unwrap() as u64 + 10;
+        storage.set_plan(FaultPlan {
+            disk_budget: Some(budget),
+            ..FaultPlan::default()
+        });
+        assert!(store.insert(entry(2, 0.25)).is_err());
+        // Rollback truncated the torn record; lift the budget and insert.
+        storage.set_plan(FaultPlan::default());
+        assert!(store.insert(entry(3, 0.75)).unwrap());
+        drop(store);
+        let store = open(&storage);
+        let keys: Vec<u64> = store.entries().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![1, 3], "the acked insert after ENOSPC replays");
+    }
+
+    #[test]
+    fn wedged_store_refuses_inserts_until_compact() {
+        let storage = Arc::new(FaultStorage::default());
+        let mut store = open(&storage);
+        store.insert(entry(1, 0.5)).unwrap();
+        // Double fault: the next append runs out of disk mid-record (torn
+        // bytes land in the file) and the rollback truncate fails too.
+        let used = storage.file_len(&journal_path(&store_path())).unwrap() as u64;
+        storage.set_plan(FaultPlan {
+            disk_budget: Some(used + 3),
+            fail_op: Some((OpKind::Truncate, 0)),
+            ..FaultPlan::default()
+        });
+        assert!(store.insert(entry(2, 0.25)).is_err());
+        assert!(store.is_wedged(), "failed rollback must wedge the store");
+        storage.set_plan(FaultPlan::default());
+        assert!(store.insert(entry(4, 0.1)).is_err(), "wedged: no appends");
+        store.compact().unwrap();
+        assert!(!store.is_wedged());
+        assert!(store.insert(entry(4, 0.1)).unwrap());
+        drop(store);
+        let store = open(&storage);
+        let keys: Vec<u64> = store.entries().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![1, 4]);
+    }
+
+    #[test]
+    fn open_existing_adopts_the_on_disk_fingerprint() {
+        let storage = Arc::new(FaultStorage::default());
+        {
+            let mut store = DurableStore::open(
+                Arc::clone(&storage) as Arc<dyn Storage>,
+                store_path(),
+                "far-away-machine",
+            )
+            .unwrap();
+            store.insert(entry(1, 0.5)).unwrap();
+            store.compact().unwrap();
+        }
+        let store = DurableStore::open_existing(
+            Arc::clone(&storage) as Arc<dyn Storage>,
+            store_path(),
+            Durability::FULL,
+        )
+        .unwrap();
+        assert_eq!(store.snapshot().fingerprint, "far-away-machine");
+        assert_eq!(store.len(), 1);
+        assert!(store.health().is_clean());
+    }
+}

@@ -1,0 +1,263 @@
+//! The exhaustive crash matrix: a scripted store workload is dry-run once
+//! to count its I/O operations, then re-run with a simulated power cut at
+//! EVERY operation index. After each cut the storage materializes its
+//! crash image (torn unsynced tails, rolled-back uncommitted renames,
+//! optionally a flipped bit) and the store is reopened. The invariant at
+//! every single crash point:
+//!
+//! > the recovered view equals the model state after `k` completed steps,
+//! > where `k` is either the number of acknowledged steps or (when the cut
+//! > interrupted an insert whose record reached the disk whole) one more.
+//!
+//! A second reopen must then be byte-stable and report a fully clean
+//! [`StoreHealth`] — recovery repairs durably, it does not just mask.
+//!
+//! The matrix also mutation-tests itself: weakening [`Durability`] (the
+//! skipped-fsync settings) must make some crash point FAIL the invariant,
+//! proving the harness can actually see durability holes.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use loop_ir::expr::Var;
+use transforms::{Recipe, Transform};
+use tunestore::{
+    is_power_cut, Durability, DurableStore, FaultPlan, FaultStorage, Snapshot, SourceState,
+    Storage, StoreError, StoredEntry,
+};
+
+const FP: &str = "matrix-fp";
+
+fn store_path() -> PathBuf {
+    PathBuf::from("dir/store.tunedb")
+}
+
+fn entry(key: u64, cost: f64) -> StoredEntry {
+    StoredEntry {
+        key,
+        cost,
+        embedding: vec![cost, 2.0 * cost],
+        recipe: Recipe::new(vec![Transform::Vectorize {
+            iter: Var::new("j"),
+        }]),
+        chain: vec![Var::new("i"), Var::new("j")],
+        source: format!("matrix-{key}"),
+    }
+}
+
+/// One step of the scripted workload.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Insert(u64, f64),
+    Compact,
+    Reopen,
+}
+
+/// The workload: inserts (including a best-cost improvement and a
+/// rejected worse-cost duplicate), compactions, and a mid-script reopen,
+/// so crash points land in every phase of the store's life.
+fn script() -> Vec<Step> {
+    use Step::*;
+    vec![
+        Insert(1, 0.9),
+        Insert(2, 0.8),
+        Insert(1, 0.5), // improves key 1
+        Compact,        // folds the journal into the snapshot
+        Insert(3, 0.7),
+        Insert(2, 0.95), // rejected (worse cost): completes with no I/O
+        Reopen,          // recovery mid-script
+        Insert(4, 0.6),
+        Compact,
+        Insert(5, 0.45),
+    ]
+}
+
+/// Canonical form of a set of entries, for order-insensitive comparison.
+fn canon(entries: &[StoredEntry]) -> Vec<(u64, u64, String)> {
+    let mut out: Vec<(u64, u64, String)> = entries
+        .iter()
+        .map(|e| (e.key, e.cost.to_bits(), e.source.clone()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// `models()[k]` is the expected store content after `k` completed steps
+/// (computed purely in memory — `Snapshot::insert` is the same best-cost
+/// merge the store uses).
+fn models() -> Vec<Vec<(u64, u64, String)>> {
+    let mut view = Snapshot {
+        fingerprint: FP.to_string(),
+        entries: Vec::new(),
+    };
+    let mut out = vec![canon(&view.entries)];
+    for step in script() {
+        if let Step::Insert(key, cost) = step {
+            view.insert(entry(key, cost));
+        }
+        out.push(canon(&view.entries));
+    }
+    out
+}
+
+/// Runs the scripted workload, returning how many steps completed and the
+/// error (if any) that stopped it.
+fn drive(storage: &Arc<FaultStorage>, durability: Durability) -> (usize, Option<StoreError>) {
+    let open = || {
+        DurableStore::open_with(
+            Arc::clone(storage) as Arc<dyn Storage>,
+            store_path(),
+            FP,
+            durability,
+        )
+    };
+    let mut store = match open() {
+        Ok(store) => store,
+        Err(error) => return (0, Some(error)),
+    };
+    let mut completed = 0;
+    for step in script() {
+        let result = match step {
+            Step::Insert(key, cost) => store.insert(entry(key, cost)).map(|_| ()),
+            Step::Compact => store.compact(),
+            Step::Reopen => match open() {
+                Ok(reopened) => {
+                    store = reopened;
+                    Ok(())
+                }
+                Err(error) => Err(error),
+            },
+        };
+        match result {
+            Ok(()) => completed += 1,
+            Err(error) => return (completed, Some(error)),
+        }
+    }
+    (completed, None)
+}
+
+/// Reopens cleanly after a crash and returns the recovered view.
+fn reopen(storage: &Arc<FaultStorage>) -> DurableStore {
+    DurableStore::open(Arc::clone(storage) as Arc<dyn Storage>, store_path(), FP)
+        .expect("recovery after a reboot must succeed")
+}
+
+/// Runs the full matrix at the given durability, returning the crash
+/// points whose recovery VIOLATED the invariant (empty = crash-safe).
+fn matrix_violations(durability: Durability, flip_bits: bool) -> Vec<u64> {
+    // Dry run: count the ops and check the script completes.
+    let dry = Arc::new(FaultStorage::default());
+    let (completed, error) = drive(&dry, durability);
+    assert!(error.is_none(), "dry run must not fail: {error:?}");
+    assert_eq!(completed, script().len());
+    let total = dry.ops();
+    assert!(total > 20, "the script must produce a real op stream");
+    let models = models();
+
+    let mut violations = Vec::new();
+    for cut in 0..total {
+        let storage = Arc::new(FaultStorage::new(FaultPlan {
+            seed: cut.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            crash_at_op: Some(cut),
+            flip_bit_on_crash: flip_bits,
+            ..FaultPlan::default()
+        }));
+        let (acked, error) = drive(&storage, durability);
+        if let Some(error) = &error {
+            match error {
+                StoreError::Io(io) => assert!(
+                    is_power_cut(io),
+                    "cut {cut}: only the power cut may fail the script, got {io}"
+                ),
+                other => panic!("cut {cut}: unexpected error {other}"),
+            }
+        }
+        storage.crash();
+        storage.set_plan(FaultPlan::default());
+
+        let store = reopen(&storage);
+        let got = canon(store.entries());
+        let in_flight = (acked + 1).min(models.len() - 1);
+        if got != models[acked] && got != models[in_flight] {
+            violations.push(cut);
+            continue;
+        }
+        // Under FULL durability a power cut can only tear or lose the
+        // un-acknowledged tail — never corrupt acknowledged, fsynced data
+        // into quarantine. (Weakened durability runs the matrix as a
+        // mutation test, where quarantine is an expected symptom.)
+        if durability == Durability::FULL {
+            for source in [&store.health().snapshot, &store.health().journal] {
+                assert!(
+                    !matches!(
+                        source,
+                        SourceState::Quarantined { .. } | SourceState::Foreign { .. }
+                    ),
+                    "cut {cut}: a pure power cut must never quarantine: {source}"
+                );
+            }
+        }
+        // Recovery must repair durably: a second open is byte-stable and
+        // fully clean (the torn tail is gone from disk, not just skipped).
+        drop(store);
+        let again = reopen(&storage);
+        assert_eq!(canon(again.entries()), got, "cut {cut}: reopen is stable");
+        if durability == Durability::FULL {
+            assert!(
+                again.health().is_clean(),
+                "cut {cut}: second open must be clean, got {}",
+                again.health()
+            );
+        }
+    }
+    violations
+}
+
+#[test]
+fn every_crash_point_recovers_an_acknowledged_prefix() {
+    let violations = matrix_violations(Durability::FULL, false);
+    assert!(
+        violations.is_empty(),
+        "crash points violating recovery: {violations:?}"
+    );
+}
+
+#[test]
+fn every_crash_point_recovers_even_with_bit_corruption() {
+    let violations = matrix_violations(Durability::FULL, true);
+    assert!(
+        violations.is_empty(),
+        "crash points violating recovery under bit flips: {violations:?}"
+    );
+}
+
+/// Mutation test of the harness itself: skipping data fsyncs MUST make
+/// some crash point lose an acknowledged write. If the weakened store
+/// passed the matrix, the harness would be too lenient to trust.
+#[test]
+fn the_matrix_catches_a_store_that_skips_data_fsync() {
+    let weakened = Durability {
+        sync_data: false,
+        ..Durability::FULL
+    };
+    let violations = matrix_violations(weakened, false);
+    assert!(
+        !violations.is_empty(),
+        "a store that never fsyncs data must fail the crash matrix"
+    );
+}
+
+/// Same mutation test for the rename protocol: writing snapshots in place
+/// (no temp file + atomic rename) must be caught by the matrix.
+#[test]
+fn the_matrix_catches_a_store_that_writes_snapshots_in_place() {
+    let weakened = Durability {
+        atomic_rename: false,
+        ..Durability::FULL
+    };
+    let violations = matrix_violations(weakened, false);
+    assert!(
+        !violations.is_empty(),
+        "a store that rewrites snapshots in place must fail the crash matrix"
+    );
+}
