@@ -72,7 +72,7 @@ fn main() {
     let options = ReproOptions {
         smoke,
         store: Some(dir.clone()),
-        warm: false,
+        ..ReproOptions::default()
     };
 
     let rows: Vec<Row> = SchedulerKind::ALL

@@ -4,9 +4,17 @@
 //!
 //! ```text
 //! reproduce [--smoke] [--store DIR] [--warm] [--verify] [--only LIST] [--list]
+//!           [--verbose] [--profile OUT.json]
 //!
 //!   --smoke       tiny problem sizes (Dataset::Mini, CloudscSizes::mini());
 //!                 the CI configuration, finishes in seconds
+//!   --verbose     print the per-phase wall clock (normalize / seed /
+//!                 search / cost) of every schedule the figures run
+//!   --profile F   record a telemetry profile of the whole run — spans,
+//!                 counters and latency histograms across the scheduler,
+//!                 the cache simulator and the tuning store — to F as
+//!                 JSON lines, and print the aggregate span tree;
+//!                 inspect or diff the file with daisyprof
 //!   --store DIR   persist cold-seeded tuning databases under DIR
 //!                 (<DIR>/daisy-<config>-<dataset>.tunedb)
 //!   --warm        warm-start schedulers from the store instead of seeding
@@ -39,21 +47,28 @@ struct Args {
     options: ReproOptions,
     verify: bool,
     only: Option<Vec<String>>,
+    profile: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
     let mut options = ReproOptions::default();
     let mut verify = false;
     let mut only = None;
+    let mut profile = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => options.smoke = true,
             "--warm" => options.warm = true,
+            "--verbose" => options.verbose = true,
             "--verify" => verify = true,
             "--store" => {
                 let dir = args.next().ok_or("--store needs a directory")?;
                 options.store = Some(PathBuf::from(dir));
+            }
+            "--profile" => {
+                let path = args.next().ok_or("--profile needs an output path")?;
+                profile = Some(PathBuf::from(path));
             }
             "--only" => {
                 let list = args.next().ok_or("--only needs a figure list")?;
@@ -87,6 +102,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         options,
         verify,
         only,
+        profile,
     }))
 }
 
@@ -100,6 +116,31 @@ fn main() -> ExitCode {
         }
     };
 
+    // With --profile, every span and counter of the run aggregates into one
+    // in-memory recorder; the figures themselves are unaware of it.
+    let recorder = args
+        .profile
+        .as_ref()
+        .map(|_| std::sync::Arc::new(telemetry::AggregatingRecorder::default()));
+    if let Some(recorder) = &recorder {
+        telemetry::install(recorder.clone());
+    }
+    let code = run_figures(&args);
+    if let (Some(path), Some(recorder)) = (&args.profile, &recorder) {
+        telemetry::uninstall();
+        let profile = recorder.profile("reproduce");
+        if let Err(e) = std::fs::write(path, profile.to_json_lines()) {
+            eprintln!("reproduce: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("\n================ profile ================");
+        print!("{}", profile.render_tree());
+        println!("profile written to {}", path.display());
+    }
+    code
+}
+
+fn run_figures(args: &Args) -> ExitCode {
     let selected = |name: &str| {
         args.only
             .as_ref()

@@ -79,6 +79,18 @@ pub struct ReproOptions {
     pub store: Option<PathBuf>,
     /// Warm-start schedulers from the store instead of seeding.
     pub warm: bool,
+    /// Print the per-phase wall clock ([`daisy::PhaseTimings`]) of every
+    /// schedule the figures run.
+    pub verbose: bool,
+}
+
+/// Prints one schedule's per-phase wall clock when `--verbose` is on.
+/// A free function (not a [`ReproContext`] method) so figures can call it
+/// while a scheduler borrow of the context is live.
+pub fn print_phases(verbose: bool, label: &str, outcome: &ScheduleOutcome) {
+    if verbose {
+        println!("  phases [{label}]: {}", outcome.phase_timings);
+    }
 }
 
 /// How one scheduler's database was obtained, for the run summary.
@@ -302,6 +314,7 @@ pub fn fig1_gemm_variants(ctx: &ReproContext) {
 /// convert.
 pub fn fig6_autoschedulers(ctx: &mut ReproContext) {
     let dataset = ctx.dataset();
+    let verbose = ctx.options().verbose;
     let model = paper_machine_model(THREADS);
     let scheduler = ctx.scheduler(SchedulerKind::Full);
 
@@ -317,8 +330,12 @@ pub fn fig6_autoschedulers(ctx: &mut ReproContext) {
     for b in all_benchmarks() {
         let a_prog = (b.a)(dataset);
         let b_prog = (b.b)(dataset);
-        let daisy_a = scheduler.schedule(&a_prog).seconds();
-        let daisy_b = scheduler.schedule(&b_prog).seconds();
+        let outcome_a = scheduler.schedule(&a_prog);
+        let outcome_b = scheduler.schedule(&b_prog);
+        print_phases(verbose, &format!("{}/A", b.name), &outcome_a);
+        print_phases(verbose, &format!("{}/B", b.name), &outcome_b);
+        let daisy_a = outcome_a.seconds();
+        let daisy_b = outcome_b.seconds();
         let polly_a = model.estimate(&polly_schedule(&a_prog)).seconds;
         let polly_b = model.estimate(&polly_schedule(&b_prog)).seconds;
         let icc_a = model.estimate(&icc_schedule(&a_prog)).seconds;
@@ -421,6 +438,8 @@ pub fn fig7_ablation(ctx: &mut ReproContext) {
         let opt_b = ctx.scheduler(SchedulerKind::NoNormalize).schedule(&b_prog);
         let full_a = ctx.scheduler(SchedulerKind::Full).schedule(&a_prog);
         let full_b = ctx.scheduler(SchedulerKind::Full).schedule(&b_prog);
+        print_phases(ctx.options().verbose, &format!("{}/A", b.name), &full_a);
+        print_phases(ctx.options().verbose, &format!("{}/B", b.name), &full_b);
         let row = vec![
             b.name.to_string(),
             format!("{clang_a:.4}"),
@@ -950,6 +969,7 @@ mod tests {
             smoke: true,
             store,
             warm,
+            ..ReproOptions::default()
         }
     }
 

@@ -62,8 +62,9 @@ fn usage_errors_exit_with_code_two() {
         vec!["--store"],
         vec!["--only"],
         vec!["--only", "fig99"],
-        vec!["--warm"],   // --warm needs --store
-        vec!["--verify"], // --verify needs --store
+        vec!["--warm"],    // --warm needs --store
+        vec!["--verify"],  // --verify needs --store
+        vec!["--profile"], // --profile needs an output path
     ] {
         let output = reproduce(&args);
         let stderr = String::from_utf8_lossy(&output.stderr);
@@ -83,4 +84,52 @@ fn usage_errors_exit_with_code_two() {
             "args {args:?}: diagnostic names the binary: {stderr}"
         );
     }
+}
+
+#[test]
+fn profile_writes_a_parseable_json_lines_profile_and_verbose_prints_phases() {
+    let dir = std::env::temp_dir().join(format!("reproduce-cli-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("profile.json");
+    let path_str = path.to_str().expect("utf8 path");
+
+    let output = reproduce(&[
+        "--smoke",
+        "--only",
+        "fig7",
+        "--verbose",
+        "--profile",
+        path_str,
+    ]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.contains("phases ["),
+        "--verbose prints per-phase timings: {stdout}"
+    );
+    assert!(
+        stdout.contains("================ profile ================"),
+        "--profile prints the aggregate span tree: {stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("profile written to {}", path.display())),
+        "--profile names the output file: {stdout}"
+    );
+
+    // The file round-trips through the same parser daisyprof uses, and the
+    // run's schedule spans made it in.
+    let contents = std::fs::read_to_string(&path).expect("profile file exists");
+    let profile = telemetry::Profile::from_json_lines(&contents).expect("profile parses");
+    assert_eq!(profile.label, "reproduce");
+    assert!(
+        profile.spans.keys().any(|path| path.contains("schedule")),
+        "profile records scheduler spans: {contents}"
+    );
+    assert!(
+        !profile.counters.is_empty(),
+        "profile records counters: {contents}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -77,8 +77,10 @@ impl DaisyConfig {
 /// `PartialEq` compares the optimized program, the full cost report and the
 /// decision log — the cold/warm equivalence guarantee of the persistent
 /// tuning store is checked with exactly this comparison (costs are `f64`s,
-/// so equality is bit-identity, not tolerance).
-#[derive(Debug, Clone, PartialEq)]
+/// so equality is bit-identity, not tolerance). [`PhaseTimings`] are
+/// wall-clock measurements and **explicitly excluded**: two outcomes that
+/// took different amounts of time to compute still compare equal.
+#[derive(Debug, Clone)]
 pub struct ScheduleOutcome {
     /// The optimized program (normalized, idiom-replaced, recipes applied).
     pub program: Program,
@@ -86,12 +88,64 @@ pub struct ScheduleOutcome {
     pub report: CostReport,
     /// One human-readable note per top-level nest describing what was done.
     pub decisions: Vec<String>,
+    /// Where the `schedule()` call itself spent its time. Observational
+    /// only — never part of the bit-identity guarantee.
+    pub phase_timings: PhaseTimings,
+}
+
+impl PartialEq for ScheduleOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        // phase_timings is deliberately not compared: wall clock varies
+        // between bit-identical runs.
+        self.program == other.program
+            && self.report == other.report
+            && self.decisions == other.decisions
+    }
 }
 
 impl ScheduleOutcome {
     /// Estimated runtime in seconds.
     pub fn seconds(&self) -> f64 {
         self.report.seconds
+    }
+}
+
+/// Wall-clock breakdown of one [`DaisyScheduler::schedule`] call, mirroring
+/// the telemetry spans `schedule.normalize` / `schedule.seed` /
+/// `schedule.search` / `schedule.cost`. Always populated (four `Instant`
+/// reads), whether or not a telemetry recorder is installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// A-priori normalization of the input program.
+    pub normalize_ns: u64,
+    /// Baseline whole-program pricing (pre-populates the shared cost memo).
+    pub seed_ns: u64,
+    /// Per-nest planning fan-out: idiom detection, database lookup,
+    /// legality gates, candidate pricing.
+    pub search_ns: u64,
+    /// Deterministic merge plus the final whole-program estimate.
+    pub cost_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Sum over all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.normalize_ns + self.seed_ns + self.search_ns + self.cost_ns
+    }
+}
+
+impl std::fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use telemetry::profile::fmt_ns;
+        write!(
+            f,
+            "normalize {} · seed {} · search {} · cost {} (total {})",
+            fmt_ns(self.normalize_ns),
+            fmt_ns(self.seed_ns),
+            fmt_ns(self.search_ns),
+            fmt_ns(self.cost_ns),
+            fmt_ns(self.total_ns()),
+        )
     }
 }
 
@@ -176,6 +230,7 @@ impl DaisyScheduler {
     /// [`DaisyScheduler::seed_into_store`]), in deterministic program/nest
     /// order.
     fn seed_entries(&self, programs: &[Program]) -> Vec<DatabaseEntry> {
+        let _span = telemetry::span("seeding");
         let model = CostModel::new(self.config.machine.clone(), self.config.threads);
         let normalized: Vec<Program> = programs.iter().map(|p| self.normalized(p)).collect();
         let mut jobs: Vec<(&Program, usize)> = Vec::new();
@@ -190,6 +245,7 @@ impl DaisyScheduler {
                 jobs.push((program, index));
             }
         }
+        telemetry::counter("daisy.seed.nests", jobs.len() as u64);
         let search = self.search.clone().with_parallel(false);
         crate::search::parallel_map_with(self.config.parallelism, &jobs, |&(program, index)| {
             // Keep the winning recipe's *nest-scoped* cost: the search
@@ -428,61 +484,73 @@ impl DaisyScheduler {
     /// [`ScheduleOutcome`] is bit-identical at any parallelism level
     /// (including warm-started runs against a persisted store).
     pub fn schedule(&self, program: &Program) -> ScheduleOutcome {
+        let _span = telemetry::span("schedule");
         let model = CostModel::new(self.config.machine.clone(), self.config.threads);
-        let normalized = self.normalized(program);
+        let (normalized, normalize_ns) = telemetry::timed("normalize", || self.normalized(program));
         // Whole-program baseline, priced once: candidates must beat it, and
         // pricing it here also pre-populates the shared per-nest memo so the
         // parallel planners do not redo it per worker.
-        let baseline = model.estimate(&normalized).seconds;
+        let (baseline, seed_ns) = telemetry::timed("seed", || model.estimate(&normalized).seconds);
 
         // Phase 1: plan every top-level node independently, in parallel.
-        let indices: Vec<usize> = (0..normalized.body.len()).collect();
-        let plans = crate::search::parallel_map_with(self.config.parallelism, &indices, |&i| {
-            self.plan_node(&normalized, i, &model, baseline)
+        let (plans, search_ns) = telemetry::timed("search", || {
+            let indices: Vec<usize> = (0..normalized.body.len()).collect();
+            crate::search::parallel_map_with(self.config.parallelism, &indices, |&i| {
+                self.plan_node(&normalized, i, &model, baseline)
+            })
         });
 
         // Phase 2: deterministic merge in nest order. Recipes can change the
         // number of top-level nodes, so track an explicit cursor.
         let mut current = normalized;
         let mut decisions = Vec::new();
-        let mut index = 0usize;
-        for plan in plans {
-            match plan {
-                NestPlan::Passthrough => index += 1,
-                NestPlan::Idiom(call) => {
-                    decisions.push(format!("nest {index}: replaced with {call}"));
-                    current.body[index] = Node::Call(call);
-                    index += 1;
-                }
-                NestPlan::Recipe {
-                    recipe,
-                    source,
-                    replacement,
-                } => {
-                    let added = replacement.len();
-                    current.body.splice(index..=index, replacement);
-                    // Log the whole-program estimate *with earlier decisions
-                    // applied*, as the sequential walk always did. The merge
-                    // is sequential and the estimate memoized, so this stays
-                    // cheap and bit-identical at any parallelism.
-                    let seconds = model.estimate(&current).seconds;
-                    decisions.push(format!(
-                        "nest {index}: applied recipe from {source} ({recipe}), est. {seconds:.4}s"
-                    ));
-                    index += added.max(1);
-                }
-                NestPlan::Unoptimized => {
-                    decisions.push(format!("nest {index}: left unoptimized (-O3 only)"));
-                    index += 1;
+        let (report, cost_ns) = telemetry::timed("cost", || {
+            let mut index = 0usize;
+            for plan in plans {
+                match plan {
+                    NestPlan::Passthrough => index += 1,
+                    NestPlan::Idiom(call) => {
+                        decisions.push(format!("nest {index}: replaced with {call}"));
+                        current.body[index] = Node::Call(call);
+                        index += 1;
+                    }
+                    NestPlan::Recipe {
+                        recipe,
+                        source,
+                        replacement,
+                    } => {
+                        let added = replacement.len();
+                        current.body.splice(index..=index, replacement);
+                        // Log the whole-program estimate *with earlier decisions
+                        // applied*, as the sequential walk always did. The merge
+                        // is sequential and the estimate memoized, so this stays
+                        // cheap and bit-identical at any parallelism.
+                        let seconds = model.estimate(&current).seconds;
+                        decisions.push(format!(
+                            "nest {index}: applied recipe from {source} ({recipe}), est. {seconds:.4}s"
+                        ));
+                        index += added.max(1);
+                    }
+                    NestPlan::Unoptimized => {
+                        decisions.push(format!("nest {index}: left unoptimized (-O3 only)"));
+                        index += 1;
+                    }
                 }
             }
-        }
-
-        let report = model.estimate(&current);
+            model.estimate(&current)
+        });
+        telemetry::counter("daisy.schedule.calls", 1);
+        telemetry::counter("daisy.schedule.nests", current.body.len() as u64);
         ScheduleOutcome {
             program: current,
             report,
             decisions,
+            phase_timings: PhaseTimings {
+                normalize_ns,
+                seed_ns,
+                search_ns,
+                cost_ns,
+            },
         }
     }
 
@@ -503,6 +571,7 @@ impl DaisyScheduler {
         // 1. BLAS idiom detection.
         if self.config.idiom_detection {
             if let Some(call) = detect_blas_idiom(normalized, nest) {
+                telemetry::counter("daisy.plan.idiom_hits", 1);
                 return NestPlan::Idiom(call);
             }
         }
@@ -555,6 +624,7 @@ impl DaisyScheduler {
             let mut tried: HashSet<u64> = HashSet::new();
             let key = nest_key(normalized, &normalized.body[index]);
             if let Some(entry) = self.database.lookup(key) {
+                telemetry::counter("daisy.plan.exact_hits", 1);
                 consider(entry, true, &mut tried, &mut best);
             }
             // The exact match is a candidate, not a short-circuit: a
@@ -567,6 +637,7 @@ impl DaisyScheduler {
             for entry in self.database.nearest(&embedding, self.config.neighbors) {
                 consider(entry, false, &mut tried, &mut best);
             }
+            telemetry::counter("daisy.plan.candidates_priced", tried.len() as u64);
         }
         match best {
             Some((_, recipe, source)) => {
@@ -575,13 +646,17 @@ impl DaisyScheduler {
                     .expect("winning recipe applied during pricing");
                 let added = candidate.body.len() + 1 - normalized.body.len();
                 let replacement: Vec<Node> = candidate.body[index..index + added].to_vec();
+                telemetry::counter("daisy.plan.recipes_applied", 1);
                 NestPlan::Recipe {
                     recipe,
                     source,
                     replacement,
                 }
             }
-            None => NestPlan::Unoptimized,
+            None => {
+                telemetry::counter("daisy.plan.unoptimized", 1);
+                NestPlan::Unoptimized
+            }
         }
     }
 }
@@ -815,6 +890,35 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn outcome_equality_ignores_phase_timings() {
+        let config = DaisyConfig {
+            idiom_detection: false,
+            ..DaisyConfig::default()
+        };
+        let scheduler = DaisyScheduler::new(config);
+        let program = gemm_a(64);
+        let first = scheduler.schedule(&program);
+        let second = scheduler.schedule(&program);
+        assert_eq!(
+            first, second,
+            "repeat runs are bit-identical regardless of wall clock"
+        );
+        assert!(
+            first.phase_timings.total_ns() > 0,
+            "timings are populated even with no telemetry recorder installed"
+        );
+        let mut zeroed = first.clone();
+        zeroed.phase_timings = PhaseTimings::default();
+        assert_eq!(
+            first, zeroed,
+            "phase timings are explicitly excluded from bit-identity"
+        );
+        let mut tampered = first.clone();
+        tampered.decisions.push("tampered".to_string());
+        assert_ne!(first, tampered, "equality still sees the real fields");
     }
 
     #[test]

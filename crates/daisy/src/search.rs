@@ -100,6 +100,13 @@ pub(crate) fn parallel_map_with<T: Sync, R: Send>(
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
     let workers = effective_workers(workers, items.len());
+    if !items.is_empty() {
+        // Worker utilization: how many jobs a fan-out had, how many
+        // workers served it. The per-worker item distribution (histogram)
+        // is inherently racy — the counters are the deterministic part.
+        telemetry::counter("daisy.parallel.jobs", items.len() as u64);
+        telemetry::counter("daisy.parallel.workers", workers.max(1) as u64);
+    }
     if workers <= 1 {
         // Same containment contract as the threaded path: one caught
         // attempt, then a bare retry that lets a persistent panic surface.
@@ -139,6 +146,7 @@ pub(crate) fn parallel_map_with<T: Sync, R: Send>(
             // would mean a panic escaped catch_unwind (an abort-on-unwind
             // payload) — skip it and let the sequential retry decide.
             let Ok(chunk) = handle.join() else { continue };
+            telemetry::histogram("daisy.parallel.worker_items", chunk.len() as u64);
             for (index, value) in chunk {
                 results[index] = Some(value);
             }
@@ -240,6 +248,7 @@ impl EvolutionarySearch {
         let Some(Node::Loop(nest)) = program.body.get(nest_index) else {
             return (Recipe::identity(), f64::INFINITY);
         };
+        let _span = telemetry::span("search");
         let chain: Vec<Var> = perfect_chain(nest).iter().map(|l| l.iter.clone()).collect();
         // Dependences of the nest under search, computed once: the semantic
         // gate consults them for every candidate.
@@ -284,6 +293,7 @@ impl EvolutionarySearch {
 
         for _epoch in 0..self.config.epochs.max(1) {
             for _iter in 0..self.config.iterations_per_epoch.max(1) {
+                let _generation = telemetry::span("generation");
                 // Keep the better half, refill with mutations of survivors.
                 let keep = (scored.len() / 2).max(2);
                 scored.truncate(keep);
@@ -353,6 +363,11 @@ impl EvolutionarySearch {
                 jobs.push((*key, recipe));
             }
         }
+        telemetry::counter("daisy.search.candidates", recipes.len() as u64);
+        telemetry::counter(
+            "daisy.search.deduped_recipes",
+            (recipes.len() - jobs.len()) as u64,
+        );
 
         // Stage 2: rewrite the unique recipes on the calling thread (cheap,
         // structural). The semantic gate and recipes that fail to apply
@@ -366,6 +381,10 @@ impl EvolutionarySearch {
                 recipe.apply_to_nest(context.nest).ok()
             })
             .collect();
+        telemetry::counter(
+            "daisy.search.rejected_precost",
+            rewrites.iter().filter(|r| r.is_none()).count() as u64,
+        );
 
         // Stage 3: batch the candidate costing — one lowered rewrite per
         // structurally identical variant group. Distinct recipes of a
@@ -391,6 +410,7 @@ impl EvolutionarySearch {
                 });
             group_of[index] = Some(group);
         }
+        telemetry::counter("daisy.search.rewrites_priced", groups.len() as u64);
         let price = |&(_, rewrite): &(u64, &Vec<Node>)| context.score_rewrite(rewrite, model);
         let group_costs: Vec<f64> = if self.parallel && groups.len() > 1 {
             let start = std::time::Instant::now();

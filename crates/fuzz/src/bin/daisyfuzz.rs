@@ -1,7 +1,8 @@
 //! `daisyfuzz` — the differential fuzz farm CLI.
 //!
 //! ```text
-//! daisyfuzz run --seed 7 --budget 10000 [--json report.json] [--inject exec|panic]
+//! daisyfuzz run --seed 7 --budget 10000 [--json report.json] [--profile prof.json]
+//!                                       [--inject exec|panic]
 //! daisyfuzz replay <case.loop | --seed N>
 //! daisyfuzz corpus promote --seed 7 --budget 500 [--dir fuzz/corpus] [--cap 24]
 //! daisyfuzz store --seed 7 --budget 1000 [--json report.json] [--inject no-fsync|no-dirsync|no-rename]
@@ -46,6 +47,9 @@ commands:
              --seed <u64>     campaign seed (default 3405)
              --budget <n>     number of programs (default 1000)
              --json <path>    write the JSON report here
+             --profile <path> record a telemetry profile (spans, counters,
+                              oracle time breakdown) to this JSON-lines
+                              file; inspect it with daisyprof
              --inject <kind>  deliberately inject a fault (exec|panic);
                               used to test the farm itself
   replay   re-check one case with the full oracle battery
@@ -125,7 +129,7 @@ fn parse_u64(flags: &[(String, String)], name: &str, default: u64) -> Result<u64
 }
 
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
-    let (flags, positional) = parse_flags(args, &["seed", "budget", "json", "inject"])?;
+    let (flags, positional) = parse_flags(args, &["seed", "budget", "json", "profile", "inject"])?;
     if let Some(extra) = positional.first() {
         return Err(format!("unexpected argument {extra:?}; {USAGE}"));
     }
@@ -141,9 +145,26 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         );
     }
 
+    let recorder = flag(&flags, "profile")
+        .map(|_| std::sync::Arc::new(telemetry::AggregatingRecorder::default()));
+    if let Some(recorder) = &recorder {
+        telemetry::install(recorder.clone());
+    }
     let report = run_campaign(&config);
+    if let (Some(path), Some(recorder)) = (flag(&flags, "profile"), &recorder) {
+        telemetry::uninstall();
+        let profile = recorder.profile(&format!("daisyfuzz run --seed {}", report.seed));
+        std::fs::write(path, profile.to_json_lines())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("daisyfuzz run: profile written to {path}");
+    }
+    let rate = if report.elapsed_secs > 0.0 {
+        report.cases as f64 / report.elapsed_secs
+    } else {
+        0.0
+    };
     println!(
-        "daisyfuzz run: seed={} cases={}/{} panics_contained={} failures={} ({:.1}s)",
+        "daisyfuzz run: seed={} cases={}/{} panics_contained={} failures={} ({:.1}s, {rate:.0} cases/s)",
         report.seed,
         report.cases,
         report.budget,

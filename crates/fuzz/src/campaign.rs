@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use loop_ir::prelude::*;
 use loop_ir::source::to_source;
+use telemetry::json::json_string;
 
 use crate::gen::{generate, GenConfig};
 use crate::oracle::{check_all, check_one, OracleSelection, Verdict};
@@ -158,24 +159,6 @@ impl CampaignReport {
     }
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// SplitMix64: derives the independent per-case seed from the campaign
 /// seed and case index (the same mix the rand shim uses for seeding).
 pub fn case_seed(campaign_seed: u64, index: u64) -> u64 {
@@ -243,7 +226,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let mut cases = 0u64;
 
     with_quiet_panics(|| {
+        let _campaign = telemetry::span("fuzz");
         for index in 0..config.budget {
+            let _case = telemetry::span("case");
+            telemetry::counter("fuzz.cases", 1);
             cases = index + 1;
             let seed = case_seed(config.seed, index);
             let program = generate(seed, &config.gen);
@@ -253,7 +239,9 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
             }
             if matches!(verdict, Verdict::Panic { .. }) {
                 panics_contained += 1;
+                telemetry::counter("fuzz.panics_contained", 1);
             }
+            telemetry::counter("fuzz.failures", 1);
             failures.push(shrink_failure(&program, verdict, config, index, seed));
             if config.max_failures != 0 && failures.len() >= config.max_failures {
                 break;
@@ -313,11 +301,15 @@ fn shrink_failure(
             check_one(candidate, oracle)
         }
     };
-    let shrunk = shrink(
-        program,
-        same_failure(&verdict, re_check),
-        config.shrink_steps,
-    );
+    let shrunk = {
+        let _span = telemetry::span("shrink");
+        shrink(
+            program,
+            same_failure(&verdict, re_check),
+            config.shrink_steps,
+        )
+    };
+    telemetry::counter("fuzz.shrink.steps", shrunk.steps as u64);
     let (panicked, detail) = match &verdict {
         Verdict::Mismatch { detail, .. } => (false, detail.clone()),
         Verdict::Panic { message, .. } => (true, message.clone()),

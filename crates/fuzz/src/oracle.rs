@@ -167,6 +167,9 @@ pub fn check_one(program: &Program, oracle: &str) -> Verdict {
 /// Runs `f` with panic containment, mapping the three outcomes onto a
 /// [`Verdict`].
 fn contain(oracle: &'static str, f: impl FnOnce() -> std::result::Result<(), String>) -> Verdict {
+    // The span closes *after* catch_unwind resolves, so a contained panic
+    // still exits the span cleanly (the guard tolerates unwinding anyway).
+    let _span = telemetry::span(oracle);
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(Ok(())) => Verdict::Pass,
         Ok(Err(detail)) => Verdict::Mismatch { oracle, detail },

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use loop_ir::expr::Var;
+use telemetry::json::json_string;
 use transforms::{Recipe, Transform};
 use tunestore::{
     is_power_cut, Durability, DurableStore, FaultPlan, FaultStorage, OpKind, Snapshot, SourceState,
@@ -178,24 +179,6 @@ impl StoreReport {
         json.push_str("  ]\n}\n");
         json
     }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// SplitMix64 step, for per-case value streams.

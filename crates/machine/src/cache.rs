@@ -359,7 +359,9 @@ impl CacheHierarchy {
             // Interleave them per-access honoring each run's own count —
             // trusting `runs[0]` would drop or invent accesses.
             let longest = runs.iter().map(|r| r.count).max().unwrap_or(0);
-            self.accesses += runs.iter().map(|r| r.count).sum::<u64>();
+            let total = runs.iter().map(|r| r.count).sum::<u64>();
+            telemetry::counter("machine.cache.group_ragged_accesses", total);
+            self.accesses += total;
             for i in 0..longest as i64 {
                 for r in runs {
                     if (i as u64) < r.count {
@@ -373,6 +375,7 @@ impl CacheHierarchy {
             return;
         }
         self.accesses += count * runs.len() as u64;
+        telemetry::counter("machine.cache.group_accesses", count * runs.len() as u64);
         if runs
             .iter()
             .any(|r| (r.base as i64) + r.stride * (count as i64 - 1) < 0)
@@ -475,6 +478,10 @@ impl CacheHierarchy {
                 // An associativity conflict displaced one of the phase's own
                 // lines: the remaining iterations are not all-hit, simulate
                 // them one access at a time.
+                telemetry::counter(
+                    "machine.cache.group_conflict_accesses",
+                    (phase_end - i) * runs.len() as u64,
+                );
                 while i < phase_end {
                     for r in runs {
                         self.access_counted((r.base as i64 + r.stride * i as i64) as u64);
@@ -495,6 +502,13 @@ impl CacheHierarchy {
     /// Total number of simulated accesses.
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// Number of real L1 lookups performed. The run-compressed fast paths
+    /// credit guaranteed hits in closed form, so `probes() / accesses()` is
+    /// the fraction of the stream that was actually simulated per access.
+    pub fn probes(&self) -> u64 {
+        self.l1.probes
     }
 
     /// Counters of the L1 cache.

@@ -293,8 +293,10 @@ impl CostModel {
         };
         let key = (env, structural_hash_node(node));
         if let Some(hit) = memo.lock().expect("cost memo poisoned").get(&key) {
+            telemetry::counter("machine.cost.memo_hits", 1);
             return hit.clone();
         }
+        telemetry::counter("machine.cost.memo_misses", 1);
         let cost = self.estimate_nest(program, nest, Some(env));
         memo.lock()
             .expect("cost memo poisoned")
@@ -316,8 +318,10 @@ impl CostModel {
         };
         let key = (env, structural_hash_node(node));
         if let Some(hit) = memo.lock().expect("summary memo poisoned").get(&key) {
+            telemetry::counter("machine.cost.summary_memo_hits", 1);
             return hit.clone();
         }
+        telemetry::counter("machine.cost.summary_memo_misses", 1);
         let summary = Arc::new(CompSummary::of(program, comp));
         memo.lock()
             .expect("summary memo poisoned")

@@ -896,9 +896,15 @@ impl Executor<'_, '_> {
         }
         let saved = self.frame[l.slot];
         let result = if l.inner_exec {
+            telemetry::counter("machine.exec.compiled_inner_loops", 1);
             let trips = (upper - lower + l.step - 1) / l.step;
             self.exec_inner(l, lower, trips)
         } else {
+            if l.inner {
+                // Trace-innermost but not exec-compilable: the interpreter
+                // walks it one iteration at a time.
+                telemetry::counter("machine.exec.interp_fallback_loops", 1);
+            }
             let mut v = lower;
             loop {
                 self.frame[l.slot] = v;
@@ -1224,8 +1230,14 @@ impl Streamer<'_> {
         let trips = (upper - lower + l.step - 1) / l.step;
         let saved = self.frame[l.slot];
         let result = if l.inner && self.stream_inner(l, lower, trips, sink) {
+            telemetry::counter("machine.exec.compiled_stream_loops", 1);
             Ok(())
         } else {
+            if l.inner {
+                // A clamping access bailed the run-group build: this loop
+                // entry streams per access instead.
+                telemetry::counter("machine.exec.stream_fallback_loops", 1);
+            }
             let mut v = lower;
             loop {
                 self.frame[l.slot] = v;

@@ -174,9 +174,30 @@ impl AccessSink for CacheSink<'_> {
 /// # Errors
 /// Propagates trace-generation errors.
 pub fn simulate_cache(program: &Program, machine: &MachineConfig) -> Result<CacheHierarchy> {
+    let _span = telemetry::span("simulate_cache");
     let mut cache = CacheHierarchy::from_machine(machine);
     stream_accesses(program, &mut CacheSink { cache: &mut cache })?;
+    record_cache_counters(&cache);
     Ok(cache)
+}
+
+/// Publishes the counters of one finished simulation. The per-level stats
+/// are summed at this boundary rather than inside the access loops, so the
+/// simulator's hot paths carry no per-access telemetry cost.
+fn record_cache_counters(cache: &CacheHierarchy) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter("machine.cache.simulations", 1);
+    telemetry::counter("machine.cache.accesses", cache.accesses());
+    telemetry::counter("machine.cache.probes", cache.probes());
+    let (l1, l2) = (cache.l1(), cache.l2());
+    telemetry::counter("machine.cache.l1.hits", l1.hits);
+    telemetry::counter("machine.cache.l1.misses", l1.misses);
+    telemetry::counter("machine.cache.l1.evicts", l1.evicts);
+    telemetry::counter("machine.cache.l2.hits", l2.hits);
+    telemetry::counter("machine.cache.l2.misses", l2.misses);
+    telemetry::counter("machine.cache.l2.evicts", l2.evicts);
 }
 
 /// Sink replicating the PR 1 evaluation pipeline: single-access runs still
@@ -210,6 +231,7 @@ pub fn simulate_cache_per_access(
 ) -> Result<CacheHierarchy> {
     let mut cache = CacheHierarchy::from_machine(machine);
     stream_accesses(program, &mut PerAccessCacheSink { cache: &mut cache })?;
+    record_cache_counters(&cache);
     Ok(cache)
 }
 

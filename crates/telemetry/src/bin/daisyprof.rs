@@ -1,0 +1,81 @@
+//! `daisyprof` — profile viewer for daisy-telemetry JSON-lines profiles.
+//!
+//! ```text
+//! daisyprof <profile.json>...       render each profile's span tree,
+//!                                   histograms and counters
+//! daisyprof diff <a.json> <b.json>  attribute a regression to a phase:
+//!                                   per-span count/total ratios and
+//!                                   counter deltas between two runs
+//! ```
+//!
+//! Profiles come from `reproduce --profile <out.json>` and
+//! `daisyfuzz run --profile <out.json>`. Exit status: 0 on success, 1 on
+//! unreadable/invalid profiles (one-line `daisyprof: <path>: <reason>`
+//! diagnostic), 2 on usage errors.
+
+use std::process::ExitCode;
+
+use telemetry::Profile;
+
+const USAGE: &str = "usage: daisyprof <profile.json>... | daisyprof diff <a.json> <b.json>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("daisyprof: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    match args.first().map(String::as_str) {
+        None => Err(USAGE.to_string()),
+        Some("diff") => {
+            let [a, b] = &args[1..] else {
+                return Err(format!("diff takes exactly two profiles; {USAGE}"));
+            };
+            let (first, second) = match (load(a), load(b)) {
+                (Ok(first), Ok(second)) => (first, second),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("daisyprof: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            print!("{}", first.render_diff(&second));
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(_) => {
+            for (index, path) in args.iter().enumerate() {
+                if path.starts_with("--") {
+                    return Err(format!("unknown option {path}; {USAGE}"));
+                }
+                match load(path) {
+                    Ok(profile) => {
+                        if index > 0 {
+                            println!();
+                        }
+                        println!("== {path}");
+                        print!("{}", profile.render_tree());
+                    }
+                    Err(e) => {
+                        eprintln!("daisyprof: {e}");
+                        return Ok(ExitCode::FAILURE);
+                    }
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Profile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Profile::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))
+}

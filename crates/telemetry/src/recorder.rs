@@ -1,0 +1,193 @@
+//! Recorder sinks: the [`Recorder`] trait every sink implements, the
+//! profile-building [`AggregatingRecorder`], and the raw-event
+//! [`CollectingRecorder`] used by tests to assert instrumentation
+//! contracts.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::profile::{Histogram, Profile};
+
+/// A telemetry sink. Implementations must be cheap and thread-safe: every
+/// instrumented call site on every thread funnels through the one
+/// installed recorder.
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the counter `name`.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Records `value` into the histogram `name`.
+    fn histogram_record(&self, name: &'static str, value: u64);
+    /// A span at `path` (dot-joined stack) was entered.
+    fn span_enter(&self, path: &str);
+    /// The span at `path` exited after `nanos` nanoseconds.
+    fn span_exit(&self, path: &str, nanos: u64);
+}
+
+/// One raw telemetry event, as kept by [`CollectingRecorder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `counter(name, delta)`.
+    Counter { name: &'static str, delta: u64 },
+    /// `histogram(name, value)`.
+    Histogram { name: &'static str, value: u64 },
+    /// A span guard was created at `path`.
+    SpanEnter { path: String },
+    /// A span guard at `path` was dropped after `nanos`.
+    SpanExit { path: String, nanos: u64 },
+}
+
+/// Test sink: keeps the raw event log in order so suites can assert
+/// instrumentation contracts (which spans fired, with what nesting, how
+/// many times a counter was bumped).
+#[derive(Default)]
+pub struct CollectingRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CollectingRecorder {
+    /// Every event recorded so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().clone()
+    }
+
+    /// Sum of all deltas recorded for counter `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.lock()
+            .iter()
+            .map(|e| match e {
+                Event::Counter { name: n, delta } if *n == name => *delta,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// How many spans *completed* at exactly `path`.
+    pub fn span_count(&self, path: &str) -> usize {
+        self.lock()
+            .iter()
+            .filter(|e| matches!(e, Event::SpanExit { path: p, .. } if p == path))
+            .count()
+    }
+
+    /// Distinct completed span paths, sorted.
+    pub fn span_paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self
+            .lock()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanExit { path, .. } => Some(path.clone()),
+                _ => None,
+            })
+            .collect();
+        paths.sort();
+        paths.dedup();
+        paths
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Recorder for CollectingRecorder {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.lock().push(Event::Counter { name, delta });
+    }
+
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        self.lock().push(Event::Histogram { name, value });
+    }
+
+    fn span_enter(&self, path: &str) {
+        self.lock().push(Event::SpanEnter {
+            path: path.to_string(),
+        });
+    }
+
+    fn span_exit(&self, path: &str, nanos: u64) {
+        self.lock().push(Event::SpanExit {
+            path: path.to_string(),
+            nanos,
+        });
+    }
+}
+
+#[derive(Default)]
+struct Aggregate {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, Histogram>,
+}
+
+/// Production sink: folds the event stream into per-path duration
+/// histograms and counter totals — O(distinct names) memory no matter how
+/// long the run — and snapshots into a [`Profile`].
+#[derive(Default)]
+pub struct AggregatingRecorder {
+    inner: Mutex<Aggregate>,
+}
+
+impl AggregatingRecorder {
+    /// Snapshot the aggregate into a labeled [`Profile`].
+    pub fn profile(&self, label: &str) -> Profile {
+        let inner = self.lock();
+        Profile {
+            label: label.to_string(),
+            spans: inner.spans.clone(),
+            histograms: inner.histograms.clone(),
+            counters: inner.counters.clone(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Aggregate> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Recorder for AggregatingRecorder {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn span_enter(&self, _path: &str) {
+        // Entry order is only meaningful to the raw-event sink; the
+        // aggregate keys on the full path, which already encodes nesting.
+    }
+
+    fn span_exit(&self, path: &str, nanos: u64) {
+        self.lock()
+            .spans
+            .entry(path.to_string())
+            .or_default()
+            .record(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregating_recorder_folds_events_into_a_profile() {
+        let recorder = AggregatingRecorder::default();
+        recorder.counter_add("hits", 3);
+        recorder.counter_add("hits", 4);
+        recorder.span_exit("a.b", 100);
+        recorder.span_exit("a.b", 300);
+        recorder.histogram_record("sizes", 16);
+        let profile = recorder.profile("unit");
+        assert_eq!(profile.label, "unit");
+        assert_eq!(profile.counters["hits"], 7);
+        let span = &profile.spans["a.b"];
+        assert_eq!(span.count, 2);
+        assert_eq!(span.total, 400);
+        assert_eq!(profile.histograms["sizes"].count, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! The disabled-path contract, enforced with a counting global allocator:
+//!
+//! 1. With no recorder installed, **any** interleaving of span guards,
+//!    counter bumps and histogram samples performs **zero heap
+//!    allocations** and leaves every piece of global state untouched
+//!    (property test over random op sequences).
+//! 2. Nested/unbalanced span guards — early returns, out-of-order drops,
+//!    leaked guards, panics unwinding through live spans — never corrupt
+//!    the thread-local span stack (directed tests, recorder enabled).
+//!
+//! Everything runs inside ONE `#[test]`: the allocation counter is
+//! process-global, so a second concurrently running test would make the
+//! zero-allocation window nondeterministic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::Strategy;
+use telemetry::{
+    counter, enabled, histogram, span, span_stack_depth, with_recorder, CollectingRecorder, Event,
+    Span,
+};
+
+/// Delegates to the system allocator, counting every allocation entry
+/// point (the free path is irrelevant to the contract).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn disabled_path_allocates_nothing_and_guards_never_corrupt_the_stack() {
+    disabled_interleavings_allocate_nothing();
+    disabled_ops_leave_global_state_untouched();
+    early_returns_keep_the_stack_balanced();
+    out_of_order_and_leaked_guards_recover();
+    panic_unwinding_through_spans_pops_them();
+}
+
+/// Property: any interleaving of telemetry ops with the recorder disabled
+/// allocates nothing, and the thread-local stack stays empty throughout.
+fn disabled_interleavings_allocate_nothing() {
+    assert!(!enabled(), "no recorder may be installed in this process");
+    const CASES: u32 = 128;
+    for index in 0..CASES {
+        let seed = proptest::case_seed("disabled_interleavings", index);
+        proptest::run_case(file!(), "random", seed, |rng| {
+            let ops: usize = (1..48usize).new_value(rng);
+            // Guard storage is pre-sized OUTSIDE the measurement window:
+            // the Vec belongs to the test harness, not to telemetry.
+            let mut live: Vec<Span> = Vec::with_capacity(ops);
+            let before = allocations();
+            for _ in 0..ops {
+                match (0..5u8).new_value(rng) {
+                    0 => counter("disabled.counter", (0..1000u64).new_value(rng)),
+                    1 => histogram("disabled.hist", (0..1_000_000u64).new_value(rng)),
+                    2 => live.push(span("disabled_span")),
+                    3 => {
+                        // Newest-first drop (balanced nesting).
+                        live.pop();
+                    }
+                    _ => {
+                        // Oldest-first drop (deliberately unbalanced).
+                        if !live.is_empty() {
+                            drop(live.remove(0));
+                        }
+                    }
+                }
+                assert_eq!(
+                    span_stack_depth(),
+                    0,
+                    "disabled spans must never touch the thread-local stack"
+                );
+            }
+            live.clear();
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "disabled telemetry ops allocated (seed {seed:#018x})"
+            );
+            assert!(!enabled(), "ops must not flip the global flag");
+        });
+    }
+}
+
+/// After a storm of disabled ops, a freshly installed recorder sees ONLY
+/// what happens inside its own scope: nothing was buffered anywhere.
+fn disabled_ops_leave_global_state_untouched() {
+    counter("disabled.counter", 99);
+    histogram("disabled.hist", 7);
+    drop(span("disabled_span"));
+
+    let sink = Arc::new(CollectingRecorder::default());
+    with_recorder(sink.clone(), || counter("probe", 1));
+    assert_eq!(
+        sink.events(),
+        vec![Event::Counter {
+            name: "probe",
+            delta: 1
+        }],
+        "disabled-era ops must not leak into a later recorder"
+    );
+    assert!(!enabled());
+}
+
+/// An early return drops the guard mid-function; the next span on the
+/// thread must see a clean stack.
+fn early_returns_keep_the_stack_balanced() {
+    fn bails_out(n: u64) -> u64 {
+        let _guard = span("early");
+        if n < 10 {
+            return n; // early return: _guard drops here
+        }
+        n * 2
+    }
+    let sink = Arc::new(CollectingRecorder::default());
+    with_recorder(sink.clone(), || {
+        assert_eq!(bails_out(3), 3);
+        assert_eq!(span_stack_depth(), 0, "early return must pop the span");
+        let _after = span("after");
+        assert_eq!(span_stack_depth(), 1);
+    });
+    assert_eq!(sink.span_count("early"), 1);
+    assert_eq!(
+        sink.span_count("after"),
+        1,
+        "the follow-up span must be a root, not nested under a stale frame"
+    );
+    assert_eq!(span_stack_depth(), 0);
+}
+
+/// Dropping guards in the wrong order, or never dropping one at all, must
+/// converge back to an empty stack once the outermost guard goes away.
+fn out_of_order_and_leaked_guards_recover() {
+    let sink = Arc::new(CollectingRecorder::default());
+    with_recorder(sink.clone(), || {
+        // Out-of-order: drop the OUTER guard while the inner is live.
+        let outer = span("outer");
+        let inner = span("inner");
+        drop(outer); // truncates to outer's parent — inner's frame goes too
+        assert_eq!(span_stack_depth(), 0, "outer drop cleans nested frames");
+        drop(inner); // deeper than the stack now: must be a no-op
+        assert_eq!(span_stack_depth(), 0);
+
+        // Leaked guard: its destructor never runs, the enclosing drop
+        // still truncates the abandoned frame away.
+        let enclosing = span("enclosing");
+        std::mem::forget(span("leaked"));
+        assert_eq!(span_stack_depth(), 2);
+        drop(enclosing);
+        assert_eq!(span_stack_depth(), 0, "leaked frames die with the parent");
+
+        // Paths recorded after the chaos are still rooted correctly.
+        let _clean = span("clean");
+        assert_eq!(span_stack_depth(), 1);
+    });
+    assert_eq!(sink.span_count("outer"), 1);
+    assert_eq!(sink.span_count("outer.inner"), 1);
+    assert_eq!(
+        sink.span_count("clean"),
+        1,
+        "post-recovery spans must not inherit stale prefixes: {:?}",
+        sink.span_paths()
+    );
+}
+
+/// A panic unwinding through live spans runs their destructors; the stack
+/// must be empty afterwards and the spans still report their exit.
+fn panic_unwinding_through_spans_pops_them() {
+    let sink = Arc::new(CollectingRecorder::default());
+    with_recorder(sink.clone(), || {
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("unwind_outer");
+            let _inner = span("unwind_inner");
+            panic!("deliberate");
+        });
+        assert!(result.is_err());
+        assert_eq!(span_stack_depth(), 0, "unwinding must pop every frame");
+        let _next = span("next");
+        assert_eq!(span_stack_depth(), 1);
+    });
+    assert_eq!(sink.span_count("unwind_outer"), 1);
+    assert_eq!(sink.span_count("unwind_outer.unwind_inner"), 1);
+    assert_eq!(sink.span_count("next"), 1, "paths: {:?}", sink.span_paths());
+    assert_eq!(span_stack_depth(), 0);
+}

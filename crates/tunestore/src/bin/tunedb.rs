@@ -98,16 +98,66 @@ fn main() -> ExitCode {
 }
 
 fn stats(path: &str) -> CliResult {
-    let snapshot = load(path)?;
-    let stats = snapshot.stats();
+    // A store that has only ever journaled has no snapshot yet; that is a
+    // journal-only store, not an error. Anything else (corrupt snapshot,
+    // no store at all) keeps the one-line failure contract.
+    let jpath = journal_path(Path::new(path));
+    let snapshot = match load(path) {
+        Ok(snapshot) => Some(snapshot),
+        Err(_) if !Path::new(path).exists() && jpath.exists() => None,
+        Err(failure) => return Err(failure),
+    };
+    // The journal is inspected strictly read-only (like `verify --deep`):
+    // a torn tail is *reported* here, repaired only by `tunedb recover`.
+    let jname = jpath.display().to_string();
+    let replay = if jpath.exists() {
+        let bytes = std::fs::read(&jpath).map_err(|e| Failure {
+            path: jname.clone(),
+            error: e.into(),
+        })?;
+        Some(journal::replay(&bytes).map_err(at(&jname))?)
+    } else {
+        None
+    };
+
     println!("store:            {path}");
-    println!("fingerprint:      {}", snapshot.fingerprint);
-    println!("entries:          {}", stats.entries);
-    println!("distinct keys:    {}", stats.distinct_keys);
-    println!("identity recipes: {}", stats.identity_recipes);
-    println!("total steps:      {}", stats.total_steps);
-    if let (Some(min), Some(max)) = (stats.min_cost, stats.max_cost) {
-        println!("cost range:       {min:.6}s .. {max:.6}s");
+    match (&snapshot, &replay) {
+        (Some(snapshot), _) => println!("fingerprint:      {}", snapshot.fingerprint),
+        (None, Some(replay)) => {
+            println!("fingerprint:      {} (from journal)", replay.fingerprint)
+        }
+        (None, None) => unreachable!("journal-only degradation requires a journal"),
+    }
+    if let Some(snapshot) = &snapshot {
+        let stats = snapshot.stats();
+        println!("entries:          {}", stats.entries);
+        println!("distinct keys:    {}", stats.distinct_keys);
+        println!("identity recipes: {}", stats.identity_recipes);
+        println!("total steps:      {}", stats.total_steps);
+        if let (Some(min), Some(max)) = (stats.min_cost, stats.max_cost) {
+            println!("cost range:       {min:.6}s .. {max:.6}s");
+        }
+    } else {
+        println!("snapshot:         missing (journal-only store)");
+    }
+    match &replay {
+        Some(replay) => {
+            let header_len = journal::encode_header(&replay.fingerprint).len();
+            println!("journal records:  {}", replay.entries.len());
+            println!(
+                "journal bytes:    {} since last compact",
+                replay.valid_len.saturating_sub(header_len)
+            );
+            if replay.dropped_bytes > 0 {
+                println!(
+                    "torn tail:        {} bytes (run `tunedb recover` to repair)",
+                    replay.dropped_bytes
+                );
+            } else {
+                println!("torn tail:        none");
+            }
+        }
+        None => println!("journal:          none"),
     }
     Ok(())
 }

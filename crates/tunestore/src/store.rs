@@ -84,6 +84,28 @@ fn quarantine(
     Some(target)
 }
 
+/// Publishes what recovery found and did at open time. Repairs and
+/// quarantines are rare but load-bearing events; the counters make them
+/// visible in a profile without anyone watching logs.
+fn record_recovery(health: &StoreHealth) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter("tunestore.opens", 1);
+    telemetry::counter("tunestore.replay.records", health.journal.entries() as u64);
+    for state in [&health.snapshot, &health.journal] {
+        match state {
+            SourceState::TruncatedTail { dropped_bytes, .. } => {
+                telemetry::counter("tunestore.replay.torn_tail_repairs", 1);
+                telemetry::counter("tunestore.replay.dropped_bytes", *dropped_bytes as u64);
+            }
+            SourceState::Quarantined { .. } => telemetry::counter("tunestore.quarantines", 1),
+            SourceState::Foreign { .. } => telemetry::counter("tunestore.foreign_files", 1),
+            SourceState::Intact { .. } | SourceState::Missing => {}
+        }
+    }
+}
+
 /// A tuning store with a durable write path and degrading recovery. See
 /// the module docs for the contract.
 #[derive(Debug)]
@@ -205,6 +227,7 @@ impl DurableStore {
             journal: journal_state,
             entries: view.entries.len(),
         };
+        record_recovery(&health);
         Ok(DurableStore {
             storage,
             path,
@@ -268,12 +291,18 @@ impl DurableStore {
             });
         match appended {
             Ok(()) => {
+                telemetry::counter("tunestore.journal.appends", 1);
+                telemetry::counter("tunestore.journal.bytes", record.len() as u64);
+                if self.durability.sync_data {
+                    telemetry::counter("tunestore.journal.fsyncs", 1);
+                }
                 self.journal_len += record.len() as u64;
                 self.view.insert(entry);
                 self.health.entries = self.view.entries.len();
                 Ok(true)
             }
             Err(error) => {
+                telemetry::counter("tunestore.journal.failed_appends", 1);
                 // Roll back to the known-good length so a torn record can
                 // never orphan later acknowledged appends at replay time.
                 let rolled_back = self
@@ -294,6 +323,8 @@ impl DurableStore {
     /// reset merely replays entries the snapshot already holds (replay is
     /// idempotent under the best-cost merge). Also clears a wedged state.
     pub fn compact(&mut self) -> Result<()> {
+        let _span = telemetry::span("compact");
+        telemetry::counter("tunestore.compactions", 1);
         self.view
             .save_with(self.storage.as_ref(), &self.path, self.durability)?;
         let header = journal::encode_header(&self.view.fingerprint);

@@ -249,8 +249,8 @@ fn compact_folds_the_journal_and_leaves_a_deep_verifiable_store() {
     let dir = tmpdir("compact");
     let store = journaled_store(&dir, 4);
     let path = store.to_str().unwrap();
-    // Before compaction everything lives in the journal; stats (which
-    // reads the snapshot alone) cannot see it yet.
+    // Before compaction everything lives in the journal; no snapshot file
+    // exists yet.
     assert!(!store.exists(), "no snapshot before the first compact");
     let output = tunedb(&["compact", path]);
     assert_eq!(
@@ -268,6 +268,65 @@ fn compact_folds_the_journal_and_leaves_a_deep_verifiable_store() {
     assert_eq!(output.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("journal OK (0 records)"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_reports_journal_health_and_degrades_to_journal_only_stores() {
+    let dir = tmpdir("stats-journal");
+    let store = journaled_store(&dir, 3);
+    let path = store.to_str().unwrap();
+
+    // No snapshot exists yet: stats must degrade to journal-only output
+    // instead of failing, and report the journal's health.
+    assert!(!store.exists());
+    let output = tunedb(&["stats", path]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "journal-only store, stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("journal-only store"), "{stdout}");
+    assert!(stdout.contains("journal records:  3"), "{stdout}");
+    assert!(stdout.contains("torn tail:        none"), "{stdout}");
+
+    // After a compact the journal is a bare header: zero records, zero
+    // bytes since the last compact.
+    assert_eq!(tunedb(&["compact", path]).status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&tunedb(&["stats", path]).stdout).to_string();
+    assert!(stdout.contains("entries:          3"), "{stdout}");
+    assert!(stdout.contains("journal records:  0"), "{stdout}");
+    assert!(
+        stdout.contains("journal bytes:    0 since last compact"),
+        "{stdout}"
+    );
+
+    // Journal one more entry and tear its tail: stats *reports* the torn
+    // bytes read-only (recover is the repairing counterpart).
+    let mut handle = DurableStore::open(
+        Arc::new(OsStorage),
+        &store,
+        &tunestore::environment_fingerprint(),
+    )
+    .unwrap();
+    handle.insert(entry(7, 0.125)).unwrap();
+    handle.insert(entry(8, 0.25)).unwrap();
+    drop(handle);
+    let jpath = journal_path(&store);
+    let mut bytes = std::fs::read(&jpath).unwrap();
+    bytes.truncate(bytes.len() - 5);
+    std::fs::write(&jpath, &bytes).unwrap();
+    let output = tunedb(&["stats", path]);
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("journal records:  1"), "{stdout}");
+    assert!(stdout.contains("torn tail:        "), "{stdout}");
+    assert!(stdout.contains("tunedb recover"), "{stdout}");
+    // And it really was read-only: the torn tail is still there.
+    let again = String::from_utf8_lossy(&tunedb(&["stats", path]).stdout).to_string();
+    assert!(again.contains("tunedb recover"), "{again}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
