@@ -4,10 +4,15 @@
 //!
 //! ```text
 //! reproduce [--smoke] [--store DIR] [--warm] [--verify] [--only LIST] [--list]
-//!           [--verbose] [--profile OUT.json]
+//!           [--verbose] [--profile OUT.json] [--sim-workers N]
 //!
 //!   --smoke       tiny problem sizes (Dataset::Mini, CloudscSizes::mini());
 //!                 the CI configuration, finishes in seconds
+//!   --sim-workers N
+//!                 worker threads for the sharded cache simulation behind
+//!                 the trace figures (N >= 1; default: the machine's
+//!                 available parallelism); counters are bit-identical at
+//!                 any value, so this only changes wall clock
 //!   --verbose     print the per-phase wall clock (normalize / seed /
 //!                 search / cost) of every schedule the figures run
 //!   --profile F   record a telemetry profile of the whole run — spans,
@@ -69,6 +74,17 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--profile" => {
                 let path = args.next().ok_or("--profile needs an output path")?;
                 profile = Some(PathBuf::from(path));
+            }
+            "--sim-workers" => {
+                let n = args.next().ok_or("--sim-workers needs a worker count")?;
+                options.sim_workers = match n.parse::<usize>() {
+                    Ok(workers) if workers >= 1 => workers,
+                    _ => {
+                        return Err(format!(
+                            "--sim-workers needs a worker count >= 1, got {n:?}"
+                        ))
+                    }
+                };
             }
             "--only" => {
                 let list = args.next().ok_or("--only needs a figure list")?;

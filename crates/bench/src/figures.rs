@@ -18,7 +18,7 @@ use baselines::{
 use daisy::{DaisyConfig, DaisyScheduler, ScheduleOutcome};
 use loop_ir::parser::parse_program;
 use loop_ir::program::Program;
-use machine::{simulate_cache, MachineConfig};
+use machine::{effective_sim_workers, simulate_cache_sharded, MachineConfig};
 use normalize::Normalizer;
 use polybench::cloudsc::{
     erosion_optimized, erosion_original, erosion_single_level, full_model, CloudscSizes,
@@ -82,6 +82,11 @@ pub struct ReproOptions {
     /// Print the per-phase wall clock ([`daisy::PhaseTimings`]) of every
     /// schedule the figures run.
     pub verbose: bool,
+    /// Worker threads for the sharded cache simulation behind the trace
+    /// figures (`--sim-workers`). `0` uses the machine's available
+    /// parallelism. Sharded counters are bit-identical at any value, so
+    /// this only changes wall clock, never figures.
+    pub sim_workers: usize,
 }
 
 /// Prints one schedule's per-phase wall clock when `--verbose` is on.
@@ -599,16 +604,19 @@ pub fn fig11_cloudsc_full(ctx: &ReproContext) {
     // full-model traces, so every Fig. 11 schedule point is backed by the
     // exact simulated access stream, not only the analytical model.
     let trace_sizes = trace_block_sizes(ctx);
+    let sim_workers = ctx.options().sim_workers;
     let machine = MachineConfig::xeon_e5_2680v3();
     let trace_versions = if trace_sizes.nblocks == sizes.nblocks {
         versions
     } else {
         cloudsc_versions(trace_sizes)
     };
+    let mut shards = 0;
     let rows: Vec<Vec<String>> = trace_versions
         .iter()
         .map(|(name, p)| {
-            let t = simulate_trace(name, p, &machine);
+            let t = simulate_trace(name, p, &machine, sim_workers);
+            shards = t.shards;
             vec![
                 name.to_string(),
                 t.accesses.to_string(),
@@ -621,7 +629,7 @@ pub fn fig11_cloudsc_full(ctx: &ReproContext) {
         .collect();
     print_table(
         &format!(
-            "Figure 11 (trace): run-compressed cache simulation, NBLOCKS={}",
+            "Figure 11 (trace): block-sharded cache simulation, NBLOCKS={}",
             trace_sizes.nblocks
         ),
         &[
@@ -634,19 +642,25 @@ pub fn fig11_cloudsc_full(ctx: &ReproContext) {
         ],
         &rows,
     );
+    print_trace_sharding("\ntrace sharding", trace_sizes, shards, sim_workers);
 }
 
+/// The block count the paper's full CLOUDSC experiments sweep
+/// (`NBLOCKS = 4096`, ~1.6B accesses per schedule point at paper
+/// NPROMA/KLEV) — sustained by the block-sharded parallel simulator.
+pub const FULL_TRACE_NBLOCKS: i64 = 4096;
+
 /// The CLOUDSC sizes the trace-backed figure columns simulate: the run's
-/// sizes with the block count held at the multi-block schedule-point scale
-/// (>= 10M accesses per point at paper NPROMA/KLEV, simulated in well under
-/// a second by the run-compressed pipeline).
+/// sizes, lifted to the paper's full `NBLOCKS = 4096` outside smoke runs.
+/// Earlier PRs capped this at 64 blocks to keep the sequential simulation
+/// tractable; the sharded driver removed the cap.
 fn trace_block_sizes(ctx: &ReproContext) -> CloudscSizes {
     let sizes = ctx.sizes();
     if ctx.options().smoke {
         sizes
     } else {
         CloudscSizes {
-            nblocks: sizes.nblocks.min(64),
+            nblocks: FULL_TRACE_NBLOCKS,
             ..sizes
         }
     }
@@ -658,18 +672,41 @@ struct TraceStats {
     seconds: f64,
     l1_hit_rate: f64,
     l1_loads: u64,
+    shards: usize,
 }
 
-fn simulate_trace(name: &str, program: &Program, machine: &MachineConfig) -> TraceStats {
+/// Simulates one figure workload's exact access stream through the sharded
+/// cache driver. Counters are bit-identical at any `sim_workers` value, so
+/// the knob only moves the `seconds` column.
+fn simulate_trace(
+    name: &str,
+    program: &Program,
+    machine: &MachineConfig,
+    sim_workers: usize,
+) -> TraceStats {
     let start = Instant::now();
-    let cache =
-        simulate_cache(program, machine).unwrap_or_else(|e| panic!("{name}: trace fails: {e}"));
+    let cache = simulate_cache_sharded(program, machine, sim_workers)
+        .unwrap_or_else(|e| panic!("{name}: trace fails: {e}"));
     TraceStats {
         accesses: cache.accesses(),
         seconds: start.elapsed().as_secs_f64().max(1e-9),
         l1_hit_rate: cache.l1().hit_rate(),
         l1_loads: cache.l1().loads,
+        shards: cache.shards(),
     }
+}
+
+/// Prints the sharding configuration of a trace-backed figure section:
+/// block count, shard count, and the requested/effective simulation worker
+/// counts.
+fn print_trace_sharding(label: &str, sizes: CloudscSizes, shards: usize, sim_workers: usize) {
+    println!(
+        "{label}: NBLOCKS={}, {} shards, sim-workers={} (effective {})",
+        sizes.nblocks,
+        shards,
+        sim_workers,
+        effective_sim_workers(sim_workers, shards),
+    );
 }
 
 // --------------------------------------------------------------------------
@@ -759,12 +796,17 @@ pub fn fig12_cloudsc_scaling(ctx: &ReproContext, mode: ScalingMode) {
             &rows,
         );
         // The weak-scaling points only grow the block count and blocks are
-        // independent, so one run-compressed simulation at the (capped)
-        // schedule-point block count stands for every row's exact per-block
-        // access stream.
+        // independent, so one sharded simulation at the full schedule-point
+        // block count stands for every row's exact per-block access stream.
         let trace_sizes = trace_block_sizes(ctx);
+        let sim_workers = ctx.options().sim_workers;
         let machine = MachineConfig::xeon_e5_2680v3();
-        let trace = simulate_trace("daisy", &daisy_full_model(trace_sizes), &machine);
+        let trace = simulate_trace(
+            "daisy",
+            &daisy_full_model(trace_sizes),
+            &machine,
+            sim_workers,
+        );
         println!(
             "\ndaisy trace per schedule point (NBLOCKS={}): {} accesses simulated in {:.1} ms ({:.0} Macc/s), L1 hit rate {:.1}%",
             trace_sizes.nblocks,
@@ -773,6 +815,7 @@ pub fn fig12_cloudsc_scaling(ctx: &ReproContext, mode: ScalingMode) {
             trace.accesses as f64 / trace.seconds / 1e6,
             100.0 * trace.l1_hit_rate
         );
+        print_trace_sharding("trace sharding", trace_sizes, trace.shards, sim_workers);
     }
 }
 
@@ -811,7 +854,11 @@ pub fn table1_cloudsc_erosion(ctx: &ReproContext) {
     let optimized_full = erosion_optimized(sizes);
 
     let t = |p: &Program| model.estimate(p).seconds * 1000.0;
-    let cache = |p: &Program| simulate_cache(p, &machine).expect("trace runs");
+    // The single-level nests have a one-trip top-level loop, so the sharded
+    // driver runs them as one covering shard: counters exactly match the
+    // monolithic simulation at any worker count.
+    let sim_workers = ctx.options().sim_workers;
+    let cache = |p: &Program| simulate_cache_sharded(p, &machine, sim_workers).expect("trace runs");
     let orig_cache = cache(&original_single);
     let opt_cache = cache(&optimized_single);
 

@@ -62,9 +62,12 @@ fn usage_errors_exit_with_code_two() {
         vec!["--store"],
         vec!["--only"],
         vec!["--only", "fig99"],
-        vec!["--warm"],    // --warm needs --store
-        vec!["--verify"],  // --verify needs --store
-        vec!["--profile"], // --profile needs an output path
+        vec!["--warm"],                // --warm needs --store
+        vec!["--verify"],              // --verify needs --store
+        vec!["--profile"],             // --profile needs an output path
+        vec!["--sim-workers"],         // needs a worker count
+        vec!["--sim-workers", "0"],    // zero workers is meaningless
+        vec!["--sim-workers", "many"], // not a number
     ] {
         let output = reproduce(&args);
         let stderr = String::from_utf8_lossy(&output.stderr);
@@ -84,6 +87,22 @@ fn usage_errors_exit_with_code_two() {
             "args {args:?}: diagnostic names the binary: {stderr}"
         );
     }
+}
+
+#[test]
+fn sim_workers_is_respected_in_smoke_runs() {
+    let output = reproduce(&["--smoke", "--only", "fig11", "--sim-workers", "2"]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.contains("sim-workers=2"),
+        "the trace sharding line reports the requested worker count: {stdout}"
+    );
+    assert!(
+        stdout.contains("shards"),
+        "fig11 reports its shard plan: {stdout}"
+    );
 }
 
 #[test]

@@ -48,6 +48,14 @@ pub struct DaisyConfig {
     /// [`ScheduleOutcome`]s are bit-identical at any value — so it is *not*
     /// part of the store fingerprint.
     pub parallelism: usize,
+    /// Worker threads used by the cache simulator when costing multi-block
+    /// computations through the sharded trace driver
+    /// ([`machine::simulate_cache_sharded`]). `0` uses the machine's
+    /// available parallelism; `1` is fully sequential. Like
+    /// [`parallelism`](DaisyConfig::parallelism) this knob never changes
+    /// results — sharded [`machine::CacheStats`] counters are bit-identical
+    /// at any worker count — so it is *not* part of the store fingerprint.
+    pub simulation_parallelism: usize,
 }
 
 impl Default for DaisyConfig {
@@ -60,6 +68,7 @@ impl Default for DaisyConfig {
             machine: MachineConfig::xeon_e5_2680v3(),
             neighbors: 3,
             parallelism: 0,
+            simulation_parallelism: 0,
         }
     }
 }
@@ -68,6 +77,13 @@ impl DaisyConfig {
     /// Returns this configuration with the given scheduler parallelism.
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns this configuration with the given cache-simulation
+    /// parallelism.
+    pub fn with_simulation_parallelism(mut self, workers: usize) -> Self {
+        self.simulation_parallelism = workers;
         self
     }
 }
@@ -181,6 +197,14 @@ impl DaisyScheduler {
         self.config.parallelism = parallelism;
     }
 
+    /// Changes the cache-simulation worker count
+    /// ([`DaisyConfig::simulation_parallelism`]) without touching the
+    /// database. Sharded simulation counters are bit-identical at any value,
+    /// so this too is safe to flip between runs.
+    pub fn set_simulation_parallelism(&mut self, workers: usize) {
+        self.config.simulation_parallelism = workers;
+    }
+
     /// Read access to the transfer-tuning database.
     pub fn database(&self) -> &TuningDatabase {
         &self.database
@@ -231,7 +255,8 @@ impl DaisyScheduler {
     /// order.
     fn seed_entries(&self, programs: &[Program]) -> Vec<DatabaseEntry> {
         let _span = telemetry::span("seeding");
-        let model = CostModel::new(self.config.machine.clone(), self.config.threads);
+        let model = CostModel::new(self.config.machine.clone(), self.config.threads)
+            .with_simulation_parallelism(self.config.simulation_parallelism);
         let normalized: Vec<Program> = programs.iter().map(|p| self.normalized(p)).collect();
         let mut jobs: Vec<(&Program, usize)> = Vec::new();
         for program in &normalized {
@@ -485,7 +510,8 @@ impl DaisyScheduler {
     /// (including warm-started runs against a persisted store).
     pub fn schedule(&self, program: &Program) -> ScheduleOutcome {
         let _span = telemetry::span("schedule");
-        let model = CostModel::new(self.config.machine.clone(), self.config.threads);
+        let model = CostModel::new(self.config.machine.clone(), self.config.threads)
+            .with_simulation_parallelism(self.config.simulation_parallelism);
         let (normalized, normalize_ns) = telemetry::timed("normalize", || self.normalized(program));
         // Whole-program baseline, priced once: candidates must beat it, and
         // pricing it here also pre-populates the shared per-nest memo so the
@@ -1013,6 +1039,31 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite of PR 9: like scheduler parallelism, the cache-simulation
+    /// worker count never changes results, so it is excluded from the store
+    /// fingerprint (stores stay exchangeable across the knob) and outcomes
+    /// stay bit-identical at any value.
+    #[test]
+    fn simulation_parallelism_leaves_fingerprint_and_outcomes_unchanged() {
+        let base = DaisyScheduler::new(DaisyConfig::default());
+        let program = gemm_a(64);
+        let baseline = base.schedule(&program);
+        for workers in [1usize, 3, 8] {
+            let tuned =
+                DaisyScheduler::new(DaisyConfig::default().with_simulation_parallelism(workers));
+            assert_eq!(
+                tuned.store_fingerprint(),
+                base.store_fingerprint(),
+                "simulation parallelism {workers} must not invalidate stores"
+            );
+            assert_eq!(
+                tuned.schedule(&program),
+                baseline,
+                "simulation parallelism {workers} changed the outcome"
+            );
+        }
     }
 
     #[test]

@@ -426,6 +426,7 @@ fn daisy_config() -> DaisyConfig {
         machine: MachineConfig::tiny_for_tests(),
         neighbors: 1,
         parallelism: 1,
+        simulation_parallelism: 1,
     }
 }
 

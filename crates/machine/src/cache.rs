@@ -68,6 +68,18 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Accumulates another replica's counters into this one — the reduction
+    /// of the sharded simulation driver (`shard::simulate_cache_sharded`).
+    /// Field-wise `u64` addition, so the merged result is independent of
+    /// the order shards are folded in: any worker schedule produces
+    /// bit-identical totals.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.loads += other.loads;
+        self.evicts += other.evicts;
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
 }
 
 /// Sentinel marking an unused way. Valid only because a real line number

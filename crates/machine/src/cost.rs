@@ -54,9 +54,11 @@ use loop_ir::expr::Var;
 use loop_ir::nest::{BlasCall, Computation, Loop, Node};
 use loop_ir::program::Program;
 use loop_ir::structural_hash_node;
+use loop_ir::visit::structural_hash_nodes;
 
 use crate::blas::blas_call_time;
 use crate::config::MachineConfig;
+use crate::shard::{simulate_cache_sharded_with_plan, ShardPlan, ShardedCacheStats};
 
 /// Shared memo table of a [`CostModel`]: per-nest costs keyed by
 /// `(environment hash, nest structural hash)`.
@@ -65,6 +67,12 @@ type CostMemo = Arc<Mutex<HashMap<(u64, u64), NestCost>>>;
 /// Shared run-summary table: per-computation summaries keyed by
 /// `(environment hash, computation structural hash)`.
 type SummaryMemo = Arc<Mutex<HashMap<(u64, u64), Arc<CompSummary>>>>;
+
+/// Shared sharded-simulation table: merged cache counters keyed by
+/// `(environment hash, body structural hash, shard-plan fingerprint)` —
+/// shard-aware, so a plan change (different block count, different
+/// fallback windows) can never alias a stale simulation.
+type SimMemo = Arc<Mutex<HashMap<(u64, u64, u64), Arc<ShardedCacheStats>>>>;
 
 /// The run summary of one computation: every IR-derived fact the pricing
 /// arithmetic needs, independent of the enclosing loop order. Deriving it
@@ -176,6 +184,14 @@ pub struct CostModel {
     memo: Option<CostMemo>,
     /// Per-computation run-summary memo (layer 2), shared like `memo`.
     summaries: Option<SummaryMemo>,
+    /// Sharded-simulation memo (layer 3), shared like `memo`.
+    sims: Option<SimMemo>,
+    /// Worker threads of [`CostModel::simulated_cache`]'s sharded driver.
+    /// `0` lets the machine decide. Result-neutral by the shard layer's
+    /// determinism contract — the simulated counters are bit-identical at
+    /// any value — so unlike `threads` it is never part of memo keys or
+    /// store fingerprints.
+    simulation_parallelism: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -201,6 +217,8 @@ impl CostModel {
             machine,
             memo: Some(Arc::new(Mutex::new(HashMap::new()))),
             summaries: Some(Arc::new(Mutex::new(HashMap::new()))),
+            sims: Some(Arc::new(Mutex::new(HashMap::new()))),
+            simulation_parallelism: 0,
         }
     }
 
@@ -214,7 +232,22 @@ impl CostModel {
     pub fn without_memoization(mut self) -> Self {
         self.memo = None;
         self.summaries = None;
+        self.sims = None;
         self
+    }
+
+    /// Returns this model with the given sharded-simulation worker count
+    /// (`0` lets the machine decide). Exclusively a wall-clock knob: the
+    /// counters [`CostModel::simulated_cache`] returns are bit-identical at
+    /// any value.
+    pub fn with_simulation_parallelism(mut self, workers: usize) -> Self {
+        self.simulation_parallelism = workers;
+        self
+    }
+
+    /// The worker count [`CostModel::simulated_cache`] fans shards out on.
+    pub fn simulation_parallelism(&self) -> usize {
+        self.simulation_parallelism
     }
 
     /// Number of distinct nests currently memoized.
@@ -231,6 +264,63 @@ impl CostModel {
             .as_ref()
             .map(|memo| memo.lock().expect("summary memo poisoned").len())
             .unwrap_or(0)
+    }
+
+    /// Number of distinct sharded simulations currently memoized.
+    pub fn simulation_entries(&self) -> usize {
+        self.sims
+            .as_ref()
+            .map(|memo| memo.lock().expect("simulation memo poisoned").len())
+            .unwrap_or(0)
+    }
+
+    /// The exact-simulation tier of the model: the program's merged cache
+    /// counters from the block-sharded driver
+    /// ([`simulate_cache_sharded`](crate::simulate_cache_sharded)), fanned
+    /// out on [`simulation_parallelism`](CostModel::simulation_parallelism)
+    /// workers. Multi-block computations cut at block granularity, anything
+    /// else at run-group windows, so the paper's full `NBLOCKS = 4096`
+    /// CLOUDSC traces stay cheap enough to sit inside a search loop.
+    ///
+    /// Memoized like the analytic tiers, but with a *shard-aware* key —
+    /// `(environment hash, body structural hash, plan fingerprint)` — since
+    /// the merged counters are defined per plan. The worker count is
+    /// deliberately **not** part of the key: by the shard layer's
+    /// determinism contract it cannot change the counters, so models that
+    /// differ only in parallelism share entries.
+    ///
+    /// # Errors
+    /// Lowering and trace-generation errors.
+    pub fn simulated_cache(
+        &self,
+        program: &Program,
+    ) -> Result<Arc<ShardedCacheStats>, crate::MachineError> {
+        let compiled = crate::CompiledProgram::lower(program)?;
+        let plan = ShardPlan::for_program(&compiled)?;
+        let key = (
+            program.environment_hash(),
+            structural_hash_nodes(&program.body),
+            plan.fingerprint(),
+        );
+        if let Some(memo) = self.sims.as_ref() {
+            if let Some(hit) = memo.lock().expect("simulation memo poisoned").get(&key) {
+                telemetry::counter("machine.cost.sim_memo_hits", 1);
+                return Ok(hit.clone());
+            }
+            telemetry::counter("machine.cost.sim_memo_misses", 1);
+        }
+        let stats = Arc::new(simulate_cache_sharded_with_plan(
+            &compiled,
+            &plan,
+            &self.machine,
+            self.simulation_parallelism,
+        )?);
+        if let Some(memo) = self.sims.as_ref() {
+            memo.lock()
+                .expect("simulation memo poisoned")
+                .insert(key, stats.clone());
+        }
+        Ok(stats)
     }
 
     /// The machine description used by the model.
@@ -926,6 +1016,44 @@ mod tests {
         annotated.body[0].as_loop_mut().unwrap().schedule.vectorize = true;
         model.estimate(&annotated);
         assert_eq!(model.memo_entries(), 3);
+    }
+
+    #[test]
+    fn simulated_cache_memoizes_with_shard_aware_keys() {
+        let model = CostModel::sequential();
+        let p = gemm("ijk", 24);
+        let cold = model.simulated_cache(&p).unwrap();
+        assert_eq!(model.simulation_entries(), 1);
+        // A warm lookup returns the same shared entry, not a re-simulation.
+        let warm = model.simulated_cache(&p).unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm));
+        // A different problem size changes the environment hash and the
+        // plan, so it can never alias the first entry.
+        model.simulated_cache(&gemm("ijk", 32)).unwrap();
+        assert_eq!(model.simulation_entries(), 2);
+        // Disabling memoization still simulates, bit-identically.
+        let plain = model.clone().without_memoization();
+        assert_eq!(*plain.simulated_cache(&p).unwrap(), *cold);
+        assert_eq!(plain.simulation_entries(), 0);
+    }
+
+    #[test]
+    fn simulated_cache_counters_are_parallelism_invariant() {
+        // The knob is wall-clock only: models differing in simulation
+        // parallelism must produce bit-identical counters (the shard
+        // layer's determinism contract, observed through the cost model).
+        let p = gemm("ikj", 48);
+        let sequential = CostModel::sequential();
+        let baseline = sequential.simulated_cache(&p).unwrap();
+        for workers in [2usize, 8] {
+            let model = CostModel::sequential().with_simulation_parallelism(workers);
+            assert_eq!(model.simulation_parallelism(), workers);
+            assert_eq!(
+                *model.simulated_cache(&p).unwrap(),
+                *baseline,
+                "workers {workers}"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum MachineError {
     },
     /// A loop has a non-positive step or non-evaluable bounds.
     InvalidLoop(String),
+    /// A shard-ranged stream was requested for a program whose shape the
+    /// requested granularity cannot cut (see `shard::ShardPlan`).
+    NotShardable(String),
 }
 
 impl fmt::Display for MachineError {
@@ -37,6 +40,9 @@ impl fmt::Display for MachineError {
                 write!(f, "index {index} is out of bounds for array `{array}`")
             }
             MachineError::InvalidLoop(iter) => write!(f, "loop over `{iter}` cannot be executed"),
+            MachineError::NotShardable(what) => {
+                write!(f, "trace cannot be sharded: {what}")
+            }
         }
     }
 }

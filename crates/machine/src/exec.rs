@@ -1208,6 +1208,71 @@ impl CompiledProgram {
         }
         Ok(streamer.count)
     }
+
+    /// Trip count of the block loop when this program is block-shardable:
+    /// the body is exactly one top-level loop with nested structure (a flat
+    /// innermost loop emits one lockstep run group for its whole domain, so
+    /// cutting it per iteration would only deoptimize the stream). The
+    /// bounds are evaluated against the initial frame — exactly the frame
+    /// [`stream`](CompiledProgram::stream) evaluates them against, since a
+    /// top-level loop streams before any iterator slot is written.
+    ///
+    /// `Some(0)` is a shardable zero-trip block loop; `None` means the
+    /// program shards at run-group granularity instead.
+    pub(crate) fn block_trips(&self) -> Option<u64> {
+        let [CNode::Loop(l)] = self.nodes.as_slice() else {
+            return None;
+        };
+        if l.inner {
+            return None;
+        }
+        let lower = l.lower.eval(&self.frame_init).ok()?;
+        let upper = l.upper.eval(&self.frame_init).ok()?;
+        if upper <= lower {
+            return Some(0);
+        }
+        Some(((upper - lower + l.step - 1) / l.step) as u64)
+    }
+
+    /// Streams trip indices `[lo, hi)` of the block loop — the sub-trace one
+    /// shard of a block-granularity [`ShardPlan`](crate::shard::ShardPlan)
+    /// simulates. Concatenating the streams of consecutive ranges covering
+    /// `0..block_trips()` reproduces [`stream`](CompiledProgram::stream)'s
+    /// emission order exactly: each iteration binds the block iterator and
+    /// streams the body through the same per-node walk.
+    ///
+    /// # Errors
+    /// [`MachineError::InvalidLoop`] when the program is not block-shardable
+    /// ([`block_trips`](CompiledProgram::block_trips) is `None`); bound and
+    /// subscript evaluation errors as in `stream`.
+    pub(crate) fn stream_block_range(
+        &self,
+        lo: u64,
+        hi: u64,
+        sink: &mut impl AccessSink,
+    ) -> Result<u64> {
+        let trips = self.block_trips().ok_or_else(|| {
+            MachineError::NotShardable("the program has no block loop".to_string())
+        })?;
+        let [CNode::Loop(l)] = self.nodes.as_slice() else {
+            unreachable!("block_trips accepted the program shape")
+        };
+        let mut streamer = Streamer {
+            compiled: self,
+            frame: self.frame_init.clone(),
+            count: 0,
+            runs: Vec::new(),
+        };
+        let lower = l.lower.eval(&streamer.frame)?;
+        let (lo, hi) = (lo.min(trips), hi.min(trips));
+        for trip in lo..hi {
+            streamer.frame[l.slot] = lower + trip as i64 * l.step;
+            for child in &l.body {
+                streamer.stream_node(child, sink)?;
+            }
+        }
+        Ok(streamer.count)
+    }
 }
 
 impl Streamer<'_> {
@@ -1372,6 +1437,53 @@ mod tests {
         assert_eq!(compiled.execute(&mut data).unwrap(), 0);
         assert_eq!(data.array("A").unwrap(), &[0.0; 4]);
         assert_eq!(compiled.stream(&mut Drop0).unwrap(), 0);
+    }
+
+    #[test]
+    fn block_range_streams_concatenate_to_the_whole_trace() {
+        let p = parse_program(
+            "program blocks { param NB = 5; param N = 4;
+               array A[NB * N]; array B[NB * N];
+               for b in 0..NB {
+                 for i in 0..N { B[b * N + i] = A[b * N + i] + 1.0; }
+               } }",
+        )
+        .unwrap();
+        let compiled = CompiledProgram::lower(&p).unwrap();
+        assert_eq!(compiled.block_trips(), Some(5));
+
+        #[derive(Default)]
+        struct Collect(Vec<TraceEntry>);
+        impl AccessSink for Collect {
+            fn access(&mut self, entry: TraceEntry) {
+                self.0.push(entry);
+            }
+        }
+
+        let mut whole = Collect::default();
+        let total = compiled.stream(&mut whole).unwrap();
+        let mut pieces = Collect::default();
+        let mut count = 0;
+        // Ragged cuts, including an empty range and one clamped past the end.
+        for (lo, hi) in [(0, 2), (2, 2), (2, 3), (3, 9)] {
+            count += compiled.stream_block_range(lo, hi, &mut pieces).unwrap();
+        }
+        assert_eq!(count, total);
+        assert_eq!(pieces.0.len(), whole.0.len());
+        assert!(pieces
+            .0
+            .iter()
+            .zip(&whole.0)
+            .all(|(a, b)| a.address == b.address && a.is_write == b.is_write));
+
+        // Flat innermost loops refuse block sharding (one run group already
+        // covers the whole domain).
+        let flat = lower("program f { param N = 8; array A[N]; for i in 0..N { A[i] = 1.0; } }");
+        assert_eq!(flat.block_trips(), None);
+        assert!(matches!(
+            flat.stream_block_range(0, 1, &mut Collect::default()),
+            Err(MachineError::NotShardable(_))
+        ));
     }
 
     #[test]

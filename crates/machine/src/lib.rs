@@ -15,6 +15,11 @@
 //! * [`cache`] + [`trace`] — a set-associative L1/L2 cache simulator fed by
 //!   the exact access stream, reproducing the load/evict counters of the
 //!   CLOUDSC case study (Table 1),
+//! * [`shard`] — block-sharded parallel cache simulation: the trace cut at
+//!   block (outermost independent iterator) granularity, one hierarchy
+//!   replica per shard on a worker pool, counters merged order-independently
+//!   — bit-identical at any worker count, and the engine behind the full
+//!   `NBLOCKS = 4096` CLOUDSC trace figures,
 //! * [`cost`] — a cache-aware analytical roofline that converts a scheduled
 //!   program into an estimated runtime on the configured machine
 //!   ([`config::MachineConfig`]), the quantity all figures compare,
@@ -64,6 +69,7 @@ pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod interp;
+pub mod shard;
 pub mod trace;
 
 pub use cache::{reference::ReferenceCacheHierarchy, CacheHierarchy, CacheStats};
@@ -72,6 +78,10 @@ pub use cost::{count_flops, CostModel, CostReport, NestCost};
 pub use error::{MachineError, Result};
 pub use exec::CompiledProgram;
 pub use interp::{run_seeded, Interpreter, ProgramData};
+pub use shard::{
+    effective_sim_workers, simulate_cache_sharded, simulate_cache_sharded_per_access,
+    simulate_cache_sharded_with_plan, ShardGranularity, ShardPlan, ShardedCacheStats,
+};
 pub use trace::{
     simulate_cache, simulate_cache_per_access, simulate_cache_reference, stream_accesses,
     walk_accesses, AccessSink, StrideRun, TraceEntry,

@@ -144,9 +144,12 @@ pub fn stream_accesses(program: &Program, sink: &mut impl AccessSink) -> Result<
 }
 
 /// Sink feeding a [`CacheHierarchy`], forwarding runs and whole run groups
-/// to the closed-form fast paths.
-struct CacheSink<'a> {
-    cache: &'a mut CacheHierarchy,
+/// to the closed-form fast paths. Shared with the sharded driver
+/// (`shard::simulate_cache_sharded`), which feeds one replica per shard
+/// through the identical sink so per-shard counters stay bit-compatible
+/// with [`simulate_cache`].
+pub(crate) struct CacheSink<'a> {
+    pub(crate) cache: &'a mut CacheHierarchy,
 }
 
 impl AccessSink for CacheSink<'_> {
@@ -204,8 +207,8 @@ fn record_cache_counters(cache: &CacheHierarchy) {
 /// collapse through [`CacheHierarchy::access_run`], but interleaved
 /// multi-access loops expand to one simulated access per trace entry (the
 /// default [`AccessSink::run_group`]).
-struct PerAccessCacheSink<'a> {
-    cache: &'a mut CacheHierarchy,
+pub(crate) struct PerAccessCacheSink<'a> {
+    pub(crate) cache: &'a mut CacheHierarchy,
 }
 
 impl AccessSink for PerAccessCacheSink<'_> {

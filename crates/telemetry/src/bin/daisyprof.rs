@@ -6,6 +6,11 @@
 //! daisyprof diff <a.json> <b.json>  attribute a regression to a phase:
 //!                                   per-span count/total ratios and
 //!                                   counter deltas between two runs
+//! daisyprof --chrome <profile.json> export the profile as chrome://tracing
+//!                                   JSON on stdout (synthesized timeline:
+//!                                   aggregate span totals packed
+//!                                   depth-first; load in chrome://tracing
+//!                                   or Perfetto)
 //! ```
 //!
 //! Profiles come from `reproduce --profile <out.json>` and
@@ -17,7 +22,7 @@ use std::process::ExitCode;
 
 use telemetry::Profile;
 
-const USAGE: &str = "usage: daisyprof <profile.json>... | daisyprof diff <a.json> <b.json>";
+const USAGE: &str = "usage: daisyprof <profile.json>... | daisyprof diff <a.json> <b.json> | daisyprof --chrome <profile.json>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +42,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     match args.first().map(String::as_str) {
         None => Err(USAGE.to_string()),
+        Some("--chrome") => {
+            let [path] = &args[1..] else {
+                return Err(format!("--chrome takes exactly one profile; {USAGE}"));
+            };
+            match load(path) {
+                Ok(profile) => {
+                    print!("{}", profile.to_chrome_trace());
+                    Ok(ExitCode::SUCCESS)
+                }
+                Err(e) => {
+                    eprintln!("daisyprof: {e}");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
         Some("diff") => {
             let [a, b] = &args[1..] else {
                 return Err(format!("diff takes exactly two profiles; {USAGE}"));
@@ -78,4 +98,40 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn load(path: &str) -> Result<Profile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     Profile::from_json_lines(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn chrome_takes_exactly_one_readable_profile() {
+        // Wrong arity is a usage error (exit 2 via Err).
+        let err = run(&strings(&["--chrome"])).unwrap_err();
+        assert!(err.contains("--chrome takes exactly one profile"), "{err}");
+        let err = run(&strings(&["--chrome", "a.json", "b.json"])).unwrap_err();
+        assert!(err.contains("--chrome takes exactly one profile"), "{err}");
+
+        // An unreadable profile is a load failure (exit 1), not a usage
+        // error — the same contract as the render and diff modes.
+        let code = run(&strings(&["--chrome", "/nonexistent/profile.json"])).unwrap();
+        assert_eq!(code, ExitCode::FAILURE);
+
+        // A valid profile exports cleanly.
+        let dir = std::env::temp_dir().join(format!("daisyprof-chrome-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("profile.json");
+        let profile = Profile {
+            label: "unit".to_string(),
+            ..Profile::default()
+        };
+        std::fs::write(&path, profile.to_json_lines()).expect("write profile");
+        let code = run(&strings(&["--chrome", path.to_str().unwrap()])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

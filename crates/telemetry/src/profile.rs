@@ -331,6 +331,100 @@ impl Profile {
         out
     }
 
+    /// Exports the profile as a chrome://tracing (Trace Event Format) JSON
+    /// document, loadable in `chrome://tracing` or Perfetto.
+    ///
+    /// The profile is aggregated — it has no per-event timestamps — so the
+    /// export synthesizes a timeline: root span paths are laid end to end
+    /// and each span's children are packed depth-first from their parent's
+    /// start, every slice as one complete (`"X"`) event whose duration is
+    /// the path's *total* time. Slice widths are therefore exact aggregate
+    /// attributions, not individual invocations; `count`, `mean_ns` and
+    /// `p99_ns` ride along in each slice's `args`. Counters become `"C"`
+    /// events at time zero, explicit histograms counter events carrying
+    /// their totals.
+    pub fn to_chrome_trace(&self) -> String {
+        // A path's parent is its longest proper dot-prefix that was itself
+        // recorded (same rule the tree renderer uses); spans whose prefixes
+        // were never recorded start their own root slices.
+        let mut children: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut roots: Vec<&str> = Vec::new();
+        for path in self.spans.keys() {
+            let mut prefix = path.as_str();
+            let mut parent = None;
+            while let Some((shorter, _)) = prefix.rsplit_once('.') {
+                if self.spans.contains_key(shorter) {
+                    parent = Some(shorter);
+                    break;
+                }
+                prefix = shorter;
+            }
+            match parent {
+                Some(parent) => children.entry(parent).or_default().push(path),
+                None => roots.push(path),
+            }
+        }
+
+        let mut events = Vec::new();
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\
+             \"args\":{{\"name\":{}}}}}",
+            json::json_string(&self.label)
+        ));
+        let mut stack: Vec<(&str, u64)> = Vec::new();
+        let mut cursor = 0u64;
+        for root in roots {
+            stack.push((root, cursor));
+            cursor += self.spans[root].total;
+        }
+        // DFS in reverse so siblings pop in alphabetical order.
+        stack.reverse();
+        while let Some((path, start)) = stack.pop() {
+            let hist = &self.spans[path];
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"cat\":\"span\",\"name\":{},\
+                 \"ts\":{:.3},\"dur\":{:.3},\
+                 \"args\":{{\"count\":{},\"mean_ns\":{},\"p99_ns\":{}}}}}",
+                json::json_string(path),
+                start as f64 / 1_000.0,
+                hist.total as f64 / 1_000.0,
+                hist.count,
+                hist.mean() as u64,
+                hist.p99(),
+            ));
+            if let Some(kids) = children.get(path) {
+                let mut child_start = start;
+                let mut packed: Vec<(&str, u64)> = Vec::new();
+                for &child in kids {
+                    packed.push((child, child_start));
+                    child_start += self.spans[child].total;
+                }
+                // Reverse again so the first child is processed first.
+                stack.extend(packed.into_iter().rev());
+            }
+        }
+        for (name, value) in &self.counters {
+            events.push(format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":{},\"ts\":0,\
+                 \"args\":{{\"value\":{value}}}}}",
+                json::json_string(name)
+            ));
+        }
+        for (name, hist) in &self.histograms {
+            events.push(format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":{},\"ts\":0,\
+                 \"args\":{{\"total\":{},\"count\":{}}}}}",
+                json::json_string(name),
+                hist.total,
+                hist.count,
+            ));
+        }
+        format!(
+            "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
+            events.join(",\n")
+        )
+    }
+
     /// Renders the difference `self -> other` (counts, totals, counter
     /// deltas) over the union of keys — how `daisyprof diff a b` makes a
     /// regression attributable to a phase.
@@ -552,6 +646,101 @@ mod tests {
         assert!(diff.contains("fresh"));
         assert!(diff.contains("new"));
         assert!(diff.contains("(-2)"), "hits 42 -> 40: {diff}");
+    }
+
+    #[test]
+    fn chrome_trace_packs_children_inside_parents_and_parses_as_json() {
+        let trace = sample_profile().to_chrome_trace();
+        let doc = crate::json::parse(&trace).expect("chrome trace is valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+
+        let slice = |name: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("ph").and_then(Json::as_str) == Some("X")
+                        && e.get("name").and_then(Json::as_str) == Some(name)
+                })
+                .unwrap_or_else(|| panic!("no X event for {name}: {trace}"))
+        };
+        let parent = slice("schedule");
+        let child = slice("schedule.normalize");
+        let ts = |e: &Json| e.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = |e: &Json| e.get("dur").and_then(Json::as_f64).expect("dur");
+        // The child packs from its parent's start; both durations are the
+        // span totals (1200 + 900 ns = 2.1 µs).
+        assert_eq!(ts(parent), 0.0);
+        assert_eq!(ts(child), 0.0);
+        assert_eq!(dur(parent), 2.1);
+        assert_eq!(dur(child), 2.1);
+        assert_eq!(
+            parent
+                .get("args")
+                .and_then(|a| a.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+
+        // Counters and histograms become "C" events.
+        let counter = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("hits"))
+            .expect("counter event");
+        assert_eq!(counter.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(
+            counter
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_u64),
+            Some(42)
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("sizes")),
+            "histograms export as counter events: {trace}"
+        );
+        // The process is labeled after the profile.
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("M")
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        == Some("unit \"test\"")
+            }),
+            "metadata event labels the process: {trace}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_lays_unrelated_roots_end_to_end() {
+        let mut profile = Profile {
+            label: "roots".to_string(),
+            ..Profile::default()
+        };
+        let mut a = Histogram::default();
+        a.record(2_000);
+        let mut b = Histogram::default();
+        b.record(3_000);
+        profile.spans.insert("alpha".to_string(), a);
+        profile.spans.insert("beta".to_string(), b);
+        let trace = profile.to_chrome_trace();
+        let doc = crate::json::parse(&trace).expect("parses");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let ts = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|e| e.get("ts"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert_eq!(ts("alpha"), 0.0);
+        assert_eq!(ts("beta"), 2.0, "beta starts after alpha's 2µs total");
     }
 
     #[test]
