@@ -1,0 +1,537 @@
+//! Analytic cache tier + stencil lane merging snapshot (PR 10).
+//!
+//! Measures the two costing upgrades of PR 10 against the retained
+//! pipelines:
+//!
+//! 1. **Stencil lane merging.** Staggered same-array lanes (the
+//!    `A[i-1]/A[i]/A[i+1]` taps of a stencil body) now coalesce inside
+//!    `CacheHierarchy::access_run_group`, so the whole cluster gets
+//!    closed-form hit crediting instead of per-lane phase walking. The
+//!    *run-compression* of a workload — simulated accesses per real L1
+//!    probe ([`CacheHierarchy::probes`]) — must reach a geo-mean >= 4x on
+//!    the stencil set (it was ~2x before merging), with counters still
+//!    bit-identical to the per-access pipeline.
+//! 2. **Analytic costing.** [`machine::estimate_cache`] prices a program
+//!    from per-`StrideRun`-signature summaries without walking any trace.
+//!    On the unit-stride gate set of `BENCH_PR5.json` it must be >= 50x
+//!    faster than exact run-compressed simulation, and on *all ten* PR 5
+//!    workloads its miss estimates must stay within their own reported
+//!    error bound of the exact counters.
+//! 3. **Super-line bailout.** Groups whose every lane has |stride| >= the
+//!    line size (the `col_major` walk) skip lane bookkeeping entirely; the
+//!    run-group path must no longer lose to the per-access pipeline there
+//!    (>= 1.0x, was 0.96x in `BENCH_PR5.json`).
+//!
+//! Writes `BENCH_PR10.json` into the current directory and prints the same
+//! numbers as tables. Run with
+//! `cargo run --release -p bench --bin bench_pr10` (add `--smoke` for tiny
+//! problem sizes — the CI configuration, which checks the error-bound
+//! bracket but not the timing gates).
+
+use std::time::Instant;
+
+use bench::figures::daisy_full_model;
+use bench::{geometric_mean, print_table};
+use loop_ir::parser::parse_program;
+use loop_ir::program::Program;
+use machine::exec::CompiledProgram;
+use machine::{
+    estimate_cache_compiled, AccessSink, CacheHierarchy, MachineConfig, StrideRun, TraceEntry,
+};
+use polybench::cloudsc::{erosion_optimized, full_model, CloudscSizes, CloudscVariant};
+
+/// The run-compressed pipeline (what `machine::simulate_cache` does).
+struct RunSink<'a>(&'a mut CacheHierarchy);
+
+impl AccessSink for RunSink<'_> {
+    fn access(&mut self, entry: TraceEntry) {
+        self.0.access(entry.address);
+    }
+
+    fn run(&mut self, start: u64, stride: i64, count: u64, _is_write: bool) {
+        self.0.access_run(start, stride, count);
+    }
+
+    fn run_group(&mut self, runs: &[StrideRun]) {
+        self.0.access_run_group(runs);
+    }
+}
+
+/// The per-access baseline pipeline (what
+/// `machine::simulate_cache_per_access` does).
+struct PerAccessSink<'a>(&'a mut CacheHierarchy);
+
+impl AccessSink for PerAccessSink<'_> {
+    fn access(&mut self, entry: TraceEntry) {
+        self.0.access(entry.address);
+    }
+
+    fn run(&mut self, start: u64, stride: i64, count: u64, _is_write: bool) {
+        self.0.access_run(start, stride, count);
+    }
+}
+
+/// Runs measured per side; both take the minimum.
+const REPS: usize = 3;
+
+// ---------------------------------------------------------------------------
+// Workloads (the ten BENCH_PR5.json rows, same names and sizes)
+// ---------------------------------------------------------------------------
+
+fn stencil_5tap(n: i64, t: i64, reversed: bool) -> Program {
+    let sub = |tap: i64| {
+        if reversed {
+            format!("M - {} - j", 3 - tap)
+        } else {
+            format!("j + {}", 2 + tap)
+        }
+    };
+    let taps = [-2i64, -1, 0, 1, 2]
+        .iter()
+        .map(|&k| format!("A[{}]", sub(k)))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    parse_program(&format!(
+        "program stencil_5tap {{ param N = {n}; param M = {}; param T = {t};
+           array A[M]; array B[M];
+           for t in 0..T {{
+             for j in 0..N {{ B[{}] = ({taps}) * 0.2; }}
+           }} }}",
+        n + 5,
+        sub(0),
+    ))
+    .expect("5-tap stencil parses")
+}
+
+fn heat_1d(n: i64, t: i64) -> Program {
+    parse_program(&format!(
+        "program heat_1d {{ param N = {n}; param T = {t};
+           array A[N]; array B[N];
+           for t in 0..T {{
+             for i in 1..N - 1 {{ B[i] = 0.25 * A[i - 1] + 0.5 * A[i] + 0.25 * A[i + 1]; }}
+             for j in 1..N - 1 {{ A[j] = 0.25 * B[j - 1] + 0.5 * B[j] + 0.25 * B[j + 1]; }}
+           }} }}"
+    ))
+    .expect("heat parses")
+}
+
+/// The ten `BENCH_PR5.json` workloads (same names, same paper/smoke sizes).
+/// The `bool` marks membership in the unit-stride gate set the >= 50x
+/// analytic gate runs over.
+fn pr5_workloads(smoke: bool) -> Vec<(String, bool, Program)> {
+    let heat_n = if smoke { 256 } else { 1200 };
+    let heat_t = if smoke { 8 } else { 1000 };
+    let ew_n = if smoke { 128 } else { 400 };
+    let ew_t = if smoke { 8 } else { 1600 };
+    let sweep_t = if smoke { 2 } else { 40 };
+    let sweep_klev = if smoke { 5 } else { 137 };
+    let sweep_nproma = if smoke { 16 } else { 128 };
+    let saxpy_n = if smoke { 128 } else { 512 };
+    let saxpy_t = if smoke { 8 } else { 2500 };
+    let gemm_n = if smoke { 48 } else { 160 };
+    let triad_n = if smoke { 20_000 } else { 2_000_000 };
+    let col_n = if smoke { 64 } else { 1024 };
+    let erosion_sizes = if smoke {
+        CloudscSizes::mini()
+    } else {
+        CloudscSizes::paper()
+    };
+    let trace_sizes = CloudscSizes {
+        nblocks: if smoke { 2 } else { 64 },
+        ..erosion_sizes
+    };
+    let elementwise = parse_program(&format!(
+        "program fused_elementwise {{ param N = {ew_n}; param T = {ew_t};
+           array A[N]; array B[N]; array C[N]; array D[N]; array E[N];
+           for t in 0..T {{
+             for i in 0..N {{
+               D[i] = A[i] * B[i] + C[i];
+               E[i] = D[i] * 0.5 + A[i];
+               C[i] = E[i] - B[i];
+             }}
+           }} }}"
+    ))
+    .expect("elementwise parses");
+    let nproma_sweep = parse_program(&format!(
+        "program cloudsc_nproma_sweep {{
+           param NPROMA = {sweep_nproma}; param KLEV = {sweep_klev}; param T = {sweep_t};
+           array za[NPROMA]; array zb[NPROMA]; array zc[NPROMA]; array zd[NPROMA];
+           for t in 0..T {{ for jk in 0..KLEV {{ for jl in 0..NPROMA {{
+             za[jl] = za[jl] * 0.9 + zb[jl] * 0.1;
+             zc[jl] = za[jl] - zd[jl];
+             zd[jl] += zc[jl] * 0.5;
+           }} }} }} }}"
+    ))
+    .expect("nproma sweep parses");
+    let saxpy = parse_program(&format!(
+        "program saxpy_steps {{ param N = {saxpy_n}; param T = {saxpy_t};
+           array A[N]; array B[N];
+           for t in 0..T {{
+             for i in 0..N {{ A[i] = A[i] * 1.5 + B[i]; }}
+           }} }}"
+    ))
+    .expect("saxpy parses");
+    let gemm = parse_program(&format!(
+        "program gemm_ikj {{ param N = {gemm_n};
+           array A[N][N]; array B[N][N]; array C[N][N];
+           for i in 0..N {{ for k in 0..N {{ for j in 0..N {{
+             C[i][j] += A[i][k] * B[k][j];
+           }} }} }} }}"
+    ))
+    .expect("gemm parses");
+    let triad = parse_program(&format!(
+        "program stream_triad {{ param N = {triad_n};
+           array A[N]; array B[N]; array C[N];
+           for i in 0..N {{ A[i] = B[i] * 1.5 + C[i]; }} }}"
+    ))
+    .expect("triad parses");
+    let col = parse_program(&format!(
+        "program col_major {{ param N = {col_n}; array A[N][N];
+           for j in 0..N {{ for i in 0..N {{ A[i][j] = A[i][j] * 0.5; }} }} }}"
+    ))
+    .expect("col parses");
+    vec![
+        ("fused_elementwise".to_string(), true, elementwise),
+        ("cloudsc_nproma_sweep".to_string(), true, nproma_sweep),
+        ("saxpy_steps".to_string(), true, saxpy),
+        ("gemm_ikj".to_string(), false, gemm),
+        ("heat_1d_steps".to_string(), false, heat_1d(heat_n, heat_t)),
+        (
+            "cloudsc_erosion_optimized".to_string(),
+            false,
+            erosion_optimized(erosion_sizes),
+        ),
+        (
+            "cloudsc_full_fortran_multiblock".to_string(),
+            false,
+            full_model(CloudscVariant::Fortran, trace_sizes),
+        ),
+        (
+            "cloudsc_full_daisy_multiblock".to_string(),
+            false,
+            daisy_full_model(trace_sizes),
+        ),
+        ("stream_triad".to_string(), false, triad),
+        ("col_major".to_string(), false, col),
+    ]
+}
+
+/// The stencil set of the >= 4x run-compression gate: bodies dominated by
+/// staggered same-array taps, the exact shape lane merging targets.
+fn stencil_workloads(smoke: bool) -> Vec<(String, Program)> {
+    let n = if smoke { 256 } else { 1200 };
+    let t = if smoke { 4 } else { 200 };
+    vec![
+        ("heat_1d_3tap".to_string(), heat_1d(n, t)),
+        ("stencil_5tap".to_string(), stencil_5tap(n, t, false)),
+        ("stencil_5tap_rev".to_string(), stencil_5tap(n, t, true)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Measurements
+// ---------------------------------------------------------------------------
+
+/// Streams the program through both cache pipelines, timing each
+/// (min-of-REPS) and checking bit-identity. Returns
+/// `(accesses, probes, per_access_seconds, run_seconds, stats_match)`.
+fn measure_pipelines(
+    compiled: &CompiledProgram,
+    machine: &MachineConfig,
+) -> (u64, u64, f64, f64, bool) {
+    let mut per_access_seconds = f64::INFINITY;
+    let mut base = CacheHierarchy::from_machine(machine);
+    for _ in 0..REPS {
+        let mut cache = CacheHierarchy::from_machine(machine);
+        let start = Instant::now();
+        compiled
+            .stream(&mut PerAccessSink(&mut cache))
+            .expect("baseline simulates");
+        per_access_seconds = per_access_seconds.min(start.elapsed().as_secs_f64());
+        base = cache;
+    }
+    let mut run_seconds = f64::INFINITY;
+    let mut fast = CacheHierarchy::from_machine(machine);
+    for _ in 0..REPS {
+        let mut cache = CacheHierarchy::from_machine(machine);
+        let start = Instant::now();
+        compiled
+            .stream(&mut RunSink(&mut cache))
+            .expect("run-compressed simulates");
+        run_seconds = run_seconds.min(start.elapsed().as_secs_f64());
+        fast = cache;
+    }
+    let stats_match =
+        fast.accesses() == base.accesses() && fast.l1() == base.l1() && fast.l2() == base.l2();
+    (
+        fast.accesses(),
+        fast.probes(),
+        per_access_seconds,
+        run_seconds,
+        stats_match,
+    )
+}
+
+struct StencilRow {
+    workload: String,
+    accesses: u64,
+    probes: u64,
+    stats_match: bool,
+}
+
+impl StencilRow {
+    fn compression(&self) -> f64 {
+        self.accesses as f64 / self.probes.max(1) as f64
+    }
+}
+
+struct AnalyticRow {
+    workload: String,
+    unit_stride: bool,
+    exact_seconds: f64,
+    analytic_seconds: f64,
+    error_bound: u64,
+    l1_delta: u64,
+    l2_delta: u64,
+    within_bound: bool,
+}
+
+impl AnalyticRow {
+    fn speedup(&self) -> f64 {
+        self.exact_seconds / self.analytic_seconds
+    }
+}
+
+/// Times the exact run-compressed simulation against the analytic tier on
+/// one pre-lowered program (symmetric protocol: lowering excluded from both
+/// sides) and checks the error-bound contract.
+fn measure_analytic(name: &str, unit_stride: bool, program: &Program) -> AnalyticRow {
+    let machine = MachineConfig::xeon_e5_2680v3();
+    let compiled = CompiledProgram::lower(program).expect("program lowers");
+    let mut exact_seconds = f64::INFINITY;
+    let mut exact = CacheHierarchy::from_machine(&machine);
+    for _ in 0..REPS {
+        let mut cache = CacheHierarchy::from_machine(&machine);
+        let start = Instant::now();
+        compiled
+            .stream(&mut RunSink(&mut cache))
+            .expect("exact simulates");
+        exact_seconds = exact_seconds.min(start.elapsed().as_secs_f64());
+        exact = cache;
+    }
+    let mut analytic_seconds = f64::INFINITY;
+    let mut estimate = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let est = estimate_cache_compiled(&compiled, &machine).expect("analytic estimates");
+        analytic_seconds = analytic_seconds.min(start.elapsed().as_secs_f64());
+        estimate = Some(est);
+    }
+    let estimate = estimate.expect("REPS > 0");
+    AnalyticRow {
+        workload: name.to_string(),
+        unit_stride,
+        exact_seconds,
+        analytic_seconds,
+        error_bound: estimate.error_bound,
+        l1_delta: estimate.l1.misses.abs_diff(exact.l1().misses),
+        l2_delta: estimate.l2.misses.abs_diff(exact.l2().misses),
+        within_bound: estimate.brackets(&exact.l1(), &exact.l2())
+            && estimate.accesses == exact.accesses(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let dataset_name = if smoke { "mini" } else { "paper" };
+    let machine = MachineConfig::xeon_e5_2680v3();
+
+    // -- 1. Stencil run-compression ------------------------------------
+    let stencil_rows: Vec<StencilRow> = stencil_workloads(smoke)
+        .iter()
+        .map(|(name, p)| {
+            let compiled = CompiledProgram::lower(p).expect("stencil lowers");
+            let (accesses, probes, _, _, stats_match) = measure_pipelines(&compiled, &machine);
+            StencilRow {
+                workload: name.clone(),
+                accesses,
+                probes,
+                stats_match,
+            }
+        })
+        .collect();
+    print_table(
+        "stencil lane merging: simulated accesses per real L1 probe",
+        &[
+            "workload",
+            "accesses",
+            "probes",
+            "compression",
+            "stats match",
+        ],
+        &stencil_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    r.accesses.to_string(),
+                    r.probes.to_string(),
+                    format!("{:.1}x", r.compression()),
+                    r.stats_match.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let compressions: Vec<f64> = stencil_rows.iter().map(StencilRow::compression).collect();
+    let stencil_geo_mean = geometric_mean(&compressions);
+    let stencil_match = stencil_rows.iter().all(|r| r.stats_match);
+    println!(
+        "\ngeo-mean stencil run-compression: {stencil_geo_mean:.1}x (acceptance: >= 4x), \
+         stats bit-identical: {stencil_match}"
+    );
+
+    // -- 2. + 3. Analytic tier vs exact simulation ---------------------
+    let analytic_rows: Vec<AnalyticRow> = pr5_workloads(smoke)
+        .iter()
+        .map(|(name, unit, p)| measure_analytic(name, *unit, p))
+        .collect();
+    print_table(
+        "analytic cache tier vs exact run-compressed simulation",
+        &[
+            "workload",
+            "exact [s]",
+            "analytic [s]",
+            "speedup",
+            "error bound",
+            "L1 |delta|",
+            "L2 |delta|",
+            "within bound",
+        ],
+        &analytic_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    format!("{:.5}", r.exact_seconds),
+                    format!("{:.6}", r.analytic_seconds),
+                    format!("{:.0}x", r.speedup()),
+                    r.error_bound.to_string(),
+                    r.l1_delta.to_string(),
+                    r.l2_delta.to_string(),
+                    r.within_bound.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let unit_speedups: Vec<f64> = analytic_rows
+        .iter()
+        .filter(|r| r.unit_stride)
+        .map(AnalyticRow::speedup)
+        .collect();
+    let analytic_geo_mean = geometric_mean(&unit_speedups);
+    let all_within_bound = analytic_rows.iter().all(|r| r.within_bound);
+    println!(
+        "\ngeo-mean analytic speedup on the unit-stride gate set: {analytic_geo_mean:.0}x \
+         (acceptance: >= 50x), all estimates within their error bound: {all_within_bound}"
+    );
+
+    // -- 4. col_major super-line bailout -------------------------------
+    let col = pr5_workloads(smoke)
+        .into_iter()
+        .find(|(name, _, _)| name == "col_major")
+        .expect("col_major is a PR 5 workload")
+        .2;
+    let col_compiled = CompiledProgram::lower(&col).expect("col_major lowers");
+    let (_, _, col_per_access, col_run, col_match) = measure_pipelines(&col_compiled, &machine);
+    let col_speedup = col_per_access / col_run;
+    println!(
+        "\ncol_major run-group vs per-access: {col_speedup:.2}x (acceptance: >= 1.0x, was 0.96x), \
+         stats bit-identical: {col_match}"
+    );
+
+    // -- JSON ----------------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p bench --bin bench_pr10\",\n");
+    json.push_str(&format!("  \"dataset\": \"{dataset_name}\",\n"));
+    json.push_str("  \"stencil_compression\": [\n");
+    for (i, r) in stencil_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"accesses\": {}, \"l1_probes\": {}, \
+             \"compression\": {:.2}, \"stats_match_reference\": {}}}{}\n",
+            r.workload,
+            r.accesses,
+            r.probes,
+            r.compression(),
+            r.stats_match,
+            if i + 1 < stencil_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"stencil_geo_mean_compression\": {stencil_geo_mean:.2},\n"
+    ));
+    json.push_str("  \"analytic\": [\n");
+    for (i, r) in analytic_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"in_unit_stride_gate\": {}, \
+             \"exact_seconds\": {:.6}, \"analytic_seconds\": {:.6}, \"speedup\": {:.1}, \
+             \"error_bound\": {}, \"l1_miss_delta\": {}, \"l2_miss_delta\": {}, \
+             \"within_bound\": {}}}{}\n",
+            r.workload,
+            r.unit_stride,
+            r.exact_seconds,
+            r.analytic_seconds,
+            r.speedup(),
+            r.error_bound,
+            r.l1_delta,
+            r.l2_delta,
+            r.within_bound,
+            if i + 1 < analytic_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"analytic_unit_stride_geo_mean_speedup\": {analytic_geo_mean:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"all_estimates_within_error_bound\": {all_within_bound},\n"
+    ));
+    json.push_str(&format!("  \"col_major_speedup\": {col_speedup:.3},\n"));
+    json.push_str(&format!(
+        "  \"all_stats_match_reference\": {}\n",
+        stencil_match && col_match
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
+    println!("wrote BENCH_PR10.json");
+
+    // Acceptance gates. Bit-identity and the error-bound bracket must hold
+    // at any size; the compression and timing gates only apply at paper
+    // sizes (mini workloads are overhead-bound by design).
+    let mut failed = false;
+    if !stencil_match || !col_match {
+        eprintln!("bench_pr10: CacheStats bit-identity acceptance FAILED");
+        failed = true;
+    }
+    if !all_within_bound {
+        eprintln!("bench_pr10: analytic error-bound acceptance FAILED");
+        failed = true;
+    }
+    if !smoke && stencil_geo_mean < 4.0 {
+        eprintln!(
+            "bench_pr10: stencil run-compression acceptance FAILED ({stencil_geo_mean:.2}x < 4x)"
+        );
+        failed = true;
+    }
+    if !smoke && analytic_geo_mean < 50.0 {
+        eprintln!("bench_pr10: analytic costing acceptance FAILED ({analytic_geo_mean:.1}x < 50x)");
+        failed = true;
+    }
+    if !smoke && col_speedup < 1.0 {
+        eprintln!("bench_pr10: col_major run-group acceptance FAILED ({col_speedup:.3}x < 1.0x)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,7 @@
 //! ```text
 //! reproduce [--smoke] [--store DIR] [--warm] [--verify] [--only LIST] [--list]
 //!           [--verbose] [--profile OUT.json] [--sim-workers N]
+//!           [--cache-mode exact|analytic|auto]
 //!
 //!   --smoke       tiny problem sizes (Dataset::Mini, CloudscSizes::mini());
 //!                 the CI configuration, finishes in seconds
@@ -13,6 +14,15 @@
 //!                 the trace figures (N >= 1; default: the machine's
 //!                 available parallelism); counters are bit-identical at
 //!                 any value, so this only changes wall clock
+//!   --cache-mode M
+//!                 which cache-costing tier backs the run (default: exact).
+//!                 `exact` simulates every trace-backed column; `analytic`
+//!                 replaces them with the bounded-error estimator (orders
+//!                 of magnitude faster, error bound reported by the
+//!                 machine crate); `auto` prices searches analytically but
+//!                 keeps every reported figure exact. Schedule choices are
+//!                 identical in all three modes (daisy ranks by the
+//!                 roofline model)
 //!   --verbose     print the per-phase wall clock (normalize / seed /
 //!                 search / cost) of every schedule the figures run
 //!   --profile F   record a telemetry profile of the whole run — spans,
@@ -38,6 +48,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
+
+use machine::CostMode;
 
 use bench::figures::{
     fig11_cloudsc_full, fig12_cloudsc_scaling, fig1_gemm_variants, fig6_autoschedulers,
@@ -74,6 +86,14 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--profile" => {
                 let path = args.next().ok_or("--profile needs an output path")?;
                 profile = Some(PathBuf::from(path));
+            }
+            "--cache-mode" => {
+                let mode = args
+                    .next()
+                    .ok_or("--cache-mode needs a mode (exact, analytic or auto)")?;
+                options.cache_mode = CostMode::parse(&mode).ok_or_else(|| {
+                    format!("--cache-mode needs one of exact, analytic or auto, got {mode:?}")
+                })?;
             }
             "--sim-workers" => {
                 let n = args.next().ok_or("--sim-workers needs a worker count")?;
@@ -165,6 +185,7 @@ fn run_figures(args: &Args) -> ExitCode {
     };
 
     let start = Instant::now();
+    println!("cache mode: {}", args.options.cache_mode.as_str());
     let mut ctx = ReproContext::new(args.options.clone());
     for name in FIGURES {
         if !selected(name) {

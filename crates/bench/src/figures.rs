@@ -18,7 +18,7 @@ use baselines::{
 use daisy::{DaisyConfig, DaisyScheduler, ScheduleOutcome};
 use loop_ir::parser::parse_program;
 use loop_ir::program::Program;
-use machine::{effective_sim_workers, simulate_cache_sharded, MachineConfig};
+use machine::{effective_sim_workers, CacheAssessment, CostMode, CostModel, MachineConfig};
 use normalize::Normalizer;
 use polybench::cloudsc::{
     erosion_optimized, erosion_original, erosion_single_level, full_model, CloudscSizes,
@@ -87,6 +87,12 @@ pub struct ReproOptions {
     /// parallelism. Sharded counters are bit-identical at any value, so
     /// this only changes wall clock, never figures.
     pub sim_workers: usize,
+    /// Which cache-costing tier backs the run (`--cache-mode`): the exact
+    /// simulator, the bounded-error analytic estimator, or `Auto` (analytic
+    /// while searching, exact for every reported figure). Schedule choices
+    /// are identical in all three — daisy ranks by the roofline model — so
+    /// the knob only changes how trace-backed columns are produced.
+    pub cache_mode: CostMode,
 }
 
 /// Prints one schedule's per-phase wall clock when `--verbose` is on.
@@ -181,12 +187,20 @@ impl ReproContext {
         &self.schedulers[&kind]
     }
 
+    /// The scheduler configuration for a kind under this run's options:
+    /// the kind's config with the run's cache-costing tier applied. The
+    /// tier is excluded from the store fingerprint (it cannot change
+    /// schedules), so stores stay interchangeable across modes.
+    fn config_for(&self, kind: SchedulerKind) -> daisy::DaisyConfig {
+        kind.config().with_cache_mode(self.options.cache_mode)
+    }
+
     fn build(&self, kind: SchedulerKind) -> (DaisyScheduler, SeedingEvent) {
         let store = self.store_path(kind);
         if self.options.warm {
             if let Some(path) = &store {
                 let start = Instant::now();
-                let mut scheduler = DaisyScheduler::new(kind.config());
+                let mut scheduler = DaisyScheduler::new(self.config_for(kind));
                 match scheduler.warm_start(path) {
                     Ok(entries) => {
                         let event = SeedingEvent {
@@ -206,7 +220,7 @@ impl ReproContext {
             }
         }
         let start = Instant::now();
-        let scheduler = daisy_seeded_from_a_variants(self.dataset(), kind.config());
+        let scheduler = daisy_seeded_from_a_variants(self.dataset(), self.config_for(kind));
         let seconds = start.elapsed().as_secs_f64();
         if let Some(path) = &store {
             if let Err(e) = scheduler.persist(path) {
@@ -615,7 +629,7 @@ pub fn fig11_cloudsc_full(ctx: &ReproContext) {
     let rows: Vec<Vec<String>> = trace_versions
         .iter()
         .map(|(name, p)| {
-            let t = simulate_trace(name, p, &machine, sim_workers);
+            let t = simulate_trace(name, p, &machine, sim_workers, ctx.options().cache_mode);
             shards = t.shards;
             vec![
                 name.to_string(),
@@ -675,24 +689,37 @@ struct TraceStats {
     shards: usize,
 }
 
-/// Simulates one figure workload's exact access stream through the sharded
-/// cache driver. Counters are bit-identical at any `sim_workers` value, so
-/// the knob only moves the `seconds` column.
+/// Produces one figure workload's trace-backed counters through
+/// [`CostModel::assess_cache`] at the run's `--cache-mode`. Under the
+/// exact tier (and `Auto` — reported figures are final validation) this
+/// streams the access trace through the sharded cache driver, whose
+/// counters are bit-identical at any `sim_workers` value. Under
+/// `--cache-mode analytic` the counters come from the bounded-error
+/// estimator instead and `shards` is 0 (nothing is simulated).
 fn simulate_trace(
     name: &str,
     program: &Program,
     machine: &MachineConfig,
     sim_workers: usize,
+    cache_mode: CostMode,
 ) -> TraceStats {
+    let model = CostModel::new(machine.clone(), 1)
+        .with_cost_mode(cache_mode)
+        .with_simulation_parallelism(sim_workers);
     let start = Instant::now();
-    let cache = simulate_cache_sharded(program, machine, sim_workers)
+    let assessment = model
+        .assess_cache(program, true)
         .unwrap_or_else(|e| panic!("{name}: trace fails: {e}"));
+    let shards = match &assessment {
+        CacheAssessment::Exact(stats) => stats.shards(),
+        CacheAssessment::Analytic(_) => 0,
+    };
     TraceStats {
-        accesses: cache.accesses(),
+        accesses: assessment.accesses(),
         seconds: start.elapsed().as_secs_f64().max(1e-9),
-        l1_hit_rate: cache.l1().hit_rate(),
-        l1_loads: cache.l1().loads,
-        shards: cache.shards(),
+        l1_hit_rate: assessment.l1().hit_rate(),
+        l1_loads: assessment.l1().loads,
+        shards,
     }
 }
 
@@ -806,6 +833,7 @@ pub fn fig12_cloudsc_scaling(ctx: &ReproContext, mode: ScalingMode) {
             &daisy_full_model(trace_sizes),
             &machine,
             sim_workers,
+            ctx.options().cache_mode,
         );
         println!(
             "\ndaisy trace per schedule point (NBLOCKS={}): {} accesses simulated in {:.1} ms ({:.0} Macc/s), L1 hit rate {:.1}%",
@@ -858,7 +886,16 @@ pub fn table1_cloudsc_erosion(ctx: &ReproContext) {
     // driver runs them as one covering shard: counters exactly match the
     // monolithic simulation at any worker count.
     let sim_workers = ctx.options().sim_workers;
-    let cache = |p: &Program| simulate_cache_sharded(p, &machine, sim_workers).expect("trace runs");
+    // `(l1_loads, l1_evicts, accesses)` per nest — exactly simulated under
+    // the exact tier and `Auto` (table rows are final validation), estimated
+    // with bounded error under `--cache-mode analytic`.
+    let cache_model = CostModel::new(machine.clone(), 1)
+        .with_cost_mode(ctx.options().cache_mode)
+        .with_simulation_parallelism(sim_workers);
+    let cache = |p: &Program| -> (u64, u64, u64) {
+        let a = cache_model.assess_cache(p, true).expect("trace runs");
+        (a.l1().loads, a.l1().evicts, a.accesses())
+    };
     let orig_cache = cache(&original_single);
     let opt_cache = cache(&optimized_single);
 
@@ -875,18 +912,18 @@ pub fn table1_cloudsc_erosion(ctx: &ReproContext) {
         ],
         vec![
             "L1 Loads (single iteration)".to_string(),
-            format!("{}", orig_cache.l1().loads),
-            format!("{}", opt_cache.l1().loads),
+            format!("{}", orig_cache.0),
+            format!("{}", opt_cache.0),
         ],
         vec![
             "L1 Evicts (single iteration)".to_string(),
-            format!("{}", orig_cache.l1().evicts),
-            format!("{}", opt_cache.l1().evicts),
+            format!("{}", orig_cache.1),
+            format!("{}", opt_cache.1),
         ],
         vec![
             "L1 accesses (single iteration)".to_string(),
-            format!("{}", orig_cache.accesses()),
-            format!("{}", opt_cache.accesses()),
+            format!("{}", orig_cache.2),
+            format!("{}", opt_cache.2),
         ],
     ];
     print_table(

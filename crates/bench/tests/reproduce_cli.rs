@@ -68,6 +68,8 @@ fn usage_errors_exit_with_code_two() {
         vec!["--sim-workers"],         // needs a worker count
         vec!["--sim-workers", "0"],    // zero workers is meaningless
         vec!["--sim-workers", "many"], // not a number
+        vec!["--cache-mode"],          // needs a mode
+        vec!["--cache-mode", "wrong"], // not a known tier
     ] {
         let output = reproduce(&args);
         let stderr = String::from_utf8_lossy(&output.stderr);
@@ -103,6 +105,30 @@ fn sim_workers_is_respected_in_smoke_runs() {
         stdout.contains("shards"),
         "fig11 reports its shard plan: {stdout}"
     );
+}
+
+#[test]
+fn cache_mode_is_accepted_and_reported_in_smoke_runs() {
+    // Every valid spelling runs and announces itself on stdout; the
+    // analytic tier produces the same table shape with estimated counters.
+    for mode in ["exact", "analytic", "auto"] {
+        let output = reproduce(&["--smoke", "--only", "table1", "--cache-mode", mode]);
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "mode {mode}: stderr: {stderr}"
+        );
+        assert!(
+            stdout.contains(&format!("cache mode: {mode}")),
+            "mode {mode}: the run announces its cache tier: {stdout}"
+        );
+        assert!(
+            stdout.contains("L1 Loads (single iteration)"),
+            "mode {mode}: Table 1 keeps its trace-backed rows: {stdout}"
+        );
+    }
 }
 
 #[test]

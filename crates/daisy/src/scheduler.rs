@@ -8,7 +8,7 @@ use std::sync::Arc;
 use loop_ir::expr::Var;
 use loop_ir::nest::Node;
 use loop_ir::program::Program;
-use machine::{CostModel, CostReport, MachineConfig};
+use machine::{CostMode, CostModel, CostReport, MachineConfig, PricedWith};
 use normalize::{Normalizer, NormalizerConfig};
 use transforms::{perfect_chain, Recipe};
 use tunestore::{DurableStore, OsStorage, Snapshot, Storage, StoreError, StoreHealth};
@@ -56,6 +56,15 @@ pub struct DaisyConfig {
     /// results — sharded [`machine::CacheStats`] counters are bit-identical
     /// at any worker count — so it is *not* part of the store fingerprint.
     pub simulation_parallelism: usize,
+    /// Which cache tier [`machine::CostModel::assess_cache`] answers from
+    /// when pricing cache behaviour ([`CostMode::Exact`], the analytic
+    /// closed-form tier, or [`CostMode::Auto`] — analytic during search,
+    /// exact for the final winner). Candidate *ranking* is roofline-only
+    /// (the evolutionary search never consults the cache tier), so this
+    /// knob cannot change the chosen schedule and is *not* part of the
+    /// store fingerprint; [`ScheduleOutcome::priced_with`] records which
+    /// tier prices the winner.
+    pub cache_mode: CostMode,
 }
 
 impl Default for DaisyConfig {
@@ -69,6 +78,7 @@ impl Default for DaisyConfig {
             neighbors: 3,
             parallelism: 0,
             simulation_parallelism: 0,
+            cache_mode: CostMode::Exact,
         }
     }
 }
@@ -84,6 +94,12 @@ impl DaisyConfig {
     /// parallelism.
     pub fn with_simulation_parallelism(mut self, workers: usize) -> Self {
         self.simulation_parallelism = workers;
+        self
+    }
+
+    /// Returns this configuration with the given cache-pricing mode.
+    pub fn with_cache_mode(mut self, mode: CostMode) -> Self {
+        self.cache_mode = mode;
         self
     }
 }
@@ -104,6 +120,14 @@ pub struct ScheduleOutcome {
     pub report: CostReport,
     /// One human-readable note per top-level nest describing what was done.
     pub decisions: Vec<String>,
+    /// Which cache tier prices this winner under the scheduler's
+    /// [`DaisyConfig::cache_mode`]: `Exact` for `Exact` and `Auto` (Auto
+    /// validates the final winner exactly), `Analytic` only when the
+    /// scheduler is pinned to the analytic tier. Provenance metadata — like
+    /// [`phase_timings`](ScheduleOutcome::phase_timings) it is excluded
+    /// from `PartialEq`, so outcomes from different cache modes (which are
+    /// bit-identical in program, report and decisions) still compare equal.
+    pub priced_with: PricedWith,
     /// Where the `schedule()` call itself spent its time. Observational
     /// only — never part of the bit-identity guarantee.
     pub phase_timings: PhaseTimings,
@@ -112,7 +136,8 @@ pub struct ScheduleOutcome {
 impl PartialEq for ScheduleOutcome {
     fn eq(&self, other: &Self) -> bool {
         // phase_timings is deliberately not compared: wall clock varies
-        // between bit-identical runs.
+        // between bit-identical runs. priced_with is provenance (which
+        // cache tier prices the winner), not part of the result.
         self.program == other.program
             && self.report == other.report
             && self.decisions == other.decisions
@@ -256,7 +281,8 @@ impl DaisyScheduler {
     fn seed_entries(&self, programs: &[Program]) -> Vec<DatabaseEntry> {
         let _span = telemetry::span("seeding");
         let model = CostModel::new(self.config.machine.clone(), self.config.threads)
-            .with_simulation_parallelism(self.config.simulation_parallelism);
+            .with_simulation_parallelism(self.config.simulation_parallelism)
+            .with_cost_mode(self.config.cache_mode);
         let normalized: Vec<Program> = programs.iter().map(|p| self.normalized(p)).collect();
         let mut jobs: Vec<(&Program, usize)> = Vec::new();
         for program in &normalized {
@@ -307,7 +333,10 @@ impl DaisyScheduler {
     /// and thread count the costs were produced under. Two schedulers can
     /// exchange stores exactly when their fingerprints are equal — stored
     /// costs decide duplicate-key ranking, and costs from a different cost
-    /// model are not comparable.
+    /// model are not comparable. Knobs that cannot change stored costs —
+    /// `parallelism`, `simulation_parallelism` and `cache_mode` (ranking is
+    /// roofline-only; the cache tier never decides a schedule) — are
+    /// deliberately excluded so stores stay exchangeable across them.
     pub fn store_fingerprint(&self) -> String {
         // Every machine parameter is encoded explicitly through the store
         // codec (not via Debug formatting, whose output is not a stability
@@ -511,7 +540,8 @@ impl DaisyScheduler {
     pub fn schedule(&self, program: &Program) -> ScheduleOutcome {
         let _span = telemetry::span("schedule");
         let model = CostModel::new(self.config.machine.clone(), self.config.threads)
-            .with_simulation_parallelism(self.config.simulation_parallelism);
+            .with_simulation_parallelism(self.config.simulation_parallelism)
+            .with_cost_mode(self.config.cache_mode);
         let (normalized, normalize_ns) = telemetry::timed("normalize", || self.normalized(program));
         // Whole-program baseline, priced once: candidates must beat it, and
         // pricing it here also pre-populates the shared per-nest memo so the
@@ -571,6 +601,11 @@ impl DaisyScheduler {
             program: current,
             report,
             decisions,
+            priced_with: if self.config.cache_mode.uses_exact(true) {
+                PricedWith::Exact
+            } else {
+                PricedWith::Analytic
+            },
             phase_timings: PhaseTimings {
                 normalize_ns,
                 seed_ns,
@@ -1063,6 +1098,39 @@ mod tests {
                 baseline,
                 "simulation parallelism {workers} changed the outcome"
             );
+        }
+    }
+
+    /// Satellite of PR 10: candidate ranking is roofline-only, so the cache
+    /// pricing mode can never change the chosen schedule. It is therefore
+    /// excluded from the store fingerprint (stores stay exchangeable across
+    /// the knob); only the outcome's `priced_with` provenance differs.
+    #[test]
+    fn cache_mode_leaves_fingerprint_and_chosen_schedule_unchanged() {
+        let base = DaisyScheduler::new(DaisyConfig::default());
+        let program = gemm_a(64);
+        let baseline = base.schedule(&program);
+        assert_eq!(baseline.priced_with, machine::PricedWith::Exact);
+        for (mode, priced_with) in [
+            (CostMode::Exact, machine::PricedWith::Exact),
+            (CostMode::Auto, machine::PricedWith::Exact),
+            (CostMode::Analytic, machine::PricedWith::Analytic),
+        ] {
+            let tuned = DaisyScheduler::new(DaisyConfig::default().with_cache_mode(mode));
+            assert_eq!(
+                tuned.store_fingerprint(),
+                base.store_fingerprint(),
+                "cache mode {} must not invalidate stores",
+                mode.as_str()
+            );
+            let outcome = tuned.schedule(&program);
+            assert_eq!(
+                outcome,
+                baseline,
+                "cache mode {} changed the chosen schedule",
+                mode.as_str()
+            );
+            assert_eq!(outcome.priced_with, priced_with);
         }
     }
 

@@ -259,9 +259,15 @@ impl Gen {
     /// Generates the right-hand side: one to three loads (possibly chained
     /// through earlier outputs, possibly stencil-staggered off one array)
     /// combined with `+ - * min`, an optional scalar parameter factor and a
-    /// constant term.
+    /// constant term. A quarter of bodies with an iterator in scope instead
+    /// start from a multi-tap stencil family — 2-5 reads of *one* shared
+    /// array at mixed-sign constant offsets, the shape the stagger-merged
+    /// cache fast path and the analytic tier both special-case.
     fn gen_value(&mut self, scope: &[ScopeIter]) -> ScalarExpr {
-        let mut value = self.gen_load(scope);
+        let mut value = match self.gen_stencil(scope) {
+            Some(stencil) => stencil,
+            None => self.gen_load(scope),
+        };
         if self.rng.gen_bool(0.35) {
             // Stencil stagger: a second load of the *same* shape family.
             let second = self.gen_load(scope);
@@ -281,6 +287,31 @@ impl Gen {
             2 => value - fconst(0.25),
             _ => value,
         }
+    }
+
+    /// With probability 1/4 (and an iterator in scope), generates a
+    /// stencil-heavy load family: 2-5 taps `A[i + pad + k]` off one fresh
+    /// shared array, with tap offsets `k` drawn from `[-4, 4]` so spreads
+    /// mix signs, straddle 64-byte line boundaries and include duplicate
+    /// taps. The pad keeps every tap in bounds.
+    fn gen_stencil(&mut self, scope: &[ScopeIter]) -> Option<ScalarExpr> {
+        if scope.is_empty() || !self.rng.gen_bool(0.25) {
+            return None;
+        }
+        let it = scope.choose(&mut self.rng).clone();
+        let taps = self.rng.gen_range(2..6usize);
+        const PAD: i64 = 4;
+        let array = self.fresh_array(vec![it.max_value + 1 + 2 * PAD]);
+        let mut value: Option<ScalarExpr> = None;
+        for _ in 0..taps {
+            let k = self.rng.gen_range(-PAD..PAD + 1);
+            let tap = load(array.clone(), vec![var(it.name.as_str()) + cst(PAD + k)]);
+            value = Some(match value {
+                Some(v) => v + tap,
+                None => tap,
+            });
+        }
+        value
     }
 
     /// Generates one load. Prefers re-reading an array an earlier statement
@@ -510,5 +541,28 @@ mod tests {
         assert!(strided, "no strided loop in 300 seeds");
         assert!(scalar_red, "no scalar reduction in 300 seeds");
         assert!(multi_nest, "no multi-nest program in 300 seeds");
+    }
+
+    #[test]
+    fn stencil_families_are_generated_with_three_plus_taps() {
+        // The stagger-merged cache path only engages at >= 3 same-array
+        // taps within one line span, so the generator must reach wide tap
+        // families, not just pairs.
+        let config = GenConfig::default();
+        let mut widest = 0usize;
+        for seed in 0..300 {
+            let p = generate(seed, &config);
+            for comp in p.computations() {
+                let mut per_array: BTreeMap<String, usize> = BTreeMap::new();
+                for r in comp.value.loads() {
+                    *per_array.entry(r.array.to_string()).or_default() += 1;
+                }
+                widest = widest.max(per_array.values().copied().max().unwrap_or(0));
+            }
+        }
+        assert!(
+            widest >= 3,
+            "no 3+-tap same-array stencil family in 300 seeds (widest {widest})"
+        );
     }
 }

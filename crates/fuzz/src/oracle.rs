@@ -14,6 +14,10 @@
 //! * **cache** — the run-compressed simulation versus the per-access
 //!   pipeline and the naive LRU reference: bit-identical counters on the
 //!   tiny test machine whose four sets force conflicts.
+//! * **analytic** — the closed-form cache tier ([`machine::estimate_cache`])
+//!   versus the exact simulator: the estimated miss counts must stay within
+//!   the estimate's *own reported* error bound on both levels, and access
+//!   counts must match exactly.
 //! * **normalize** — the normalization pipeline: the normalized program
 //!   validates, normalization is idempotent, the normalized program still
 //!   agrees with *its* references (exec + trace), and its results match
@@ -35,7 +39,14 @@ use machine::{
 use normalize::Normalizer;
 
 /// Names of all oracles, in the order [`check_all`] runs them.
-pub const ORACLES: [&str; 5] = ["exec", "trace", "cache", "normalize", "schedule"];
+pub const ORACLES: [&str; 6] = [
+    "exec",
+    "trace",
+    "cache",
+    "analytic",
+    "normalize",
+    "schedule",
+];
 
 /// Outcome of running one oracle (or a whole oracle battery) on a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +104,9 @@ pub struct OracleSelection {
     pub trace: bool,
     /// Run the three-way cache differential.
     pub cache: bool,
+    /// Run the analytic-bracket oracle (estimates within their own error
+    /// bound of the exact counters).
+    pub analytic: bool,
     /// Run the normalization oracle.
     pub normalize: bool,
     /// Run the schedule oracle on every `schedule_every`-th case (0 = never).
@@ -105,6 +119,7 @@ impl Default for OracleSelection {
             exec: true,
             trace: true,
             cache: true,
+            analytic: true,
             normalize: true,
             schedule_every: 16,
         }
@@ -117,10 +132,11 @@ type OracleFn = fn(&Program) -> std::result::Result<(), String>;
 /// Runs every selected oracle on `program`, stopping at the first failure.
 /// `case_index` drives the schedule-oracle subsampling.
 pub fn check_all(program: &Program, oracles: &OracleSelection, case_index: u64) -> Verdict {
-    let battery: [(&'static str, bool, OracleFn); 5] = [
+    let battery: [(&'static str, bool, OracleFn); 6] = [
         ("exec", oracles.exec, exec_oracle),
         ("trace", oracles.trace, trace_oracle),
         ("cache", oracles.cache, cache_oracle),
+        ("analytic", oracles.analytic, analytic_oracle),
         ("normalize", oracles.normalize, normalize_oracle),
         (
             "schedule",
@@ -147,6 +163,7 @@ pub fn check_one(program: &Program, oracle: &str) -> Verdict {
         "exec" => exec_oracle,
         "trace" => trace_oracle,
         "cache" => cache_oracle,
+        "analytic" => analytic_oracle,
         "normalize" => normalize_oracle,
         "schedule" => schedule_oracle,
         other => {
@@ -358,6 +375,49 @@ fn cache_oracle(program: &Program) -> std::result::Result<(), String> {
     Ok(())
 }
 
+fn analytic_oracle(program: &Program) -> std::result::Result<(), String> {
+    let machine = MachineConfig::tiny_for_tests();
+    let exact = simulate_cache(program, &machine);
+    let estimate = machine::estimate_cache(program, &machine);
+    let (exact, estimate) = match (exact, estimate) {
+        (Ok(e), Ok(a)) => (e, a),
+        (Err(e), Err(a)) => {
+            if std::mem::discriminant(&e) == std::mem::discriminant(&a) {
+                return Ok(());
+            }
+            return Err(format!(
+                "outcome kinds diverge: exact `{e}` vs analytic `{a}`"
+            ));
+        }
+        (e, a) => {
+            return Err(format!(
+                "outcomes diverge: exact {:?} vs analytic {:?}",
+                e.err().map(|e| e.to_string()),
+                a.err().map(|e| e.to_string()),
+            ))
+        }
+    };
+    if estimate.accesses != exact.accesses() {
+        return Err(format!(
+            "access counts diverge: analytic {} vs exact {}",
+            estimate.accesses,
+            exact.accesses()
+        ));
+    }
+    if !estimate.brackets(&exact.l1(), &exact.l2()) {
+        return Err(format!(
+            "analytic miss estimate escapes its error bound {}: \
+             L1 {} vs exact {}, L2 {} vs exact {}",
+            estimate.error_bound,
+            estimate.l1.misses,
+            exact.l1().misses,
+            estimate.l2.misses,
+            exact.l2().misses
+        ));
+    }
+    Ok(())
+}
+
 fn normalize_oracle(program: &Program) -> std::result::Result<(), String> {
     let normalized = Normalizer::new()
         .run(program)
@@ -427,6 +487,7 @@ fn daisy_config() -> DaisyConfig {
         neighbors: 1,
         parallelism: 1,
         simulation_parallelism: 1,
+        cache_mode: machine::CostMode::Exact,
     }
 }
 

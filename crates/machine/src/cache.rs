@@ -86,8 +86,10 @@ impl CacheStats {
 /// would require an address of at least `u64::MAX * line_bytes`.
 const EMPTY: u64 = u64::MAX;
 
-/// Rounds to the nearest power of two, ties toward the larger one.
-fn nearest_pow2(n: u64) -> u64 {
+/// Rounds to the nearest power of two, ties toward the larger one. Shared
+/// with the analytic tier ([`crate::analytic`]), which must model the same
+/// rounded geometry the simulator actually uses.
+pub(crate) fn nearest_pow2(n: u64) -> u64 {
     let n = n.max(1);
     if n.is_power_of_two() {
         return n;
@@ -226,6 +228,11 @@ struct GroupLane {
     period: u64,
     base: i64,
     stride: i64,
+    /// Middle member of a stagger cluster: its line crossings never end a
+    /// phase (they move onto a line the cluster leader already keeps
+    /// resident), so its `line`/`next` are recomputed lazily from `base`
+    /// whenever a phase head finds them stale.
+    elided: bool,
 }
 
 impl CacheHierarchy {
@@ -318,6 +325,26 @@ impl CacheHierarchy {
             // to collapse); runs that would walk below address zero wrap the
             // same way the per-access path does.
             self.accesses += count;
+            if end >= 0 && stride % line_bytes as i64 == 0 {
+                // Line-multiple stride (a column walk): the line index
+                // advances by a constant |dline| >= 2 per access, so after
+                // the first access — which may still re-touch the previous
+                // stream's line — the per-access line recomputation and the
+                // MRU short-circuit can never fire. Probing the levels
+                // directly with the stepped line is counter-identical.
+                let dline = stride >> self.l1.line_shift;
+                let mut line = self.l1.line_of(start);
+                self.access_counted(start);
+                for _ in 1..count {
+                    line = line.wrapping_add_signed(dline);
+                    let (hit, _) = self.l1.access_line_tracked(line);
+                    if !hit {
+                        self.l2.access_line(line);
+                    }
+                }
+                self.last_line = line;
+                return;
+            }
             let mut address = start as i64;
             for _ in 0..count {
                 self.access_counted(address as u64);
@@ -355,9 +382,17 @@ impl CacheHierarchy {
     /// guaranteed L1 hit per run, credited in closed form. The one exception
     /// is an associativity conflict: when simulating the phase head evicts
     /// one of the phase's own lines, the rest of the phase falls back to
-    /// per-access simulation. Counters are bit-identical to expanding the
-    /// group through [`access`](Self::access) in interleaved order, as the
-    /// differential suites verify.
+    /// per-access simulation.
+    ///
+    /// Two refinements bound the bookkeeping: groups in which *every* lane
+    /// has a super-line stride (no phase can span two iterations) are
+    /// expanded per access up front, and stagger clusters — contiguous
+    /// same-array lanes one sub-line stride apart within a line span, the
+    /// shape of a stencil body — stop breaking phases at their middle
+    /// members' line crossings, which by construction land on a line the
+    /// cluster already holds resident. Counters remain bit-identical to
+    /// expanding the group through [`access`](Self::access) in interleaved
+    /// order, as the differential suites verify.
     pub fn access_run_group(&mut self, runs: &[StrideRun]) {
         match runs {
             [] => return,
@@ -405,6 +440,21 @@ impl CacheHierarchy {
         let line_bytes = 1u64 << shift;
         debug_assert!(shift < 32, "line sizes are small powers of two");
         let lb = line_bytes as u32;
+        if runs.iter().all(|r| r.stride.unsigned_abs() >= line_bytes) {
+            // Every lane lands on a fresh line every iteration (strided
+            // column walks): no phase can ever exceed one iteration, so the
+            // lane bookkeeping is pure overhead. Expand per access up front.
+            telemetry::counter(
+                "machine.cache.group_superline_accesses",
+                count * runs.len() as u64,
+            );
+            for i in 0..count as i64 {
+                for r in runs {
+                    self.access_counted((r.base as i64 + r.stride * i) as u64);
+                }
+            }
+            return;
+        }
         let mut lanes = std::mem::take(&mut self.group_lanes);
         let mut evictions = std::mem::take(&mut self.group_evicted);
         lanes.clear();
@@ -433,7 +483,61 @@ impl CacheHierarchy {
                 },
                 base: r.base as i64,
                 stride: r.stride,
+                elided: false,
             });
+        }
+        // Stagger clusters: maximal blocks of lanes, contiguous in run
+        // order, on one array with one nonzero sub-line stride and all
+        // bases within one line span (`A[i-1] / A[i] / A[i+1]`). Such a
+        // block occupies at most two adjacent cache lines at any iteration,
+        // and a middle member only ever crosses onto the line the cluster
+        // leader already keeps resident, so middle crossings cannot miss
+        // and need not end a phase. Only the leader (front-most in walk
+        // direction, first to enter a new line) and the rear (last off the
+        // old line, whose crossing freezes its recency) keep bounding
+        // `phase_end`; the rest are elided. Adjacent lines must map to
+        // different sets for the recency argument to hold, hence the
+        // `set_mask > 0` gate; run-order contiguity keeps every external
+        // lane's stream position outside the block, so which member last
+        // touched a cluster line never reorders it against outsiders.
+        if self.l1.set_mask > 0 {
+            let mut j = 0;
+            while j < runs.len() {
+                let stride = runs[j].stride;
+                if stride == 0 || stride.unsigned_abs() >= line_bytes {
+                    j += 1;
+                    continue;
+                }
+                let (mut lo, mut hi) = (runs[j].base, runs[j].base);
+                let mut k = j + 1;
+                while k < runs.len() && runs[k].array == runs[j].array && runs[k].stride == stride {
+                    let nlo = lo.min(runs[k].base);
+                    let nhi = hi.max(runs[k].base);
+                    if nhi - nlo >= line_bytes {
+                        break;
+                    }
+                    (lo, hi) = (nlo, nhi);
+                    k += 1;
+                }
+                if k - j >= 3 {
+                    let (lead, rear) = if stride > 0 { (hi, lo) } else { (lo, hi) };
+                    let (mut lead_kept, mut rear_kept) = (false, false);
+                    let mut elided = 0u64;
+                    for lane in j..k {
+                        let base = runs[lane].base;
+                        if !lead_kept && base == lead {
+                            lead_kept = true;
+                        } else if !rear_kept && base == rear {
+                            rear_kept = true;
+                        } else {
+                            lanes[lane].elided = true;
+                            elided += 1;
+                        }
+                    }
+                    telemetry::counter("machine.cache.group_stagger_elided", elided * count);
+                }
+                j = k.max(j + 1);
+            }
         }
         let mut i = 0u64;
         while i < count {
@@ -445,6 +549,28 @@ impl CacheHierarchy {
             let mut phase_end = count;
             evictions.clear();
             for lane in &mut lanes {
+                if lane.elided {
+                    // Elided cluster middles may have crossed several lines
+                    // since the last head (their crossings never end a
+                    // phase): catch up from the absolute address. Their
+                    // `next` never bounds `phase_end`.
+                    if lane.next <= i {
+                        let addr = (lane.base + lane.stride * i as i64) as u64;
+                        lane.line = addr >> shift;
+                        let o_fwd = (addr & (line_bytes - 1)) as u32;
+                        let o = if lane.stride >= 0 {
+                            o_fwd
+                        } else {
+                            lb - 1 - o_fwd
+                        };
+                        lane.next = i + u64::from((lb - 1 - o) / lane.s_abs + 1);
+                    }
+                    let evicted = self.access_counted_at_line(lane.line << shift, lane.line);
+                    if evicted != EMPTY {
+                        evictions.push(evicted);
+                    }
+                    continue;
+                }
                 if lane.next == i {
                     if lane.stride == 0 {
                         lane.line = (lane.base as u64) >> shift;
@@ -1044,6 +1170,198 @@ mod tests {
             "phase compression must probe ~once per line, probed {}",
             fast.l1.probes
         );
+    }
+
+    /// A run with an explicit array slot (stagger clusters only form within
+    /// one array).
+    fn array_run(base: u64, stride: i64, count: u64, array: u32) -> StrideRun {
+        StrideRun {
+            base,
+            stride,
+            count,
+            array,
+            is_write: false,
+        }
+    }
+
+    #[test]
+    fn stagger_cluster_groups_match_reference_and_compress_probes() {
+        // A five-tap stencil body: five same-array lanes one element apart
+        // plus an output lane on a second array. The cluster's middle
+        // members stop breaking phases, so only the leader and rear
+        // crossings (plus the output lane's) cost heads — the probe count
+        // must sit well below one probe per line per lane.
+        let machine = MachineConfig::tiny_for_tests();
+        let count = 1024u64;
+        let mut runs: Vec<StrideRun> = (0..5)
+            .map(|t| array_run(0x40000 + 8 * t, 8, count, 0))
+            .collect();
+        runs.push(array_run(0x80000, 8, count, 1));
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+        fast.access_run_group(&runs);
+        expand_group_on(&mut slow, &runs);
+        assert_same_stats(&fast, &slow, "five-tap stagger");
+        assert_eq!(fast.accesses(), 6 * count);
+        // Two cluster heads + shortcuts per 8-iteration line period: about
+        // five real probes per period of 48 accesses.
+        assert!(
+            fast.l1.probes <= count,
+            "stagger merging must elide middle-tap heads, probed {}",
+            fast.l1.probes
+        );
+    }
+
+    #[test]
+    fn stagger_cluster_edge_shapes_match_reference() {
+        let machine = MachineConfig::tiny_for_tests();
+        let count = 700u64;
+        let groups: Vec<Vec<StrideRun>> = vec![
+            // Bases straddling a line boundary.
+            vec![
+                array_run(0x40000 - 8, 8, count, 0),
+                array_run(0x40000, 8, count, 0),
+                array_run(0x40000 + 8, 8, count, 0),
+            ],
+            // Span exactly one line minus one byte (still mergeable) and
+            // span exactly one line (not mergeable) side by side.
+            vec![
+                array_run(0x40000, 8, count, 0),
+                array_run(0x40000 + 32, 8, count, 0),
+                array_run(0x40000 + 63, 8, count, 0),
+            ],
+            vec![
+                array_run(0x40000, 8, count, 0),
+                array_run(0x40000 + 32, 8, count, 0),
+                array_run(0x40000 + 64, 8, count, 0),
+            ],
+            // Negative-stride stencil (reversal subscripts), unaligned.
+            vec![
+                array_run(0x54321, -8, count, 0),
+                array_run(0x54321 + 16, -8, count, 0),
+                array_run(0x54321 + 8, -8, count, 0),
+                array_run(0x54329, -8, count, 0),
+            ],
+            // Duplicate taps: leader and rear share a base.
+            vec![
+                array_run(0x40000, 8, count, 0),
+                array_run(0x40000, 8, count, 0),
+                array_run(0x40000, 8, count, 0),
+            ],
+            // Cluster interrupted by another array's lane: the taps are not
+            // contiguous in run order and must not merge across it.
+            vec![
+                array_run(0x40000, 8, count, 0),
+                array_run(0x80000, 8, count, 1),
+                array_run(0x40008, 8, count, 0),
+                array_run(0x40010, 8, count, 0),
+            ],
+            // Two independent clusters plus a zero-stride lane between.
+            vec![
+                array_run(0x40000, 8, count, 0),
+                array_run(0x40008, 8, count, 0),
+                array_run(0x40010, 8, count, 0),
+                array_run(0x70004, 0, count, 2),
+                array_run(0x90000 + 24, -24, count, 1),
+                array_run(0x90000, -24, count, 1),
+                array_run(0x90000 + 48, -24, count, 1),
+            ],
+            // Non-power-of-two stride with bases straddling two boundaries.
+            vec![
+                array_run(0x4003c, 12, count, 0),
+                array_run(0x40000, 12, count, 0),
+                array_run(0x40014, 12, count, 0),
+                array_run(0x40028, 12, count, 0),
+            ],
+        ];
+        for (j, runs) in groups.iter().enumerate() {
+            let mut fast = CacheHierarchy::from_machine(&machine);
+            let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+            fast.access_run_group(runs);
+            expand_group_on(&mut slow, runs);
+            // The state left behind must be equivalent too.
+            for a in (0..(1u64 << 14)).step_by(64) {
+                fast.access(a);
+                slow.access(a);
+            }
+            assert_same_stats(&fast, &slow, &format!("stagger edge group {j}"));
+        }
+    }
+
+    #[test]
+    fn superline_only_groups_take_the_per_access_path_up_front() {
+        // Column-major walks: every lane's |stride| is at least a line, so
+        // no phase can span two iterations and the lane bookkeeping is pure
+        // overhead. The group must bail out per access (observable through
+        // the telemetry counter) with bit-identical counters.
+        let machine = MachineConfig::tiny_for_tests();
+        let count = 300u64;
+        let runs = vec![
+            array_run(0x10000, 64, count, 0),
+            array_run(0x20000, 128, count, 1),
+            array_run(0x60000, -64, count, 2),
+        ];
+        let sink = std::sync::Arc::new(telemetry::CollectingRecorder::default());
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        telemetry::with_recorder(sink.clone(), || {
+            fast.access_run_group(&runs);
+        });
+        let mut slow = ReferenceCacheHierarchy::from_machine(&machine);
+        expand_group_on(&mut slow, &runs);
+        assert_same_stats(&fast, &slow, "super-line bailout");
+        assert_eq!(
+            sink.counter_total("machine.cache.group_superline_accesses"),
+            3 * count,
+            "the super-line group must take the up-front per-access path"
+        );
+
+        // One sub-line lane re-enables the phase machinery: the bailout
+        // counter must stay silent.
+        let mixed = vec![
+            array_run(0x10000, 64, count, 0),
+            array_run(0x30000, 8, count, 1),
+        ];
+        let sink = std::sync::Arc::new(telemetry::CollectingRecorder::default());
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        telemetry::with_recorder(sink.clone(), || {
+            fast.access_run_group(&mixed);
+        });
+        assert_eq!(
+            sink.counter_total("machine.cache.group_superline_accesses"),
+            0,
+            "a sub-line lane keeps the group on the lane fast path"
+        );
+    }
+
+    #[test]
+    fn stagger_clusters_elide_middle_lanes() {
+        let machine = MachineConfig::tiny_for_tests();
+        let count = 64u64;
+        // Three taps: exactly one middle member is elided.
+        let runs: Vec<StrideRun> = (0..3)
+            .map(|t| array_run(0x40000 + 8 * t, 8, count, 0))
+            .collect();
+        let sink = std::sync::Arc::new(telemetry::CollectingRecorder::default());
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        telemetry::with_recorder(sink.clone(), || {
+            fast.access_run_group(&runs);
+        });
+        assert_eq!(
+            sink.counter_total("machine.cache.group_stagger_elided"),
+            count,
+            "a three-tap cluster elides exactly its middle lane"
+        );
+        // Two taps only: leader and rear are both bounding, nothing to
+        // elide, the cluster machinery must not engage.
+        let pair: Vec<StrideRun> = (0..2)
+            .map(|t| array_run(0x40000 + 8 * t, 8, count, 0))
+            .collect();
+        let sink = std::sync::Arc::new(telemetry::CollectingRecorder::default());
+        let mut fast = CacheHierarchy::from_machine(&machine);
+        telemetry::with_recorder(sink.clone(), || {
+            fast.access_run_group(&pair);
+        });
+        assert_eq!(sink.counter_total("machine.cache.group_stagger_elided"), 0);
     }
 
     #[test]

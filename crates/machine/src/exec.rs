@@ -381,6 +381,13 @@ struct CLoop {
     /// Access-list base offset of each body node inside the shared cursor
     /// scratch, precomputed so loop entries allocate nothing.
     bases: Vec<usize>,
+    /// True when the subtree's *trace* is independent of this loop's
+    /// iterator: every access in the body is affine with a zero coefficient
+    /// on the loop's slot, and no descendant loop bound references it. Such
+    /// a loop re-emits the identical access sequence every iteration, so
+    /// summarizing sinks can consume the body once through the
+    /// [`AccessSink::begin_repeat`] protocol.
+    trace_invariant: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -388,6 +395,36 @@ enum CNode {
     Loop(CLoop),
     Comp(CComp),
     Call(CCall),
+}
+
+/// Whether a compiled bound provably does not depend on `slot`. Non-affine
+/// bounds answer `false` conservatively.
+fn bound_independent(b: &CBound, slot: usize) -> bool {
+    match &b.compiled {
+        CExpr::Const(_) => true,
+        CExpr::Affine(a) => a.coeff(slot) == 0,
+        _ => false,
+    }
+}
+
+/// Whether the trace emitted by `nodes` is provably identical for every
+/// value of `frame[slot]`: all accesses are affine with a zero coefficient
+/// on the slot and no descendant loop bound references it. Symbolic
+/// accesses answer `false` conservatively; library calls emit nothing into
+/// the trace and are neutral.
+fn subtree_trace_invariant(nodes: &[CNode], slot: usize) -> bool {
+    nodes.iter().all(|node| match node {
+        CNode::Comp(c) => c.accesses.iter().all(|a| match a {
+            CAccess::Affine { flat, .. } => flat.coeff(slot) == 0,
+            CAccess::Symbolic { .. } => false,
+        }),
+        CNode::Loop(inner) => {
+            bound_independent(&inner.lower, slot)
+                && bound_independent(&inner.upper, slot)
+                && subtree_trace_invariant(&inner.body, slot)
+        }
+        CNode::Call(_) => true,
+    })
 }
 
 /// Per-array lowering result: name, layout and the trace base address.
@@ -809,6 +846,7 @@ impl<'p> Lowerer<'p> {
             Vec::new()
         };
         Ok(CLoop {
+            trace_invariant: subtree_trace_invariant(&body, slot),
             slot,
             lower,
             upper,
@@ -1297,6 +1335,22 @@ impl Streamer<'_> {
         let result = if l.inner && self.stream_inner(l, lower, trips, sink) {
             telemetry::counter("machine.exec.compiled_stream_loops", 1);
             Ok(())
+        } else if trips > 1 && l.trace_invariant && sink.begin_repeat(trips as u64) {
+            // The subtree's emissions do not depend on this iterator: stream
+            // one iteration and let the sink scale it by the trip count.
+            telemetry::counter("machine.exec.stream_repeat_loops", 1);
+            self.frame[l.slot] = lower;
+            let before = self.count;
+            let mut repeated = Ok(());
+            for child in &l.body {
+                if let Err(e) = self.stream_node(child, sink) {
+                    repeated = Err(e);
+                    break;
+                }
+            }
+            sink.end_repeat();
+            self.count += (trips as u64 - 1) * (self.count - before);
+            repeated
         } else {
             if l.inner {
                 // A clamping access bailed the run-group build: this loop

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analytic;
 pub mod blas;
 pub mod cache;
 pub mod config;
@@ -72,9 +73,12 @@ pub mod interp;
 pub mod shard;
 pub mod trace;
 
+pub use analytic::{estimate_cache, estimate_cache_compiled, AnalyticSink, CacheEstimate};
 pub use cache::{reference::ReferenceCacheHierarchy, CacheHierarchy, CacheStats};
 pub use config::MachineConfig;
-pub use cost::{count_flops, CostModel, CostReport, NestCost};
+pub use cost::{
+    count_flops, CacheAssessment, CostMode, CostModel, CostReport, NestCost, PricedWith,
+};
 pub use error::{MachineError, Result};
 pub use exec::CompiledProgram;
 pub use interp::{run_seeded, Interpreter, ProgramData};

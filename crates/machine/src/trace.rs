@@ -47,7 +47,7 @@ pub struct TraceEntry {
 /// Runs travel in *groups* (one group per innermost-loop execution) whose
 /// members advance in lockstep: iteration `i` touches every run's
 /// `base + i·stride`, in run order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StrideRun {
     /// Byte address of the first access.
     pub base: u64,
@@ -110,6 +110,22 @@ pub trait AccessSink {
             }
         }
     }
+
+    /// Announces that everything emitted until the matching
+    /// [`end_repeat`](AccessSink::end_repeat) repeats `times` times in
+    /// identical form — the emitter found a loop whose subtree's trace does
+    /// not depend on its iterator. A sink that folds accesses into
+    /// order-independent summaries may return `true`; it then receives the
+    /// body *once* and is responsible for scaling. The default refuses, and
+    /// the emitter streams every iteration — per-access and simulating
+    /// sinks stay bit-identical without opting in.
+    fn begin_repeat(&mut self, times: u64) -> bool {
+        let _ = times;
+        false
+    }
+
+    /// Closes the innermost accepted [`begin_repeat`](AccessSink::begin_repeat).
+    fn end_repeat(&mut self) {}
 }
 
 /// Adapter turning a closure into an [`AccessSink`].

@@ -18,7 +18,7 @@ use loop_ir::program::Program;
 use machine::{simulate_cache, simulate_cache_per_access, simulate_cache_reference, MachineConfig};
 use polybench::cloudsc::{erosion_optimized, erosion_original, CloudscSizes};
 use polybench::{all_benchmarks, Dataset};
-use proptest::{prop_assert_eq, proptest, ProptestConfig, Strategy};
+use proptest::{prop, prop_assert_eq, proptest, ProptestConfig, Strategy};
 
 /// Asserts that the run-compressed, per-access and naive-reference
 /// simulations of `program` report bit-identical counters.
@@ -126,6 +126,104 @@ proptest! {
         prop_assert_eq!(fast.l1(), naive.l1());
         prop_assert_eq!(fast.l2(), naive.l2());
     }
+}
+
+/// A 1-D multi-tap stencil over `steps` time steps: the staggered same-array
+/// taps are the shape the stagger-merged lane path collapses. `taps` are
+/// element offsets relative to a 16-element pad (so negative taps stay in
+/// bounds); `reversed` walks the domain through reversal subscripts
+/// (negative byte stride).
+fn stencil_program(n: i64, steps: i64, taps: &[i64], reversed: bool) -> Program {
+    let subscript = |tap: i64| {
+        if reversed {
+            format!("M - {} - j", 17 - tap)
+        } else if 16 + tap == 0 {
+            "j".to_string()
+        } else {
+            format!("j + {}", 16 + tap)
+        }
+    };
+    let sum = taps
+        .iter()
+        .map(|&t| format!("A[{}]", subscript(t)))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let out = subscript(0);
+    parse_program(&format!(
+        "program stencil {{
+           param N = {n}; param M = {}; param T = {steps};
+           array A[M]; array B[M];
+           for t in 0..T {{
+             for j in 0..N {{
+               B[{out}] = ({sum}) * 0.2;
+             }}
+           }}
+         }}",
+        n + 33
+    ))
+    .expect("generated stencil parses")
+}
+
+/// Random tap sets for the stagger proptest: 2-5 taps whose offsets mix
+/// signs and deliberately include spreads that straddle line boundaries and
+/// spreads wider than a 64-byte line (9+ elements), which must *not* merge.
+fn arbitrary_stencil() -> impl Strategy<Value = (i64, i64, Vec<i64>, bool)> {
+    (
+        10i64..40,
+        1i64..3,
+        2usize..6,
+        (-8i64..9, -8i64..9, -8i64..9, -8i64..9, -8i64..9),
+        prop::bool::ANY,
+    )
+        .prop_map(|(n, steps, k, t, reversed)| {
+            let menu = [t.0, t.1, t.2, t.3, t.4];
+            (n, steps, menu[..k].to_vec(), reversed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_stagger_stencils_simulate_bit_identically(
+        (n, steps, taps, reversed) in arbitrary_stencil()
+    ) {
+        let program = stencil_program(n, steps, &taps, reversed);
+        let machine = MachineConfig::tiny_for_tests();
+        let fast = simulate_cache(&program, &machine).unwrap();
+        let base = simulate_cache_per_access(&program, &machine).unwrap();
+        prop_assert_eq!(fast.accesses(), base.accesses());
+        prop_assert_eq!(fast.l1(), base.l1());
+        prop_assert_eq!(fast.l2(), base.l2());
+        let naive = simulate_cache_reference(&program, &machine).unwrap();
+        prop_assert_eq!(fast.l1(), naive.l1());
+        prop_assert_eq!(fast.l2(), naive.l2());
+    }
+}
+
+#[test]
+fn directed_stagger_stencils_simulate_bit_identically() {
+    let machine = MachineConfig::tiny_for_tests();
+    for (n, steps, taps, reversed) in [
+        // The classic three-point stencil, forward and reversed.
+        (32, 2, vec![-1, 0, 1], false),
+        (32, 2, vec![-1, 0, 1], true),
+        // Five taps, the widest the merge is expected to pay off on.
+        (40, 2, vec![-2, -1, 0, 1, 2], false),
+        // Taps straddling a line boundary (8 doubles per 64-byte line).
+        (32, 1, vec![-8, -7, 0], false),
+        // Taps spread wider than one line: must not merge, must stay exact.
+        (32, 1, vec![-8, 0, 8], false),
+        (40, 2, vec![-6, -3, 0, 3, 6], true),
+        // Duplicate taps (the same subscript twice) and asymmetric spreads.
+        (24, 1, vec![0, 0, 1], false),
+        (36, 2, vec![-4, 1, 2, 3], false),
+    ] {
+        assert_cache_equivalence(&stencil_program(n, steps, &taps, reversed), &machine);
+    }
+    // The paper geometry exercises deeper associativity on the same shapes.
+    let xeon = MachineConfig::xeon_e5_2680v3();
+    assert_cache_equivalence(&stencil_program(200, 3, &[-2, -1, 0, 1, 2], false), &xeon);
 }
 
 #[test]
